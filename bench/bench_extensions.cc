@@ -1,0 +1,159 @@
+// Benchmarks for the library's extensions beyond the paper: the
+// string-level model's join, the threaded cross join, parallel batch
+// search, and index persistence.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/cross_join.h"
+#include "join/search.h"
+#include "join/self_join.h"
+#include "join/string_level_join.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::Scaled;
+
+const Dataset& CachedDataset() {
+  static const Dataset data = [] {
+    DatasetOptions opt = DblpConfig::Data(Scaled(800));
+    opt.max_uncertain_positions = 4;  // string-level pdfs enumerate worlds
+    return GenerateDataset(opt);
+  }();
+  return data;
+}
+
+// Smaller slice for the string-level comparison: the explicit-pdf join is
+// quadratic in pairs with per-pair world-pair enumeration.
+const Dataset& SmallDataset() {
+  static const Dataset data = [] {
+    DatasetOptions opt = DblpConfig::Data(Scaled(300));
+    opt.max_uncertain_positions = 3;
+    return GenerateDataset(opt);
+  }();
+  return data;
+}
+
+// Character-level QFCT join vs the explicit-pdf string-level join on the
+// same logical data: the price of losing the factorized representation.
+void BM_Ext_CharacterLevelJoin(benchmark::State& state) {
+  const Dataset& data = SmallDataset();
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, DblpConfig::Join());
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(stats.result_pairs);
+}
+BENCHMARK(BM_Ext_CharacterLevelJoin)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Ext_StringLevelJoin(benchmark::State& state) {
+  const Dataset& data = SmallDataset();
+  static const std::vector<StringLevelUncertainString> collection = [] {
+    std::vector<StringLevelUncertainString> out;
+    for (const UncertainString& s : SmallDataset().strings) {
+      Result<StringLevelUncertainString> sl =
+          StringLevelUncertainString::FromCharacterLevel(s);
+      UJOIN_CHECK(sl.ok());
+      out.push_back(std::move(sl).value());
+    }
+    return out;
+  }();
+  StringLevelJoinOptions options;
+  options.k = DblpConfig::Join().k;
+  options.tau = DblpConfig::Join().tau;
+  size_t results = 0;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        StringLevelSelfJoin(collection, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    results = out->pairs.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Ext_StringLevelJoin)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Threaded cross join: left = noisy probes, right = the collection.
+void BM_Ext_CrossJoinThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const Dataset& data = CachedDataset();
+  // Probes derived from the collection (noisy deterministic re-reads) so
+  // the join has real matches and the search stage dominates the indexing.
+  static const std::vector<UncertainString> probes = [] {
+    std::vector<UncertainString> out;
+    Rng rng(77);
+    const Dataset& base = CachedDataset();
+    while (out.size() < static_cast<size_t>(Scaled(2000))) {
+      const UncertainString& origin =
+          base.strings[rng.Uniform(base.strings.size())];
+      std::string text = origin.MostLikelyInstance();
+      text[rng.Uniform(text.size())] =
+          base.alphabet.SymbolAt(static_cast<int>(rng.Uniform(26)));
+      out.push_back(UncertainString::FromDeterministic(text));
+    }
+    return out;
+  }();
+  JoinOptions options = DblpConfig::Join();
+  options.threads = threads;
+  size_t results = 0;
+  for (auto _ : state) {
+    Result<CrossJoinResult> out =
+        SimilarityJoin(probes, data.strings, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    results = out->pairs.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel("threads=" + std::to_string(threads));
+  state.counters["results"] = static_cast<double>(results);
+}
+BENCHMARK(BM_Ext_CrossJoinThreads)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Index persistence: build vs save vs load.
+void BM_Ext_Persistence(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  const std::string path = "/tmp/ujoin_bench_persist.idx";
+  double build_ms = 0, save_ms = 0, load_ms = 0;
+  for (auto _ : state) {
+    Timer build_timer;
+    Result<SimilaritySearcher> searcher = SimilaritySearcher::Create(
+        data.strings, data.alphabet, DblpConfig::Join());
+    UJOIN_CHECK(searcher.ok());
+    build_ms = build_timer.ElapsedSeconds() * 1e3;
+    Timer save_timer;
+    UJOIN_CHECK(searcher->Save(path).ok());
+    save_ms = save_timer.ElapsedSeconds() * 1e3;
+    Timer load_timer;
+    Result<SimilaritySearcher> loaded =
+        SimilaritySearcher::Load(path, data.alphabet);
+    UJOIN_CHECK(loaded.ok());
+    load_ms = load_timer.ElapsedSeconds() * 1e3;
+    benchmark::DoNotOptimize(loaded);
+  }
+  std::remove(path.c_str());
+  state.counters["build_ms"] = build_ms;
+  state.counters["save_ms"] = save_ms;
+  state.counters["load_ms"] = load_ms;
+}
+BENCHMARK(BM_Ext_Persistence)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

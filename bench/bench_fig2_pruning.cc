@@ -1,0 +1,151 @@
+// Figure 2 — effectiveness vs. efficiency of pruning.
+//
+// Applies each filtering scheme *independently* to the same stream of
+// length-compatible pairs (θ = 0.2, k = 2, τ = 0.1 on both datasets, as in
+// the paper) and reports, per filter, the candidates remaining and the time
+// to apply it.  Paper findings to reproduce: CDF bounds prune tightest but
+// cost the most; q-gram filtering is orders of magnitude faster thanks to
+// the inverted index and still prunes most pairs; frequency-distance
+// filtering is cheap (especially on protein data: smaller alphabet, lower
+// uncertainty) but the least tight.
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "filter/cdf_filter.h"
+#include "filter/freq_filter.h"
+#include "index/segment_index.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::ProteinConfig;
+using ujoin::bench::Scaled;
+
+struct PairStream {
+  Dataset data;
+  std::vector<uint32_t> order;          // ids sorted by length
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;  // length-compatible
+};
+
+const PairStream& CachedStream(bool protein, int k) {
+  static std::map<std::pair<bool, int>, PairStream> cache;
+  const auto key = std::make_pair(protein, k);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    PairStream stream{GenerateDataset(
+                          protein ? ProteinConfig::Data(Scaled(1000), 0.2)
+                                  : DblpConfig::Data(Scaled(2000), 0.2)),
+                      {},
+                      {}};
+    stream.order.resize(stream.data.strings.size());
+    std::iota(stream.order.begin(), stream.order.end(), 0);
+    std::stable_sort(stream.order.begin(), stream.order.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return stream.data.strings[a].length() <
+                              stream.data.strings[b].length();
+                     });
+    for (size_t i = 0; i < stream.order.size(); ++i) {
+      for (size_t j = i; j-- > 0;) {
+        const int gap = stream.data.strings[stream.order[i]].length() -
+                        stream.data.strings[stream.order[j]].length();
+        if (gap > k) break;
+        stream.pairs.push_back({stream.order[i], stream.order[j]});
+      }
+    }
+    it = cache.emplace(key, std::move(stream)).first;
+  }
+  return it->second;
+}
+
+constexpr double kTau = 0.1;
+constexpr int kK = 2;
+constexpr int kQ = 3;
+
+// q-gram filtering through the inverted index (insert-then-query flow).
+void BM_Fig2_QGram(benchmark::State& state) {
+  const bool protein = state.range(0) != 0;
+  const PairStream& stream = CachedStream(protein, kK);
+  int64_t survivors = 0;
+  for (auto _ : state) {
+    survivors = 0;
+    InvertedSegmentIndex index(kK, kQ);
+    for (uint32_t pos = 0; pos < stream.order.size(); ++pos) {
+      const UncertainString& r = stream.data.strings[stream.order[pos]];
+      for (int l = std::max(1, r.length() - kK); l <= r.length(); ++l) {
+        survivors +=
+            static_cast<int64_t>(index.Query(r, l, kTau).size());
+      }
+      UJOIN_CHECK(index.Insert(pos, r).ok());
+    }
+    benchmark::DoNotOptimize(survivors);
+  }
+  state.SetLabel(protein ? "protein/qgram" : "dblp/qgram");
+  state.counters["pairs_in"] = static_cast<double>(stream.pairs.size());
+  state.counters["candidates"] = static_cast<double>(survivors);
+}
+
+// Frequency-distance filtering applied to every length-compatible pair.
+void BM_Fig2_Freq(benchmark::State& state) {
+  const bool protein = state.range(0) != 0;
+  const PairStream& stream = CachedStream(protein, kK);
+  std::vector<FrequencySummary> summaries;
+  summaries.reserve(stream.data.strings.size());
+  for (const UncertainString& s : stream.data.strings) {
+    summaries.push_back(FrequencySummary::Build(s, stream.data.alphabet));
+  }
+  int64_t survivors = 0;
+  for (auto _ : state) {
+    survivors = 0;
+    for (const auto& [lhs, rhs] : stream.pairs) {
+      survivors += EvaluateFreqFilter(summaries[lhs], summaries[rhs], kK)
+                       .Survives(kK, kTau);
+    }
+    benchmark::DoNotOptimize(survivors);
+  }
+  state.SetLabel(protein ? "protein/freq" : "dblp/freq");
+  state.counters["pairs_in"] = static_cast<double>(stream.pairs.size());
+  state.counters["candidates"] = static_cast<double>(survivors);
+}
+
+// CDF-bound filtering applied to every length-compatible pair.
+void BM_Fig2_Cdf(benchmark::State& state) {
+  const bool protein = state.range(0) != 0;
+  const PairStream& stream = CachedStream(protein, kK);
+  int64_t survivors = 0;
+  for (auto _ : state) {
+    survivors = 0;
+    for (const auto& [lhs, rhs] : stream.pairs) {
+      const CdfFilterOutcome out =
+          EvaluateCdfFilter(stream.data.strings[lhs],
+                            stream.data.strings[rhs], kK, kTau);
+      survivors += out.decision != CdfDecision::kReject;
+    }
+    benchmark::DoNotOptimize(survivors);
+  }
+  state.SetLabel(protein ? "protein/cdf" : "dblp/cdf");
+  state.counters["pairs_in"] = static_cast<double>(stream.pairs.size());
+  state.counters["candidates"] = static_cast<double>(survivors);
+}
+
+BENCHMARK(BM_Fig2_QGram)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig2_Freq)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig2_Cdf)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

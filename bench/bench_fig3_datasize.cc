@@ -1,0 +1,63 @@
+// Figure 3 — effect of dataset size |S| on the dblp dataset.
+//
+// Sweeps the collection size for the four algorithm variants QFCT, QCT,
+// QFT, FCT and reports filtering time and total join time.  The paper's
+// headline: q-gram-indexed variants (QFCT/QCT/QFT) keep filtering cheap
+// while FCT's per-pair filtering grows quadratically; QFCT/QCT scale best
+// overall because CDF bounds cap the number of expensive verifications.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::Scaled;
+using ujoin::bench::VariantName;
+using ujoin::bench::WithVariant;
+
+const Dataset& CachedDataset(int size) {
+  static std::map<int, Dataset> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    it = cache.emplace(size, GenerateDataset(DblpConfig::Data(size))).first;
+  }
+  return it->second;
+}
+
+void BM_Fig3_DataSize(benchmark::State& state) {
+  const int variant = static_cast<int>(state.range(0));
+  const int size = Scaled(static_cast<int>(state.range(1)));
+  const Dataset& data = CachedDataset(size);
+  const JoinOptions options =
+      WithVariant(DblpConfig::Join(), VariantName(variant));
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(VariantName(variant)) + "/|S|=" +
+                 std::to_string(size));
+  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["total_ms"] = stats.total_time * 1e3;
+  state.counters["verify_ms"] = stats.verify_time * 1e3;
+  state.counters["verified"] = static_cast<double>(stats.verified_pairs);
+  state.counters["results"] = static_cast<double>(stats.result_pairs);
+}
+
+BENCHMARK(BM_Fig3_DataSize)
+    ->ArgsProduct({{0, 1, 2, 3}, {500, 1000, 2000, 4000}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

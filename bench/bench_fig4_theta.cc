@@ -1,0 +1,90 @@
+// Figure 4 — effect of the uncertain-position fraction θ.
+//
+// Sweeps θ for QFCT and FCT on both dataset kinds.  The paper's trends:
+// query time grows with θ for every algorithm (probe sets, frequency pmfs,
+// CDF cells and above all verification all grow), QFCT stays well below
+// FCT on dblp, while FCT narrows the gap on protein data where frequency
+// filtering is cheap.
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::ProteinConfig;
+using ujoin::bench::Scaled;
+using ujoin::bench::WithVariant;
+
+const Dataset& CachedDataset(bool protein, int theta_permille) {
+  static std::map<std::pair<bool, int>, Dataset> cache;
+  const auto key = std::make_pair(protein, theta_permille);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const double theta = theta_permille / 1000.0;
+    DatasetOptions opt = protein
+                             ? ProteinConfig::Data(Scaled(800), theta)
+                             : DblpConfig::Data(Scaled(1500), theta);
+    it = cache.emplace(key, GenerateDataset(opt)).first;
+  }
+  return it->second;
+}
+
+void RunTheta(benchmark::State& state, bool protein, const char* variant) {
+  const int theta_permille = static_cast<int>(state.range(0));
+  const Dataset& data = CachedDataset(protein, theta_permille);
+  const JoinOptions options = WithVariant(
+      protein ? ProteinConfig::Join() : DblpConfig::Join(), variant);
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(protein ? "protein/" : "dblp/") + variant +
+                 "/theta=" + std::to_string(theta_permille / 1000.0));
+  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["verify_ms"] = stats.verify_time * 1e3;
+  state.counters["total_ms"] = stats.total_time * 1e3;
+  state.counters["results"] = static_cast<double>(stats.result_pairs);
+}
+
+void BM_Fig4_Dblp_QFCT(benchmark::State& state) {
+  RunTheta(state, false, "QFCT");
+}
+void BM_Fig4_Dblp_FCT(benchmark::State& state) { RunTheta(state, false, "FCT"); }
+void BM_Fig4_Protein_QFCT(benchmark::State& state) {
+  RunTheta(state, true, "QFCT");
+}
+void BM_Fig4_Protein_FCT(benchmark::State& state) {
+  RunTheta(state, true, "FCT");
+}
+
+// dblp sweeps θ in 0.1–0.4; protein in 0.05–0.2 (the paper's ranges).
+BENCHMARK(BM_Fig4_Dblp_QFCT)
+    ->Arg(100)->Arg(200)->Arg(300)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig4_Dblp_FCT)
+    ->Arg(100)->Arg(200)->Arg(300)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig4_Protein_QFCT)
+    ->Arg(50)->Arg(100)->Arg(150)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig4_Protein_FCT)
+    ->Arg(50)->Arg(100)->Arg(150)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Figure 6 — effect of the edit-distance threshold k.
+//
+// Sweeps k ∈ {1..4} on dblp and k ∈ {2,4,6,8} on protein for QFCT and FCT.
+// Paper trend: larger k weakens every filter (Lemma 5 needs fewer matched
+// segments, bounds loosen), so query time rises and QFCT's advantage over
+// FCT narrows — but QFCT still saves a sizable share of FCT's cost.
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::ProteinConfig;
+using ujoin::bench::Scaled;
+using ujoin::bench::WithVariant;
+
+const Dataset& CachedDataset(bool protein) {
+  // The k = 4 sweep point multiplies verification cost; a smaller
+  // collection with at most 5 uncertain positions keeps the whole sweep in
+  // laptop-seconds while preserving the trends.
+  static const Dataset dblp = [] {
+    DatasetOptions opt = DblpConfig::Data(Scaled(600));
+    opt.max_uncertain_positions = 4;
+    return GenerateDataset(opt);
+  }();
+  static const Dataset prot =
+      GenerateDataset(ProteinConfig::Data(Scaled(700)));
+  return protein ? prot : dblp;
+}
+
+void RunK(benchmark::State& state, bool protein, const char* variant) {
+  const int k = static_cast<int>(state.range(0));
+  const Dataset& data = CachedDataset(protein);
+  JoinOptions options = WithVariant(
+      protein ? ProteinConfig::Join() : DblpConfig::Join(), variant);
+  options.k = k;
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(protein ? "protein/" : "dblp/") + variant +
+                 "/k=" + std::to_string(k));
+  state.counters["total_ms"] = stats.total_time * 1e3;
+  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["verified"] = static_cast<double>(stats.verified_pairs);
+  state.counters["results"] = static_cast<double>(stats.result_pairs);
+}
+
+void BM_Fig6_Dblp_QFCT(benchmark::State& state) { RunK(state, false, "QFCT"); }
+void BM_Fig6_Dblp_FCT(benchmark::State& state) { RunK(state, false, "FCT"); }
+void BM_Fig6_Protein_QFCT(benchmark::State& state) {
+  RunK(state, true, "QFCT");
+}
+void BM_Fig6_Protein_FCT(benchmark::State& state) { RunK(state, true, "FCT"); }
+
+BENCHMARK(BM_Fig6_Dblp_QFCT)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig6_Dblp_FCT)
+    ->Arg(1)->Arg(2)->Arg(3)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig6_Protein_QFCT)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig6_Protein_FCT)
+    ->Arg(2)->Arg(4)->Arg(6)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

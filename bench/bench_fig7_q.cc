@@ -1,0 +1,69 @@
+// Figure 7 — effect of the q-gram length q.
+//
+// Sweeps q ∈ {2..6} on both datasets and reports the quantities the paper
+// plots: q-gram filtering time (falls with q: fewer segments), peak
+// inverted-index memory (rises with q: more instances per segment),
+// candidates surviving the q-gram stage (effectiveness degrades at large q
+// for uncertain strings), and total join time (uni-valley: q = 3 or 4 is
+// the sweet spot).
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DataBytes;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::ProteinConfig;
+using ujoin::bench::Scaled;
+
+const Dataset& CachedDataset(bool protein) {
+  static const Dataset dblp = GenerateDataset(DblpConfig::Data(Scaled(1500)));
+  static const Dataset prot =
+      GenerateDataset(ProteinConfig::Data(Scaled(800)));
+  return protein ? prot : dblp;
+}
+
+void BM_Fig7_Q(benchmark::State& state) {
+  const bool protein = state.range(0) != 0;
+  const int q = static_cast<int>(state.range(1));
+  const Dataset& data = CachedDataset(protein);
+  JoinOptions options = protein ? ProteinConfig::Join() : DblpConfig::Join();
+  options.q = q;
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(protein ? "protein" : "dblp") +
+                 "/q=" + std::to_string(q));
+  state.counters["qgram_filter_ms"] =
+      (stats.qgram_time + stats.index_build_time) * 1e3;
+  state.counters["total_ms"] = stats.total_time * 1e3;
+  state.counters["cand_after_qgram"] =
+      static_cast<double>(stats.qgram_candidates);
+  state.counters["peak_index_MB"] =
+      static_cast<double>(stats.peak_index_memory) / (1024.0 * 1024.0);
+  state.counters["index_vs_data"] =
+      static_cast<double>(stats.peak_index_memory) /
+      static_cast<double>(DataBytes(data.strings));
+}
+
+BENCHMARK(BM_Fig7_Q)
+    ->ArgsProduct({{0, 1}, {2, 3, 4, 5, 6}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// Figure 8 — trie-based versus naive verification.
+//
+// Sweeps θ on both datasets, collects the candidate pairs that reach the
+// verification stage of a QFCT join, and verifies all of them with (a) the
+// trie-based verifier (Section 6.2, reusing T_R per probe) and (b) naive
+// world-pair enumeration with prefix pruning.  Paper trend: both costs grow
+// exponentially with θ, but the trie's on-demand exploration wins by an
+// increasing margin as uncertainty rises; gains are smaller on protein data
+// (longer strings, lower θ, smaller alphabet).
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "util/check.h"
+#include "verify/verifier.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::ProteinConfig;
+using ujoin::bench::Scaled;
+
+struct VerificationWorkload {
+  Dataset data;
+  // Pairs that survived all filters and need exact verification.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  int k;
+};
+
+const VerificationWorkload& CachedWorkload(bool protein, int theta_permille) {
+  static std::map<std::pair<bool, int>, VerificationWorkload> cache;
+  const auto key = std::make_pair(protein, theta_permille);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const double theta = theta_permille / 1000.0;
+    DatasetOptions data_opt = protein
+                                  ? ProteinConfig::Data(Scaled(500), theta)
+                                  : DblpConfig::Data(Scaled(800), theta);
+    // Keep naive verification tractable: its cost is the product of the
+    // world counts of both sides, so cap at 5^4 worlds per string and
+    // verify a fixed sample of pairs below.
+    data_opt.max_uncertain_positions = 4;
+    VerificationWorkload workload{GenerateDataset(data_opt), {}, 0};
+    JoinOptions join_opt =
+        protein ? ProteinConfig::Join() : DblpConfig::Join();
+    workload.k = join_opt.k;
+    // Collect verification-stage pairs by running the join and keeping the
+    // verified ones (accepted or not).
+    join_opt.always_verify = true;
+    Result<SelfJoinResult> out = SimilaritySelfJoin(
+        workload.data.strings, workload.data.alphabet, join_opt);
+    UJOIN_CHECK(out.ok());
+    for (const JoinPair& p : out->pairs) {
+      if (workload.pairs.size() >= 40) break;  // fixed per-config sample
+      workload.pairs.push_back({p.lhs, p.rhs});
+    }
+    it = cache.emplace(key, std::move(workload)).first;
+  }
+  return it->second;
+}
+
+void RunVerify(benchmark::State& state, bool protein, bool use_trie) {
+  const int theta_permille = static_cast<int>(state.range(0));
+  const VerificationWorkload& workload =
+      CachedWorkload(protein, theta_permille);
+  VerifyStats stats;
+  int64_t verified = 0;
+  double checksum = 0.0;
+  for (auto _ : state) {
+    checksum = 0.0;
+    for (const auto& [lhs, rhs] : workload.pairs) {
+      const UncertainString& r = workload.data.strings[lhs];
+      const UncertainString& s = workload.data.strings[rhs];
+      Result<double> prob =
+          use_trie
+              ? TrieVerifyProbability(r, s, workload.k, VerifyOptions{}, &stats)
+              : NaiveVerifyProbability(r, s, workload.k, VerifyOptions{},
+                                       &stats);
+      UJOIN_CHECK(prob.ok());
+      checksum += prob.value();
+      ++verified;
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetLabel(std::string(protein ? "protein/" : "dblp/") +
+                 (use_trie ? "trie" : "naive") +
+                 "/theta=" + std::to_string(theta_permille / 1000.0));
+  state.counters["pairs"] = static_cast<double>(workload.pairs.size());
+  state.counters["world_pairs"] = static_cast<double>(stats.world_pairs);
+  state.counters["s_nodes"] = static_cast<double>(stats.explored_s_nodes);
+  state.counters["prob_sum"] = checksum;
+}
+
+void BM_Fig8_Dblp_Trie(benchmark::State& state) {
+  RunVerify(state, false, true);
+}
+void BM_Fig8_Dblp_Naive(benchmark::State& state) {
+  RunVerify(state, false, false);
+}
+void BM_Fig8_Protein_Trie(benchmark::State& state) {
+  RunVerify(state, true, true);
+}
+void BM_Fig8_Protein_Naive(benchmark::State& state) {
+  RunVerify(state, true, false);
+}
+
+BENCHMARK(BM_Fig8_Dblp_Trie)
+    ->Arg(100)->Arg(200)->Arg(300)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig8_Dblp_Naive)
+    ->Arg(100)->Arg(200)->Arg(300)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig8_Protein_Trie)
+    ->Arg(50)->Arg(100)->Arg(150)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig8_Protein_Naive)
+    ->Arg(50)->Arg(100)->Arg(150)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

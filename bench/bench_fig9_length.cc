@@ -1,0 +1,98 @@
+// Figure 9 — effect of string length.
+//
+// Appends each string to itself 0–3 times (the paper's workload), keeping
+// at most 8 probabilistic characters per string, and reports QFCT and FCT
+// query time.  Paper trends: costs rise with length for both algorithms;
+// frequency filtering is length-insensitive so FCT closes part of the gap;
+// verification begins to dominate; output size shrinks but query time
+// still grows.
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::ProteinConfig;
+using ujoin::bench::Scaled;
+using ujoin::bench::WithVariant;
+
+const Dataset& CachedDataset(bool protein, int repeats) {
+  static std::map<std::pair<bool, int>, Dataset> cache;
+  const auto key = std::make_pair(protein, repeats);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    Dataset data = GenerateDataset(protein ? ProteinConfig::Data(Scaled(350))
+                                           : DblpConfig::Data(Scaled(1000)));
+    // Figure 9: append to itself `repeats` times.  The paper caps strings
+    // at 8 probabilistic characters; we cap at 6 (dblp) / 5 (protein, whose
+    // x4 strings reach length 180) so the tries stay within the node
+    // budget (see EXPERIMENTS.md).
+    const int cap = protein ? 5 : 6;
+    for (UncertainString& s : data.strings) {
+      s = CapUncertainPositions(AppendSelf(s, repeats), cap);
+    }
+    it = cache.emplace(key, std::move(data)).first;
+  }
+  return it->second;
+}
+
+void RunLength(benchmark::State& state, bool protein, const char* variant) {
+  const int repeats = static_cast<int>(state.range(0));
+  const Dataset& data = CachedDataset(protein, repeats);
+  const JoinOptions options = WithVariant(
+      protein ? ProteinConfig::Join() : DblpConfig::Join(), variant);
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(std::string(protein ? "protein/" : "dblp/") + variant +
+                 "/x" + std::to_string(repeats + 1));
+  state.counters["total_ms"] = stats.total_time * 1e3;
+  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["verify_ms"] = stats.verify_time * 1e3;
+  state.counters["results"] = static_cast<double>(stats.result_pairs);
+}
+
+void BM_Fig9_Dblp_QFCT(benchmark::State& state) {
+  RunLength(state, false, "QFCT");
+}
+void BM_Fig9_Dblp_FCT(benchmark::State& state) {
+  RunLength(state, false, "FCT");
+}
+void BM_Fig9_Protein_QFCT(benchmark::State& state) {
+  RunLength(state, true, "QFCT");
+}
+void BM_Fig9_Protein_FCT(benchmark::State& state) {
+  RunLength(state, true, "FCT");
+}
+
+BENCHMARK(BM_Fig9_Dblp_QFCT)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig9_Dblp_FCT)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig9_Protein_QFCT)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig9_Protein_FCT)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(3)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

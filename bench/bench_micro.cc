@@ -1,0 +1,154 @@
+// Micro-benchmarks for the component costs the paper's analysis sections
+// discuss: thresholded edit distance, the event DP of Theorem 2, probe-set
+// construction (α_x inputs), frequency-summary construction and Theorem 3
+// evaluation, CDF-bound DP, and instance-trie construction.
+
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "filter/cdf_filter.h"
+#include "filter/event_dp.h"
+#include "filter/freq_filter.h"
+#include "filter/probe_set.h"
+#include "filter/qgram_filter.h"
+#include "text/edit_distance.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "verify/instance_trie.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DblpConfig;
+
+const Dataset& CachedDataset() {
+  static const Dataset data = GenerateDataset(DblpConfig::Data(500));
+  return data;
+}
+
+void BM_BoundedEditDistance(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Alphabet names = Alphabet::Names();
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (int i = 0; i < 256; ++i) {
+    std::string a(24, 'a');
+    for (char& c : a) c = names.SymbolAt(static_cast<int>(rng.Uniform(26)));
+    std::string b = a;
+    for (int e = 0; e < k + 1; ++e) {
+      b[rng.Uniform(b.size())] = names.SymbolAt(static_cast<int>(rng.Uniform(26)));
+    }
+    pairs.emplace_back(std::move(a), std::move(b));
+  }
+  int64_t sum = 0;
+  for (auto _ : state) {
+    for (const auto& [a, b] : pairs) sum += BoundedEditDistance(a, b, k);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_BoundedEditDistance)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EventCountDp(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<double> alphas;
+  for (int i = 0; i < m; ++i) alphas.push_back(rng.UniformDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProbAtLeastEvents(alphas, m / 2));
+  }
+}
+BENCHMARK(BM_EventCountDp)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildProbeSet(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  const int k = 2, q = 3;
+  size_t idx = 0;
+  for (auto _ : state) {
+    const UncertainString& r = data.strings[idx++ % data.strings.size()];
+    if (r.length() <= q) continue;
+    Result<std::vector<ProbeSubstring>> set = BuildProbeSet(
+        r, r.length(), Segment{r.length() / 2, q}, k, ProbeSetOptions{});
+    UJOIN_CHECK(set.ok());
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_BuildProbeSet);
+
+void BM_FrequencySummaryBuild(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  size_t idx = 0;
+  for (auto _ : state) {
+    const FrequencySummary summary = FrequencySummary::Build(
+        data.strings[idx++ % data.strings.size()], data.alphabet);
+    benchmark::DoNotOptimize(summary);
+  }
+}
+BENCHMARK(BM_FrequencySummaryBuild);
+
+void BM_FreqChebyshev(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  std::vector<FrequencySummary> summaries;
+  for (size_t i = 0; i < 64; ++i) {
+    summaries.push_back(
+        FrequencySummary::Build(data.strings[i], data.alphabet));
+  }
+  size_t idx = 0;
+  for (auto _ : state) {
+    const FrequencySummary& a = summaries[idx % summaries.size()];
+    const FrequencySummary& b = summaries[(idx + 1) % summaries.size()];
+    ++idx;
+    benchmark::DoNotOptimize(FreqChebyshevBound(a, b, 2));
+  }
+}
+BENCHMARK(BM_FreqChebyshev);
+
+void BM_CdfBounds(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Dataset& data = CachedDataset();
+  size_t idx = 0;
+  for (auto _ : state) {
+    const UncertainString& r = data.strings[idx % data.strings.size()];
+    const UncertainString& s = data.strings[(idx + 1) % data.strings.size()];
+    ++idx;
+    benchmark::DoNotOptimize(ComputeCdfBounds(r, s, k));
+  }
+}
+BENCHMARK(BM_CdfBounds)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_InstanceTrieBuild(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  size_t idx = 0;
+  for (auto _ : state) {
+    Result<InstanceTrie> trie =
+        InstanceTrie::Build(data.strings[idx++ % data.strings.size()]);
+    UJOIN_CHECK(trie.ok());
+    benchmark::DoNotOptimize(trie);
+  }
+}
+BENCHMARK(BM_InstanceTrieBuild);
+
+void BM_PairwiseQGramFilter(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  QGramOptions options;
+  options.k = 2;
+  options.q = 3;
+  size_t idx = 0;
+  for (auto _ : state) {
+    const UncertainString& r = data.strings[idx % data.strings.size()];
+    const UncertainString& s = data.strings[(idx + 7) % data.strings.size()];
+    ++idx;
+    Result<QGramFilterOutcome> out = EvaluateQGramFilter(r, s, options);
+    UJOIN_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_PairwiseQGramFilter);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Section 7.9 — qualitative comparison with the expected-edit-distance
+// (eed) join of Jestes et al. [10].  Reproduces the three claims:
+//
+//  1. Index size: our disjoint-segment index stays around twice the data
+//     size, while an overlapping-q-gram index over all instances (the [10]
+//     style) is several times larger (the paper reports ≈ 5×).
+//  2. Query algorithm: QFCT's indexed filtering beats a join that must
+//     evaluate expensive per-pair computations for every length-compatible
+//     pair (the eed join evaluates all of them).
+//  3. Verification: computing exact eed enumerates all world pairs, while
+//     trie-based (k,τ) verification prunes most of them.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "eed/eed.h"
+#include "index/segment_index.h"
+#include "join/self_join.h"
+#include "util/check.h"
+#include "util/timer.h"
+#include "verify/verifier.h"
+
+namespace {
+
+using namespace ujoin;
+using ujoin::bench::DataBytes;
+using ujoin::bench::DblpConfig;
+using ujoin::bench::Scaled;
+
+const Dataset& CachedDataset() {
+  static Dataset data = [] {
+    DatasetOptions opt = DblpConfig::Data(Scaled(250));
+    // Exact eed enumerates |worlds(R)| x |worlds(S)| full (unbanded) edit
+    // distances per pair; 5^3 worlds per string is the budget that keeps
+    // the baseline joinable at all — itself a Section 7.9 data point.
+    opt.max_uncertain_positions = 3;
+    return GenerateDataset(opt);
+  }();
+  return data;
+}
+
+// A larger insert-only collection for the storage comparison.
+const Dataset& IndexSizeDataset() {
+  static Dataset data = GenerateDataset(DblpConfig::Data(Scaled(3000)));
+  return data;
+}
+
+// Claim 1: index sizes relative to the raw data.  Postings are the
+// scale-independent measure (byte ratios depend on per-list overhead that
+// only amortizes at corpus scale).
+void BM_Sec79_IndexSize(benchmark::State& state) {
+  const Dataset& data = IndexSizeDataset();
+  size_t disjoint_bytes = 0, overlapping_bytes = 0;
+  int64_t disjoint_postings = 0, overlapping_postings = 0;
+  for (auto _ : state) {
+    InvertedSegmentIndex disjoint(2, 3);
+    OverlappingQGramIndex overlapping(3);
+    for (uint32_t id = 0; id < data.strings.size(); ++id) {
+      UJOIN_CHECK(disjoint.Insert(id, data.strings[id]).ok());
+      UJOIN_CHECK(overlapping.Insert(id, data.strings[id]).ok());
+    }
+    disjoint_bytes = disjoint.MemoryUsage();
+    overlapping_bytes = overlapping.MemoryUsage();
+    disjoint_postings = disjoint.num_postings();
+    overlapping_postings = overlapping.num_postings();
+    benchmark::DoNotOptimize(disjoint_bytes);
+  }
+  const double data_bytes = static_cast<double>(DataBytes(data.strings));
+  state.counters["disjoint_vs_data"] =
+      static_cast<double>(disjoint_bytes) / data_bytes;
+  state.counters["overlapping_vs_data"] =
+      static_cast<double>(overlapping_bytes) / data_bytes;
+  state.counters["disjoint_postings"] = static_cast<double>(disjoint_postings);
+  state.counters["overlapping_postings"] =
+      static_cast<double>(overlapping_postings);
+  state.counters["posting_ratio"] = static_cast<double>(overlapping_postings) /
+                                    static_cast<double>(disjoint_postings);
+}
+BENCHMARK(BM_Sec79_IndexSize)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Claim 2: join time, QFCT (k,τ) semantics vs. per-pair eed semantics.
+void BM_Sec79_QfctJoin(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  JoinStats stats;
+  for (auto _ : state) {
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, DblpConfig::Join());
+    UJOIN_CHECK(out.ok());
+    stats = out->stats;
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(stats.result_pairs);
+  state.counters["verified"] = static_cast<double>(stats.verified_pairs);
+}
+BENCHMARK(BM_Sec79_QfctJoin)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Sec79_EedJoin(benchmark::State& state) {
+  const Dataset& data = CachedDataset();
+  EedJoinOptions options;
+  options.threshold = 2.0;  // comparable to k = 2
+  int64_t evaluated = 0;
+  size_t results = 0;
+  for (auto _ : state) {
+    Result<EedJoinResult> out = EedSelfJoin(data.strings, options);
+    UJOIN_CHECK(out.ok());
+    evaluated = out->pairs_evaluated;
+    results = out->pairs.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["results"] = static_cast<double>(results);
+  state.counters["pairs_evaluated"] = static_cast<double>(evaluated);
+}
+BENCHMARK(BM_Sec79_EedJoin)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// Claim 3: per-pair cost, exact eed vs. trie-based (k,τ) verification.
+void BM_Sec79_PerPair(benchmark::State& state) {
+  const bool use_trie = state.range(0) != 0;
+  const Dataset& data = CachedDataset();
+  // Verify a fixed sample of length-compatible pairs.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  for (uint32_t i = 0; i < data.strings.size() && pairs.size() < 100; ++i) {
+    for (uint32_t j = i + 1; j < data.strings.size() && pairs.size() < 100;
+         ++j) {
+      if (std::abs(data.strings[i].length() - data.strings[j].length()) <= 2) {
+        pairs.push_back({i, j});
+      }
+    }
+  }
+  double checksum = 0.0;
+  for (auto _ : state) {
+    checksum = 0.0;
+    for (const auto& [lhs, rhs] : pairs) {
+      if (use_trie) {
+        Result<double> p =
+            TrieVerifyProbability(data.strings[lhs], data.strings[rhs], 2);
+        UJOIN_CHECK(p.ok());
+        checksum += p.value();
+      } else {
+        Result<double> e =
+            ExpectedEditDistance(data.strings[lhs], data.strings[rhs]);
+        UJOIN_CHECK(e.ok());
+        checksum += e.value();
+      }
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetLabel(use_trie ? "trie_k_tau_verify" : "exact_eed");
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_Sec79_PerPair)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,242 @@
+#include "datagen/datagen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+
+#include "util/check.h"
+
+namespace ujoin {
+
+namespace {
+
+// Rough English letter weights (per mille) so generated names look like
+// names rather than uniform noise; index matches Alphabet::Names().
+constexpr int kEnglishWeights[27] = {
+    82, 15, 28, 43, 127, 22, 20, 61, 70, 2, 8, 40, 24,
+    67, 75, 19, 1,  60,  63, 91, 28, 10, 24, 2, 20, 1, 0 /*space: explicit*/};
+
+// Amino-acid composition weights (per mille, approximate natural
+// frequencies); index matches Alphabet::Protein() = "ACDEFGHIKLMNPQRSTVWYBZ".
+constexpr int kProteinWeights[22] = {
+    83, 14, 55, 67, 39, 72, 22, 59, 58, 97, 24,
+    41, 47, 39, 55, 66, 54, 69, 11, 29, 2, 2};
+
+char SampleWeighted(const Alphabet& alphabet, const int* weights, int n,
+                    Rng& rng) {
+  int64_t total = 0;
+  for (int i = 0; i < n; ++i) total += weights[i];
+  int64_t pick = static_cast<int64_t>(rng.Uniform(static_cast<uint64_t>(total)));
+  for (int i = 0; i < n; ++i) {
+    pick -= weights[i];
+    if (pick < 0) return alphabet.SymbolAt(i);
+  }
+  return alphabet.SymbolAt(n - 1);
+}
+
+std::string GenerateName(const Alphabet& alphabet, int length, Rng& rng) {
+  // First and last name separated by one space; letters ~ English weights.
+  std::string s(static_cast<size_t>(length), 'a');
+  const int space_pos =
+      static_cast<int>(rng.UniformInt(length / 3, 2 * length / 3));
+  for (int i = 0; i < length; ++i) {
+    if (i == space_pos) {
+      s[static_cast<size_t>(i)] = ' ';
+    } else {
+      s[static_cast<size_t>(i)] = SampleWeighted(alphabet, kEnglishWeights,
+                                                 26, rng);  // letters only
+    }
+  }
+  return s;
+}
+
+std::string GenerateProtein(const Alphabet& alphabet, int length, Rng& rng) {
+  std::string s(static_cast<size_t>(length), 'A');
+  for (int i = 0; i < length; ++i) {
+    s[static_cast<size_t>(i)] =
+        SampleWeighted(alphabet, kProteinWeights, alphabet.size(), rng);
+  }
+  return s;
+}
+
+int SampleLength(const DatasetOptions& options, int lo, int hi, Rng& rng) {
+  if (options.kind == DatasetOptions::Kind::kNames) {
+    // Approximately normal within [lo, hi], like the dblp name lengths.
+    const double mean = (lo + hi) / 2.0 - (hi - lo) / 6.0;  // skew shortish
+    const double sd = (hi - lo) / 6.0;
+    const int len = static_cast<int>(std::lround(mean + sd * rng.Normal()));
+    return std::clamp(len, lo, hi);
+  }
+  return static_cast<int>(rng.UniformInt(lo, hi));
+}
+
+// Builds the pdf of one uncertain position the way the paper does: sample a
+// neighbourhood of strings within a small edit distance (substitutions keep
+// positions aligned), then normalize the letter frequencies observed at the
+// position.  `base` always participates, so it stays the likeliest symbol.
+std::vector<CharProb> MakeUncertainPosition(char base, const Alphabet& alphabet,
+                                            const int* weights, int weight_n,
+                                            int gamma, int neighbourhood,
+                                            Rng& rng) {
+  std::map<char, int> freq;
+  // The base string plus the unchanged neighbours dominate the frequency
+  // count; a neighbour substitutes this position with probability chosen so
+  // the expected number of alternatives tracks γ.
+  const int changed = std::max(
+      1, static_cast<int>(rng.UniformInt(gamma - 1, gamma + 1)));
+  freq[base] = std::max(1, neighbourhood - changed);
+  for (int n = 0; n < changed; ++n) {
+    const char c = SampleWeighted(alphabet, weights, weight_n, rng);
+    ++freq[c];
+  }
+  int total = 0;
+  for (const auto& [c, f] : freq) total += f;
+  std::vector<CharProb> alts;
+  alts.reserve(freq.size());
+  for (const auto& [c, f] : freq) {
+    alts.push_back(CharProb{c, static_cast<double>(f) / total});
+  }
+  return alts;
+}
+
+}  // namespace
+
+Alphabet AlphabetFor(DatasetOptions::Kind kind) {
+  return kind == DatasetOptions::Kind::kNames ? Alphabet::Names()
+                                              : Alphabet::Protein();
+}
+
+Dataset GenerateDataset(const DatasetOptions& options) {
+  UJOIN_CHECK(options.size >= 0);
+  UJOIN_CHECK(options.theta >= 0.0 && options.theta <= 1.0);
+  UJOIN_CHECK(options.gamma >= 2);
+  Dataset dataset{AlphabetFor(options.kind), {}};
+  const Alphabet& alphabet = dataset.alphabet;
+  const bool names = options.kind == DatasetOptions::Kind::kNames;
+  const int lo = options.min_length > 0 ? options.min_length : (names ? 10 : 20);
+  const int hi = options.max_length > 0 ? options.max_length : (names ? 35 : 45);
+  UJOIN_CHECK(lo >= 1 && lo <= hi);
+  const int* weights = names ? kEnglishWeights : kProteinWeights;
+  const int weight_n = names ? 26 : alphabet.size();
+
+  Rng rng(options.seed);
+  dataset.strings.reserve(static_cast<size_t>(options.size));
+  std::vector<std::string> bases;
+  bases.reserve(static_cast<size_t>(options.size));
+  for (int n = 0; n < options.size; ++n) {
+    std::string base;
+    if (!bases.empty() && rng.Bernoulli(options.similar_fraction)) {
+      // Near-duplicate of an earlier string: real corpora are join-rich
+      // because of name variants and homologous subsequences.
+      const std::string& origin =
+          bases[rng.Uniform(bases.size())];
+      base = origin;
+      const int edits =
+          static_cast<int>(rng.UniformInt(0, options.similar_max_edits));
+      for (int e = 0; e < edits && !base.empty(); ++e) {
+        const int op = static_cast<int>(rng.Uniform(3));
+        const size_t pos = rng.Uniform(base.size());
+        const char sub = SampleWeighted(alphabet, weights, weight_n, rng);
+        if (op == 0) {
+          base[pos] = sub;
+        } else if (op == 1 && static_cast<int>(base.size()) > lo) {
+          base.erase(pos, 1);
+        } else if (static_cast<int>(base.size()) < hi) {
+          base.insert(base.begin() + static_cast<ptrdiff_t>(pos), sub);
+        }
+      }
+    } else {
+      const int length = SampleLength(options, lo, hi, rng);
+      base = names ? GenerateName(alphabet, length, rng)
+                   : GenerateProtein(alphabet, length, rng);
+    }
+    bases.push_back(base);
+    const int length = static_cast<int>(base.size());
+    // Choose the uncertain positions: each position independently with
+    // probability θ, bounded by the optional cap.
+    UncertainString::Builder builder;
+    int uncertain_used = 0;
+    const int cap = options.max_uncertain_positions > 0
+                        ? options.max_uncertain_positions
+                        : length;
+    for (int i = 0; i < length; ++i) {
+      const char c = base[static_cast<size_t>(i)];
+      const bool make_uncertain =
+          uncertain_used < cap && c != ' ' && rng.Bernoulli(options.theta);
+      if (!make_uncertain) {
+        builder.AddCertain(c);
+        continue;
+      }
+      ++uncertain_used;
+      builder.AddUncertain(MakeUncertainPosition(
+          c, alphabet, weights, weight_n, options.gamma,
+          options.neighbourhood_size, rng));
+    }
+    Result<UncertainString> s = builder.Build();
+    UJOIN_CHECK(s.ok());
+    dataset.strings.push_back(std::move(s).value());
+  }
+  return dataset;
+}
+
+UncertainString AppendSelf(const UncertainString& s, int times) {
+  UncertainString out = s;
+  for (int t = 0; t < times; ++t) out = UncertainString::Concat(out, s);
+  return out;
+}
+
+UncertainString CapUncertainPositions(const UncertainString& s,
+                                      int max_uncertain) {
+  if (s.NumUncertainPositions() <= max_uncertain) return s;
+  UncertainString::Builder builder;
+  int used = 0;
+  for (int i = 0; i < s.length(); ++i) {
+    if (s.IsCertain(i)) {
+      builder.AddCertain(s.AlternativesAt(i)[0].symbol);
+      continue;
+    }
+    if (used < max_uncertain) {
+      ++used;
+      auto alts = s.AlternativesAt(i);
+      builder.AddUncertain(std::vector<CharProb>(alts.begin(), alts.end()));
+    } else {
+      builder.AddCertain(s.MostLikelySymbol(i));
+    }
+  }
+  Result<UncertainString> out = builder.Build();
+  UJOIN_CHECK(out.ok());
+  return std::move(out).value();
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  for (const UncertainString& s : dataset.strings) {
+    out << s.ToString() << '\n';
+  }
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<std::vector<UncertainString>> LoadDataset(const std::string& path,
+                                                 const Alphabet& alphabet) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::vector<UncertainString> strings;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<UncertainString> s = UncertainString::Parse(line, alphabet);
+    if (!s.ok()) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                     s.status().message());
+    }
+    strings.push_back(std::move(s).value());
+  }
+  return strings;
+}
+
+}  // namespace ujoin

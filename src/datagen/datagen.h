@@ -1,0 +1,87 @@
+#ifndef UJOIN_DATAGEN_DATAGEN_H_
+#define UJOIN_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/alphabet.h"
+#include "text/uncertain_string.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief Synthetic workloads mirroring the paper's two data sources
+/// (Section 7).
+///
+/// The paper derives character-level uncertain strings from real corpora by
+/// sampling a neighbourhood A(s) of strings within edit distance 4 of each
+/// base string s and turning per-position letter frequencies into pdfs.  We
+/// reproduce the procedure on generated base strings: substitution
+/// neighbourhoods yield per-position letter frequency pdfs with the same θ
+/// (fraction of uncertain positions) and γ (mean number of alternatives)
+/// knobs.  See DESIGN.md for the substitution rationale.
+struct DatasetOptions {
+  enum class Kind {
+    kNames,    ///< dblp-like author names, |Σ| = 27, ~normal lengths [10,35]
+    kProtein,  ///< protein-like sequences, |Σ| = 22, uniform lengths [20,45]
+  };
+
+  Kind kind = Kind::kNames;
+  int size = 1000;      ///< number of strings
+  double theta = 0.2;   ///< fraction of uncertain positions per string
+  int gamma = 5;        ///< mean number of alternatives per uncertain position
+  uint64_t seed = 42;   ///< RNG seed: identical options => identical dataset
+
+  /// Length bounds; negative values pick the paper's defaults for `kind`
+  /// (names: [10, 35]; protein: [20, 45]).
+  int min_length = -1;
+  int max_length = -1;
+
+  /// Neighbourhood size used to derive per-position pdfs.
+  int neighbourhood_size = 16;
+
+  /// Fraction of strings generated as near-duplicates of an earlier base
+  /// string (at most `similar_max_edits` random edits away), mimicking the
+  /// name variants / homologous subsequences that make real dblp and
+  /// protein corpora join-rich.  0 disables cluster planting.
+  double similar_fraction = 0.35;
+  int similar_max_edits = 2;
+
+  /// Cap on uncertain positions per string (Figure 9 caps this at 8);
+  /// <= 0 means unlimited.
+  int max_uncertain_positions = 0;
+};
+
+/// \brief A generated collection plus its alphabet.
+struct Dataset {
+  Alphabet alphabet;
+  std::vector<UncertainString> strings;
+};
+
+/// Generates a dataset; deterministic in `options.seed`.
+Dataset GenerateDataset(const DatasetOptions& options);
+
+/// The alphabet a dataset kind uses (Names() or Protein()).
+Alphabet AlphabetFor(DatasetOptions::Kind kind);
+
+/// Appends `s` to itself `times` times (the Figure 9 length workload).
+UncertainString AppendSelf(const UncertainString& s, int times);
+
+/// Returns `s` with at most `max_uncertain` uncertain positions: every
+/// later uncertain position is collapsed to its most likely symbol
+/// (Figure 9 limits strings to 8 probabilistic characters this way).
+UncertainString CapUncertainPositions(const UncertainString& s,
+                                      int max_uncertain);
+
+/// Writes one string per line in the paper's `A{(C,0.5),...}A` notation.
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset.
+Result<std::vector<UncertainString>> LoadDataset(const std::string& path,
+                                                 const Alphabet& alphabet);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_DATAGEN_DATAGEN_H_

@@ -1,0 +1,90 @@
+#include "eed/eed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "text/edit_distance.h"
+#include "text/possible_worlds.h"
+#include "util/check.h"
+#include "util/math_util.h"
+#include "util/timer.h"
+
+namespace ujoin {
+
+Result<double> ExpectedEditDistance(const UncertainString& r,
+                                    const UncertainString& s,
+                                    int64_t max_world_pairs) {
+  const int64_t pairs = SaturatingMul(r.WorldCount(), s.WorldCount());
+  if (pairs > max_world_pairs) {
+    return Status::ResourceExhausted(
+        "eed over " + std::to_string(pairs) + " world pairs exceeds cap of " +
+        std::to_string(max_world_pairs));
+  }
+  double total = 0.0;
+  ForEachWorld(r, [&](const std::string& ri, double pi) {
+    ForEachWorld(s, [&](const std::string& sj, double pj) {
+      total += pi * pj * static_cast<double>(EditDistance(ri, sj));
+    });
+  });
+  return total;
+}
+
+Result<EedJoinResult> EedSelfJoin(
+    const std::vector<UncertainString>& collection,
+    const EedJoinOptions& options) {
+  EedJoinResult result;
+  Timer timer;
+  std::vector<uint32_t> order(collection.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return collection[a].length() < collection[b].length();
+  });
+  const int max_gap = static_cast<int>(std::floor(options.threshold));
+  for (size_t i = 0; i < order.size(); ++i) {
+    const UncertainString& r = collection[order[i]];
+    for (size_t j = i; j-- > 0;) {
+      const UncertainString& s = collection[order[j]];
+      if (r.length() - s.length() > max_gap) break;  // eed >= |ΔL|
+      ++result.pairs_evaluated;
+      Result<double> eed =
+          ExpectedEditDistance(r, s, options.max_world_pairs);
+      if (!eed.ok()) return eed.status();
+      if (eed.value() <= options.threshold) {
+        uint32_t a = order[i];
+        uint32_t b = order[j];
+        if (a > b) std::swap(a, b);
+        result.pairs.push_back(EedJoinPair{a, b, eed.value()});
+      }
+    }
+  }
+  std::sort(result.pairs.begin(), result.pairs.end(),
+            [](const EedJoinPair& a, const EedJoinPair& b) {
+              return a.lhs != b.lhs ? a.lhs < b.lhs : a.rhs < b.rhs;
+            });
+  result.total_time = timer.ElapsedSeconds();
+  return result;
+}
+
+Status OverlappingQGramIndex::Insert(uint32_t id, const UncertainString& s,
+                                     int64_t max_instances_per_window) {
+  constexpr size_t kMapNodeOverhead = 64;
+  if (s.length() < q_) return Status::OK();
+  for (int pos = 0; pos + q_ <= s.length(); ++pos) {
+    const UncertainString window = s.Substring(pos, q_);
+    if (window.WorldCount() > max_instances_per_window) continue;
+    ForEachWorld(window, [&](const std::string& instance, double prob) {
+      auto [it, inserted] = lists_.try_emplace(instance);
+      if (inserted) {
+        memory_bytes_ += instance.size() + sizeof(std::string) +
+                         sizeof(std::vector<Posting>) + kMapNodeOverhead;
+      }
+      it->second.push_back(Posting{id, pos, prob});
+      memory_bytes_ += sizeof(Posting);
+      ++num_postings_;
+    });
+  }
+  return Status::OK();
+}
+
+}  // namespace ujoin

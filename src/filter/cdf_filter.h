@@ -1,0 +1,48 @@
+#ifndef UJOIN_FILTER_CDF_FILTER_H_
+#define UJOIN_FILTER_CDF_FILTER_H_
+
+#include <vector>
+
+#include "text/uncertain_string.h"
+
+namespace ujoin {
+
+/// \brief Lower and upper bounds on the edit-distance CDF of a string pair:
+/// lower[j] <= Pr(ed(R, S) <= j) <= upper[j] for j = 0..k.
+struct CdfBounds {
+  std::vector<double> lower;
+  std::vector<double> upper;
+};
+
+/// \brief Three-way decision of the CDF filter at threshold τ.
+enum class CdfDecision {
+  kAccept,     ///< lower[k] > τ: the pair is a result, no verification needed
+  kReject,     ///< upper[k] <= τ: the pair cannot be a result
+  kUndecided,  ///< bounds straddle τ: exact verification required
+};
+
+/// Computes Theorem 4's CDF bounds with the banded dynamic program of
+/// Section 6.1: each in-band cell (x, y) carries k+1 (L[j], U[j]) pairs
+/// bounding Pr(ed(R[1..x], S[1..y]) <= j); cells with |x - y| > k are
+/// identically zero.  O(min(|R|,|S|) · (k+1) · max(k, γ)) time.
+///
+/// These are the paper's corrected bounds: the bounds of Ge & Li [6] are
+/// invalid when both strings are uncertain (footnote 1 of the paper).
+CdfBounds ComputeCdfBounds(const UncertainString& r, const UncertainString& s,
+                           int k);
+
+/// Applies the bounds at threshold τ.
+CdfDecision DecideWithCdfBounds(const CdfBounds& bounds, int k, double tau);
+
+/// Convenience: bounds + decision in one call.
+struct CdfFilterOutcome {
+  CdfBounds bounds;
+  CdfDecision decision;
+};
+CdfFilterOutcome EvaluateCdfFilter(const UncertainString& r,
+                                   const UncertainString& s, int k,
+                                   double tau);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_FILTER_CDF_FILTER_H_

@@ -1,0 +1,36 @@
+#include "filter/event_dp.h"
+
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace ujoin {
+
+std::vector<double> EventCountDistribution(std::span<const double> alphas) {
+  std::vector<double> dist(alphas.size() + 1, 0.0);
+  dist[0] = 1.0;
+  int upto = 0;
+  for (double alpha : alphas) {
+    UJOIN_DCHECK(alpha >= 0.0 && alpha <= 1.0);
+    ++upto;
+    for (int j = upto; j >= 1; --j) {
+      dist[static_cast<size_t>(j)] =
+          alpha * dist[static_cast<size_t>(j - 1)] +
+          (1.0 - alpha) * dist[static_cast<size_t>(j)];
+    }
+    dist[0] *= (1.0 - alpha);
+  }
+  return dist;
+}
+
+double ProbAtLeastEvents(std::span<const double> alphas, int min_count) {
+  if (min_count <= 0) return 1.0;
+  if (min_count > static_cast<int>(alphas.size())) return 0.0;
+  const std::vector<double> dist = EventCountDistribution(alphas);
+  double p = 0.0;
+  for (size_t y = static_cast<size_t>(min_count); y < dist.size(); ++y) {
+    p += dist[y];
+  }
+  return ClampProb(p);
+}
+
+}  // namespace ujoin

@@ -1,0 +1,26 @@
+#ifndef UJOIN_FILTER_EVENT_DP_H_
+#define UJOIN_FILTER_EVENT_DP_H_
+
+#include <span>
+#include <vector>
+
+namespace ujoin {
+
+/// Distribution of the number of successes among independent Bernoulli
+/// events with probabilities `alphas` (the Poisson-binomial distribution).
+/// Entry y of the result is Pr(exactly y events happen); size is m + 1.
+///
+/// This is the dynamic program of Section 3.1:
+///   Pr(i, j) = α_i · Pr(i-1, j-1) + (1 - α_i) · Pr(i-1, j),
+/// run in O(m²) (one rolling row).
+std::vector<double> EventCountDistribution(std::span<const double> alphas);
+
+/// Pr(at least `min_count` of the independent events happen).  This is the
+/// upper bound of Theorems 1 and 2 when called with the segment-match
+/// probabilities α_x and min_count = m - k; for m = k + 1 it coincides with
+/// the closed form 1 - Π(1 - α_x) of Lemmas 3 and 5.
+double ProbAtLeastEvents(std::span<const double> alphas, int min_count);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_FILTER_EVENT_DP_H_

@@ -1,0 +1,105 @@
+#ifndef UJOIN_FILTER_FREQ_FILTER_H_
+#define UJOIN_FILTER_FREQ_FILTER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "text/alphabet.h"
+#include "text/uncertain_string.h"
+
+namespace ujoin {
+
+/// \brief Frequency statistics of one alphabet symbol c_i in an uncertain
+/// string (Section 5).
+///
+/// The symbol occurs at `certain_count` positions with probability 1 (f^c)
+/// and may occur at `uncertain_count` further positions (f^u); its total
+/// count is f^c plus a Poisson-binomial variable over the uncertain
+/// positions.  The four precomputed arrays are the paper's S1..S4:
+///   pmf[x]         = Pr(x uncertain occurrences)                     (S1)
+///   tail[x]        = Pr(at least x uncertain occurrences)            (S2)
+///   scaled_tail[x] = Σ_{y>=x} (y - x + 1) · pmf[y]                   (S3)
+///   scaled_head[x] = Σ_{y<=x} (x - y) · pmf[y]                       (S4)
+/// All are O(f^u) space and built in O((f^u)²) time (pmf) + O(f^u) (rest).
+struct CharFrequencySummary {
+  int certain_count = 0;
+  int uncertain_count = 0;
+  double expected = 0.0;  ///< E[f] = f^c + Σ y · pmf[y]
+  std::vector<double> pmf;
+  std::vector<double> tail;
+  std::vector<double> scaled_tail;
+  std::vector<double> scaled_head;
+
+  int max_count() const { return certain_count + uncertain_count; }
+
+  /// E[(f - a)+]: expected surplus of this symbol's count over `a`.
+  double ExpectedExcessOver(int a) const;
+
+  /// E[(a - f)+]: expected deficit of this symbol's count below `a`.
+  double ExpectedDeficitBelow(int a) const;
+};
+
+/// \brief Per-string frequency side-structure kept in the join index so the
+/// frequency filter runs in O(σ · θ · (|R| + |S|)) per candidate pair.
+class FrequencySummary {
+ public:
+  /// Builds summaries for every symbol of `alphabet` appearing in `s`.
+  /// Symbols of `s` outside the alphabet are a programming error (checked).
+  static FrequencySummary Build(const UncertainString& s,
+                                const Alphabet& alphabet);
+
+  int length() const { return length_; }
+  int alphabet_size() const { return static_cast<int>(chars_.size()); }
+  const CharFrequencySummary& ForSymbol(int index) const {
+    return chars_[static_cast<size_t>(index)];
+  }
+
+  /// Approximate heap footprint, for index memory accounting.
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<CharFrequencySummary> chars_;
+  int length_ = 0;
+};
+
+/// E[(a - b)+] for the independent per-symbol counts described by two
+/// summaries, computed in O(min(f^u_a, f^u_b)) using the identity
+/// E[(a-b)+] = E[a] - E[b] + E[(b-a)+].
+double ExpectedPositivePart(const CharFrequencySummary& a,
+                            const CharFrequencySummary& b);
+
+/// Lemma 6: a lower bound on fd(R, S) that holds in *every* possible world.
+/// Pairs with bound > k cannot satisfy ed(R, S) <= k in any world.
+int FreqDistanceLowerBound(const FrequencySummary& r,
+                           const FrequencySummary& s);
+
+/// E[pD] and E[nD] over all possible worlds (Section 5).
+struct ExpectedFreqDistances {
+  double pos;  ///< E[pD] = Σ_i E[(fR_i - fS_i)+]
+  double neg;  ///< E[nD] = Σ_i E[(fS_i - fR_i)+]
+};
+ExpectedFreqDistances ExpectedFreqDistance(const FrequencySummary& r,
+                                           const FrequencySummary& s);
+
+/// Theorem 3: one-sided-Chebyshev upper bound on
+/// Pr(ed(R,S) <= k) <= Pr(fd(R,S) <= k).  Returns 1 when the inequality's
+/// precondition (A > k) fails, i.e. the bound never over-prunes there.
+double FreqChebyshevBound(const FrequencySummary& r, const FrequencySummary& s,
+                          int k);
+
+/// \brief Combined outcome of the frequency-distance filter for a pair.
+struct FreqFilterOutcome {
+  int fd_lower_bound = 0;    ///< Lemma 6
+  double upper_bound = 1.0;  ///< Theorem 3
+
+  bool Survives(int k, double tau) const {
+    return fd_lower_bound <= k && upper_bound > tau;
+  }
+};
+
+FreqFilterOutcome EvaluateFreqFilter(const FrequencySummary& r,
+                                     const FrequencySummary& s, int k);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_FILTER_FREQ_FILTER_H_

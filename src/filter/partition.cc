@@ -1,0 +1,31 @@
+#include "filter/partition.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ujoin {
+
+int SegmentCount(int len, int k, int q) {
+  UJOIN_CHECK(len >= 1 && k >= 0 && q >= 1);
+  const int m = std::max(k + 1, len / q);
+  return std::min(m, len);
+}
+
+std::vector<Segment> EvenPartition(int len, int m) {
+  UJOIN_CHECK(m >= 1 && m <= len);
+  const int base = len / m;
+  const int longer = len % m;  // the last `longer` segments get base + 1
+  std::vector<Segment> segments;
+  segments.reserve(static_cast<size_t>(m));
+  int start = 0;
+  for (int x = 0; x < m; ++x) {
+    const int length = base + (x >= m - longer ? 1 : 0);
+    segments.push_back(Segment{start, length});
+    start += length;
+  }
+  UJOIN_DCHECK(start == len);
+  return segments;
+}
+
+}  // namespace ujoin

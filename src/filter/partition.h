@@ -1,0 +1,43 @@
+#ifndef UJOIN_FILTER_PARTITION_H_
+#define UJOIN_FILTER_PARTITION_H_
+
+#include <vector>
+
+#include "text/uncertain_string.h"
+
+namespace ujoin {
+
+/// \brief One disjoint segment of a partitioned string (0-based half-open
+/// start, inclusive length).
+struct Segment {
+  int start;
+  int length;
+
+  int end() const { return start + length; }  // one past the last position
+
+  friend bool operator==(const Segment& a, const Segment& b) {
+    return a.start == b.start && a.length == b.length;
+  }
+};
+
+/// Number of segments the paper's scheme uses for a string of length `len`
+/// with q-gram length `q` and edit threshold `k` (Section 4):
+/// m = max(k + 1, ⌊len / q⌋), clamped so every segment is non-empty
+/// (m <= len).  Requires len >= 1.
+int SegmentCount(int len, int k, int q);
+
+/// Even-partition scheme (Section 4, following Pass-Join): splits a string
+/// of length `len` into `m` disjoint covering segments where the *last*
+/// (len mod m) segments are one character longer than the rest.  With
+/// m = ⌊len/q⌋ this yields segments of length q and q+1 exactly as the paper
+/// describes.  Requires 1 <= m <= len.
+std::vector<Segment> EvenPartition(int len, int m);
+
+/// Convenience: partition positions for (len, k, q) per the paper's rule.
+inline std::vector<Segment> PartitionForJoin(int len, int k, int q) {
+  return EvenPartition(len, SegmentCount(len, k, q));
+}
+
+}  // namespace ujoin
+
+#endif  // UJOIN_FILTER_PARTITION_H_

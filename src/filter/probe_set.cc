@@ -1,0 +1,149 @@
+#include "filter/probe_set.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "text/possible_worlds.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace ujoin {
+
+double GroupedOccurrenceProbability(
+    const UncertainString& r, std::string_view w,
+    std::span<const ProbeOccurrence> occurrences) {
+  const int q = static_cast<int>(w.size());
+  double none_prob = 1.0;  // Π (1 - p(g_i)) over completed groups
+  size_t i = 0;
+  while (i < occurrences.size()) {
+    // One maximal run of pairwise-consecutive overlapping occurrences:
+    // Section 3.2's Step 1.  β accumulates the union probability by adding
+    // each occurrence and taking out its intersection with the previous one
+    // ("the probability of its overlap").  The intersection of occurrences
+    // at ps_{j-1} and ps_j exists only when w's suffix of the overlap
+    // length equals its prefix, in which case the two occurrences pin R to
+    // the merged pattern: P(A_{j-1} ∩ A_j) = P(A_{j-1}) · Pr(w's tail
+    // beyond the overlap matches R after it).  (The formula as printed in
+    // the paper subtracts the un-scaled overlap term; it reproduces the
+    // paper's worked example but turns negative on simple inputs, so we use
+    // the exact pairwise intersection — see DESIGN.md.)
+    double beta = occurrences[i].prob;
+    size_t j = i + 1;
+    for (; j < occurrences.size();
+         ++j) {
+      const int prev_start = occurrences[j - 1].start;
+      const int y = occurrences[j].start;
+      const int z = prev_start + q - 1;  // last position of the previous occ
+      if (y > z) break;                  // no overlap: the run ends
+      const int overlap_len = z - y + 1;
+      UJOIN_DCHECK(overlap_len >= 1 && overlap_len < q);
+      double intersection = 0.0;
+      const std::string_view prefix =
+          w.substr(0, static_cast<size_t>(overlap_len));
+      const std::string_view suffix =
+          w.substr(static_cast<size_t>(q - overlap_len));
+      if (prefix == suffix) {
+        intersection =
+            occurrences[j - 1].prob *
+            MatchProbabilityAt(w.substr(static_cast<size_t>(overlap_len)), r,
+                               z + 1);
+      }
+      beta += occurrences[j].prob - intersection;
+    }
+    none_prob *= 1.0 - ClampProb(beta);
+    i = j;
+  }
+  return ClampProb(1.0 - none_prob);
+}
+
+Result<double> ExactOccurrenceProbability(const UncertainString& r,
+                                          std::string_view w,
+                                          std::span<const int> starts,
+                                          int64_t max_worlds) {
+  if (starts.empty()) return 0.0;
+  const int q = static_cast<int>(w.size());
+  const int region_lo = starts.front();
+  const int region_hi = starts.back() + q;  // exclusive
+  UJOIN_CHECK(region_lo >= 0 && region_hi <= r.length());
+  const UncertainString region = r.Substring(region_lo, region_hi - region_lo);
+  if (region.WorldCount() > max_worlds) {
+    return Status::ResourceExhausted(
+        "covering region has too many possible worlds");
+  }
+  double p = 0.0;
+  ForEachWorld(region, [&](const std::string& instance, double prob) {
+    for (int start : starts) {
+      const size_t offset = static_cast<size_t>(start - region_lo);
+      if (std::string_view(instance).substr(offset, w.size()) == w) {
+        p += prob;
+        return;
+      }
+    }
+  });
+  return ClampProb(p);
+}
+
+Result<std::vector<ProbeSubstring>> BuildProbeSet(
+    const UncertainString& r, int s_len, const Segment& seg, int k,
+    const ProbeSetOptions& options) {
+  const SelectionWindow window =
+      SelectSubstringWindow(r.length(), s_len, seg, k, options.selection);
+  std::vector<ProbeSubstring> out;
+  if (window.empty()) return out;
+
+  // Enumerate instances per admissible start, then sort-and-group by
+  // instance text (cheaper than a node-based map for the short-lived,
+  // small-entry sets this produces).  Ties sort by start, so each group's
+  // occurrence list ends up ordered by position as the grouping
+  // probability requires.
+  struct Occurrence {
+    std::string text;
+    int start;
+    double prob;
+  };
+  std::vector<Occurrence> occurrences;
+  for (int start = window.lo; start <= window.hi; ++start) {
+    const UncertainString sub = r.Substring(start, seg.length);
+    if (sub.WorldCount() > options.max_instances_per_window) {
+      return Status::ResourceExhausted(
+          "substring window at position " + std::to_string(start) + " has " +
+          std::to_string(sub.WorldCount()) + " instances (cap " +
+          std::to_string(options.max_instances_per_window) + ")");
+    }
+    ForEachWorld(sub, [&](const std::string& instance, double prob) {
+      occurrences.push_back(Occurrence{instance, start, prob});
+    });
+  }
+  std::sort(occurrences.begin(), occurrences.end(),
+            [](const Occurrence& a, const Occurrence& b) {
+              if (a.text != b.text) return a.text < b.text;
+              return a.start < b.start;
+            });
+
+  std::vector<ProbeOccurrence> group;
+  for (size_t i = 0; i < occurrences.size();) {
+    size_t j = i;
+    group.clear();
+    while (j < occurrences.size() && occurrences[j].text == occurrences[i].text) {
+      group.push_back(ProbeOccurrence{occurrences[j].start,
+                                      occurrences[j].prob});
+      ++j;
+    }
+    const std::string& text = occurrences[i].text;
+    double prob = -1.0;
+    if (options.exact_union_probability) {
+      std::vector<int> starts;
+      starts.reserve(group.size());
+      for (const ProbeOccurrence& occ : group) starts.push_back(occ.start);
+      Result<double> exact = ExactOccurrenceProbability(
+          r, text, starts, options.max_instances_per_window);
+      if (exact.ok()) prob = exact.value();
+    }
+    if (prob < 0.0) prob = GroupedOccurrenceProbability(r, text, group);
+    if (prob > 0.0) out.push_back(ProbeSubstring{text, prob});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace ujoin

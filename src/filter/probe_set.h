@@ -1,0 +1,78 @@
+#ifndef UJOIN_FILTER_PROBE_SET_H_
+#define UJOIN_FILTER_PROBE_SET_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "filter/partition.h"
+#include "filter/selection.h"
+#include "text/uncertain_string.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief An element of the equivalent deterministic probe set q(r, x):
+/// a distinct deterministic substring together with the probability that it
+/// occurs at one or more admissible start positions of R.
+struct ProbeSubstring {
+  std::string text;
+  double prob;
+};
+
+/// \brief One occurrence of a deterministic substring inside R.
+struct ProbeOccurrence {
+  int start;    // 0-based start position in R
+  double prob;  // Pr(w = R[start .. start+|w|-1])
+};
+
+/// \brief Knobs for probe-set construction.
+struct ProbeSetOptions {
+  /// Cap on the possible instances enumerated per substring window; guards
+  /// against pathological uncertainty blow-up (|q(r,x)| grows like γ^(θq)).
+  int64_t max_instances_per_window = 1 << 14;
+
+  /// Substring selection window (see SelectionPolicy).
+  SelectionPolicy selection = SelectionPolicy::kPositional;
+
+  /// When true, union probabilities over overlapping occurrences are computed
+  /// exactly by enumerating the worlds of the covering region instead of the
+  /// paper's overlap-grouping recursion (Section 3.2 Steps 1-2).  Exact mode
+  /// falls back to the recursion when the region has too many worlds.
+  bool exact_union_probability = false;
+};
+
+/// Union probability that `w` occurs at at least one of `occurrences` in R,
+/// computed with the paper's two-step overlap grouping (Section 3.2):
+/// occurrences are grouped into maximal overlapping runs, each run's
+/// probability follows the β-recursion
+///   β_j = β_{j-1} + Pr(w at ps_j) - Pr(w[0..ov-1] = R[y..z]),
+/// and runs combine independently as 1 - Π(1 - p(g_i)).  Occurrences must be
+/// sorted by start position.
+double GroupedOccurrenceProbability(const UncertainString& r,
+                                    std::string_view w,
+                                    std::span<const ProbeOccurrence> occurrences);
+
+/// Exact union probability that `w` occurs at at least one of `starts` in R,
+/// by enumerating the possible worlds of the covering region.  Fails with
+/// ResourceExhausted when the region exceeds `max_worlds` worlds.
+Result<double> ExactOccurrenceProbability(const UncertainString& r,
+                                          std::string_view w,
+                                          std::span<const int> starts,
+                                          int64_t max_worlds = 1 << 20);
+
+/// Builds the equivalent deterministic probe set q(r, x) for segment `seg`
+/// of an indexed string of length `s_len` (Sections 3.1–3.2): enumerates the
+/// instances of every admissible uncertain substring of R (position-aware
+/// selection window), merges duplicate instances across start positions, and
+/// assigns each distinct substring its union occurrence probability.
+///
+/// Entries are sorted by substring text; probabilities lie in (0, 1].
+Result<std::vector<ProbeSubstring>> BuildProbeSet(
+    const UncertainString& r, int s_len, const Segment& seg, int k,
+    const ProbeSetOptions& options = {});
+
+}  // namespace ujoin
+
+#endif  // UJOIN_FILTER_PROBE_SET_H_

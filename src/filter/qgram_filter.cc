@@ -1,0 +1,56 @@
+#include "filter/qgram_filter.h"
+
+#include "filter/event_dp.h"
+#include "util/math_util.h"
+
+namespace ujoin {
+
+double SegmentMatchProbability(const std::vector<ProbeSubstring>& probe_set,
+                               const UncertainString& segment) {
+  double alpha = 0.0;
+  for (const ProbeSubstring& probe : probe_set) {
+    alpha += probe.prob * MatchProbability(probe.text, segment);
+  }
+  return ClampProb(alpha);
+}
+
+Result<QGramFilterOutcome> EvaluateQGramFilter(const UncertainString& r,
+                                               const UncertainString& s,
+                                               const QGramOptions& options) {
+  QGramFilterOutcome out;
+  if (s.empty()) {
+    // ed(R, S) = |R| with certainty; no segments to match.
+    out.upper_bound = r.length() <= options.k ? 1.0 : 0.0;
+    out.support_pruned = r.length() > options.k;
+    return out;
+  }
+  const std::vector<Segment> segments =
+      PartitionForJoin(s.length(), options.k, options.q);
+  out.m = static_cast<int>(segments.size());
+  out.required_segments = out.m - options.k;
+  out.alphas.reserve(segments.size());
+  for (const Segment& seg : segments) {
+    Result<std::vector<ProbeSubstring>> probe_set =
+        BuildProbeSet(r, s.length(), seg, options.k, options.probe);
+    if (!probe_set.ok()) {
+      // Instance blow-up: treat the segment as matched with certainty, which
+      // keeps the filter conservative (it can only under-prune).
+      out.alphas.push_back(1.0);
+      ++out.matched_segments;
+      continue;
+    }
+    const double alpha =
+        SegmentMatchProbability(probe_set.value(), s.Substring(seg.start, seg.length));
+    out.alphas.push_back(alpha);
+    if (alpha > 0.0) ++out.matched_segments;
+  }
+  if (out.matched_segments < out.required_segments) {
+    out.support_pruned = true;  // Lemma 4: Pr(ed(R,S) <= k) = 0
+    out.upper_bound = 0.0;
+    return out;
+  }
+  out.upper_bound = ProbAtLeastEvents(out.alphas, out.required_segments);
+  return out;
+}
+
+}  // namespace ujoin

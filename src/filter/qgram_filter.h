@@ -1,0 +1,60 @@
+#ifndef UJOIN_FILTER_QGRAM_FILTER_H_
+#define UJOIN_FILTER_QGRAM_FILTER_H_
+
+#include <vector>
+
+#include "filter/partition.h"
+#include "filter/probe_set.h"
+#include "text/uncertain_string.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief Parameters of the q-gram filter (and of the join that hosts it).
+struct QGramOptions {
+  int k = 2;  ///< edit-distance threshold
+  int q = 3;  ///< target segment length (m = max(k+1, |S|/q) segments)
+  ProbeSetOptions probe;
+};
+
+/// \brief Everything the q-gram filter learns about a candidate pair (R, S).
+struct QGramFilterOutcome {
+  /// Number of segments S was partitioned into.
+  int m = 0;
+  /// Segments that R matches with positive probability (α_x > 0).
+  int matched_segments = 0;
+  /// Minimum matches required by Lemmas 2/4: m - k (<= 0 disables pruning).
+  int required_segments = 0;
+  /// Per-segment match probabilities α_x (Sections 3.1–3.2).
+  std::vector<double> alphas;
+  /// Theorem 2 upper bound on Pr(ed(R, S) <= k): the probability that at
+  /// least m - k segments of S match R.
+  double upper_bound = 1.0;
+  /// True when the support-level necessary condition failed
+  /// (matched_segments < required_segments), which prunes the pair outright.
+  bool support_pruned = false;
+
+  /// True when the pair survives given probability threshold tau.
+  bool Survives(double tau) const {
+    return !support_pruned && upper_bound > tau;
+  }
+};
+
+/// Evaluates the q-gram filter for the pair (R, S) directly, without an
+/// index: partitions S, builds the probe sets q(r, x), computes each
+/// α_x = Σ_w p_r(w) · Pr(w = S^x), and runs the event DP of Theorem 2.
+///
+/// The indexed join (src/index) computes the same α_x values from inverted
+/// lists; this pair-level form backs tests, benches and the paper's Table 1.
+Result<QGramFilterOutcome> EvaluateQGramFilter(const UncertainString& r,
+                                               const UncertainString& s,
+                                               const QGramOptions& options);
+
+/// α_x for one segment: probability that some substring in the probe set
+/// matches the (uncertain) segment S^x.
+double SegmentMatchProbability(const std::vector<ProbeSubstring>& probe_set,
+                               const UncertainString& segment);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_FILTER_QGRAM_FILTER_H_

@@ -1,0 +1,28 @@
+#include "filter/selection.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ujoin {
+
+SelectionWindow SelectSubstringWindow(int r_len, int s_len, const Segment& seg,
+                                      int k, SelectionPolicy policy) {
+  const int delta = r_len - s_len;
+  if (std::abs(delta) > k) return SelectionWindow{0, -1};
+  int lo, hi;
+  if (policy == SelectionPolicy::kPositional) {
+    lo = seg.start - k;
+    hi = seg.start + k;
+  } else {
+    // Admissible shifts d of the segment's start satisfy |d| + |Δ - d| <= k:
+    // the interval [min(0,Δ), max(0,Δ)] widened by ⌊(k - |Δ|)/2⌋ both ways.
+    const int slack = (k - std::abs(delta)) / 2;
+    lo = seg.start + std::min(0, delta) - slack;
+    hi = seg.start + std::max(0, delta) + slack;
+  }
+  lo = std::max(lo, 0);
+  hi = std::min(hi, r_len - seg.length);
+  return SelectionWindow{lo, hi};
+}
+
+}  // namespace ujoin

@@ -1,0 +1,373 @@
+#include "index/segment_index.h"
+
+#include <algorithm>
+
+#include "filter/event_dp.h"
+#include "text/possible_worlds.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace ujoin {
+
+namespace {
+
+// Rough per-entry overhead of an unordered_map node with a std::string key;
+// used for the peak-memory accounting of Figure 7.
+constexpr size_t kMapNodeOverhead = 64;
+
+// A merged per-segment list entry: string id and its α_x.
+struct MergedEntry {
+  uint32_t id;
+  double alpha;
+};
+
+}  // namespace
+
+LengthBucketIndex::LengthBucketIndex(int length, int k, int q)
+    : length_(length), segments_(PartitionForJoin(length, k, q)) {
+  lists_.resize(segments_.size());
+  wildcard_ids_.resize(segments_.size());
+}
+
+Status LengthBucketIndex::Insert(uint32_t id, const UncertainString& s,
+                                 int64_t max_instances_per_segment) {
+  if (s.length() != length_) {
+    return Status::InvalidArgument("string length " +
+                                   std::to_string(s.length()) +
+                                   " does not match bucket length " +
+                                   std::to_string(length_));
+  }
+  if (!ids_.empty() && ids_.back() >= id) {
+    return Status::FailedPrecondition(
+        "ids must be inserted in increasing order to keep lists sorted");
+  }
+  ids_.push_back(id);
+  memory_bytes_ += sizeof(uint32_t);
+  for (size_t x = 0; x < segments_.size(); ++x) {
+    const Segment& seg = segments_[x];
+    const UncertainString sub = s.Substring(seg.start, seg.length);
+    if (sub.WorldCount() > max_instances_per_segment) {
+      // Too many instances to enumerate: record a wildcard so queries treat
+      // this segment as matched with certainty (conservative, never unsafe).
+      wildcard_ids_[x].push_back(id);
+      memory_bytes_ += sizeof(uint32_t);
+      continue;
+    }
+    ForEachWorld(sub, [&](const std::string& instance, double prob) {
+      auto [it, inserted] = lists_[x].try_emplace(instance);
+      if (inserted) {
+        memory_bytes_ += instance.size() + sizeof(std::string) +
+                         sizeof(std::vector<Posting>) + kMapNodeOverhead;
+      }
+      it->second.push_back(Posting{id, prob});
+      memory_bytes_ += sizeof(Posting);
+      ++num_postings_;
+    });
+  }
+  return Status::OK();
+}
+
+const std::vector<Posting>* LengthBucketIndex::Find(int x,
+                                                    std::string_view w) const {
+  const InvertedMap& map = lists_[static_cast<size_t>(x)];
+  auto it = map.find(std::string(w));
+  if (it == map.end()) return nullptr;
+  return &it->second;
+}
+
+std::vector<IndexCandidate> LengthBucketIndex::QueryCandidates(
+    const std::vector<std::vector<ProbeSubstring>>& probe_sets,
+    const std::vector<bool>& wildcard_segments, int k, double tau,
+    IndexQueryStats* stats) const {
+  const int m = num_segments();
+  const int required = m - k;
+  UJOIN_CHECK(static_cast<int>(probe_sets.size()) == m);
+  UJOIN_CHECK(static_cast<int>(wildcard_segments.size()) == m);
+
+  std::vector<IndexCandidate> candidates;
+  if (ids_.empty()) return candidates;
+  if (required <= 0) {
+    // Lemma 5 cannot prune and Theorem 2's bound degenerates to 1: every
+    // indexed string is a candidate (short strings relative to k).
+    candidates.reserve(ids_.size());
+    for (uint32_t id : ids_) candidates.push_back(IndexCandidate{id, m, 1.0});
+    if (stats != nullptr) {
+      stats->ids_touched += static_cast<int64_t>(ids_.size());
+      stats->candidates += static_cast<int64_t>(ids_.size());
+    }
+    return candidates;
+  }
+
+  // Stage 1 (per segment): merge the posting lists of the probe substrings
+  // into one id-sorted list carrying α_x = Σ_w p_r(w) · Pr(w = S^x).
+  std::vector<std::vector<MergedEntry>> merged(static_cast<size_t>(m));
+  for (int x = 0; x < m; ++x) {
+    std::vector<MergedEntry>& out = merged[static_cast<size_t>(x)];
+    if (wildcard_segments[static_cast<size_t>(x)]) {
+      // Probe-set blow-up on the query side: α_x = 1 for every indexed id.
+      out.reserve(ids_.size());
+      for (uint32_t id : ids_) out.push_back(MergedEntry{id, 1.0});
+      continue;
+    }
+    // Gather the lists to merge: one per probe substring (weighted by its
+    // occurrence probability) plus this segment's wildcard ids at α = 1.
+    struct Cursor {
+      const Posting* pos;
+      const Posting* end;
+      double weight;
+    };
+    std::vector<Cursor> cursors;
+    for (const ProbeSubstring& probe : probe_sets[static_cast<size_t>(x)]) {
+      const std::vector<Posting>* list = Find(x, probe.text);
+      if (list == nullptr) continue;
+      cursors.push_back(
+          Cursor{list->data(), list->data() + list->size(), probe.prob});
+      if (stats != nullptr) ++stats->lists_scanned;
+    }
+    const std::vector<uint32_t>& wildcards =
+        wildcard_ids_[static_cast<size_t>(x)];
+    size_t wildcard_pos = 0;
+    // Parallel scan with "top pointers" (Section 4): repeatedly take the
+    // minimum id across list heads and fold its contributions into α_x.
+    for (;;) {
+      uint32_t min_id = UINT32_MAX;
+      for (const Cursor& c : cursors) {
+        if (c.pos != c.end && c.pos->id < min_id) min_id = c.pos->id;
+      }
+      if (wildcard_pos < wildcards.size() && wildcards[wildcard_pos] < min_id) {
+        min_id = wildcards[wildcard_pos];
+      }
+      if (min_id == UINT32_MAX) break;
+      double alpha = 0.0;
+      for (Cursor& c : cursors) {
+        if (c.pos != c.end && c.pos->id == min_id) {
+          alpha += c.weight * c.pos->prob;
+          ++c.pos;
+          if (stats != nullptr) ++stats->postings_scanned;
+        }
+      }
+      if (wildcard_pos < wildcards.size() && wildcards[wildcard_pos] == min_id) {
+        alpha = 1.0;
+        ++wildcard_pos;
+      }
+      out.push_back(MergedEntry{min_id, ClampProb(alpha)});
+    }
+  }
+
+  // Stage 2: scan the m merged lists in parallel, counting matched segments
+  // per id (Lemma 5) and bounding Pr(ed <= k) with the event DP (Theorem 2).
+  std::vector<size_t> tops(static_cast<size_t>(m), 0);
+  std::vector<double> alphas(static_cast<size_t>(m));
+  for (;;) {
+    uint32_t min_id = UINT32_MAX;
+    for (int x = 0; x < m; ++x) {
+      const auto& list = merged[static_cast<size_t>(x)];
+      if (tops[static_cast<size_t>(x)] < list.size()) {
+        min_id = std::min(min_id, list[tops[static_cast<size_t>(x)]].id);
+      }
+    }
+    if (min_id == UINT32_MAX) break;
+    int matched = 0;
+    for (int x = 0; x < m; ++x) {
+      const auto& list = merged[static_cast<size_t>(x)];
+      size_t& top = tops[static_cast<size_t>(x)];
+      if (top < list.size() && list[top].id == min_id) {
+        alphas[static_cast<size_t>(x)] = list[top].alpha;
+        if (list[top].alpha > 0.0) ++matched;
+        ++top;
+      } else {
+        alphas[static_cast<size_t>(x)] = 0.0;
+      }
+    }
+    if (stats != nullptr) ++stats->ids_touched;
+    if (matched < required) {
+      if (stats != nullptr) ++stats->support_pruned;
+      continue;
+    }
+    const double bound = ProbAtLeastEvents(alphas, required);
+    if (bound <= tau) {
+      if (stats != nullptr) ++stats->probability_pruned;
+      continue;
+    }
+    candidates.push_back(IndexCandidate{min_id, matched, bound});
+    if (stats != nullptr) ++stats->candidates;
+  }
+  return candidates;
+}
+
+size_t LengthBucketIndex::MemoryUsage() const { return memory_bytes_; }
+
+void LengthBucketIndex::Serialize(BinaryWriter* writer) const {
+  writer->WriteI32(length_);
+  writer->WriteU64(ids_.size());
+  for (uint32_t id : ids_) writer->WriteU32(id);
+  writer->WriteU64(lists_.size());
+  for (size_t x = 0; x < lists_.size(); ++x) {
+    writer->WriteU64(lists_[x].size());
+    for (const auto& [key, postings] : lists_[x]) {
+      writer->WriteString(key);
+      writer->WriteU64(postings.size());
+      for (const Posting& posting : postings) {
+        writer->WriteU32(posting.id);
+        writer->WriteDouble(posting.prob);
+      }
+    }
+    writer->WriteU64(wildcard_ids_[x].size());
+    for (uint32_t id : wildcard_ids_[x]) writer->WriteU32(id);
+  }
+  writer->WriteU64(static_cast<uint64_t>(memory_bytes_));
+  writer->WriteI64(num_postings_);
+}
+
+Result<LengthBucketIndex> LengthBucketIndex::Deserialize(BinaryReader* reader,
+                                                         int k, int q) {
+  Result<int32_t> length = reader->ReadI32();
+  if (!length.ok()) return length.status();
+  if (*length < 1) {
+    return Status::InvalidArgument("corrupt index: bucket length " +
+                                   std::to_string(*length));
+  }
+  LengthBucketIndex bucket(*length, k, q);
+  Result<uint64_t> num_ids = reader->ReadU64();
+  if (!num_ids.ok()) return num_ids.status();
+  bucket.ids_.reserve(*num_ids);
+  for (uint64_t i = 0; i < *num_ids; ++i) {
+    Result<uint32_t> id = reader->ReadU32();
+    if (!id.ok()) return id.status();
+    bucket.ids_.push_back(*id);
+  }
+  Result<uint64_t> num_segments = reader->ReadU64();
+  if (!num_segments.ok()) return num_segments.status();
+  if (*num_segments != bucket.lists_.size()) {
+    return Status::InvalidArgument(
+        "corrupt index: segment count mismatch (expected " +
+        std::to_string(bucket.lists_.size()) + ", got " +
+        std::to_string(*num_segments) + ")");
+  }
+  for (size_t x = 0; x < bucket.lists_.size(); ++x) {
+    Result<uint64_t> num_keys = reader->ReadU64();
+    if (!num_keys.ok()) return num_keys.status();
+    for (uint64_t e = 0; e < *num_keys; ++e) {
+      Result<std::string> key = reader->ReadString();
+      if (!key.ok()) return key.status();
+      Result<uint64_t> num_postings = reader->ReadU64();
+      if (!num_postings.ok()) return num_postings.status();
+      std::vector<Posting>& postings = bucket.lists_[x][*key];
+      postings.reserve(*num_postings);
+      for (uint64_t p = 0; p < *num_postings; ++p) {
+        Result<uint32_t> id = reader->ReadU32();
+        if (!id.ok()) return id.status();
+        Result<double> prob = reader->ReadDouble();
+        if (!prob.ok()) return prob.status();
+        postings.push_back(Posting{*id, *prob});
+      }
+    }
+    Result<uint64_t> num_wildcards = reader->ReadU64();
+    if (!num_wildcards.ok()) return num_wildcards.status();
+    for (uint64_t w = 0; w < *num_wildcards; ++w) {
+      Result<uint32_t> id = reader->ReadU32();
+      if (!id.ok()) return id.status();
+      bucket.wildcard_ids_[x].push_back(*id);
+    }
+  }
+  Result<uint64_t> memory = reader->ReadU64();
+  if (!memory.ok()) return memory.status();
+  bucket.memory_bytes_ = *memory;
+  Result<int64_t> postings = reader->ReadI64();
+  if (!postings.ok()) return postings.status();
+  bucket.num_postings_ = *postings;
+  return bucket;
+}
+
+InvertedSegmentIndex::InvertedSegmentIndex(int k, int q,
+                                           ProbeSetOptions probe_options)
+    : k_(k), q_(q), probe_options_(probe_options) {
+  UJOIN_CHECK(k >= 0 && q >= 1);
+}
+
+Status InvertedSegmentIndex::Insert(uint32_t id, const UncertainString& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("cannot index an empty string");
+  }
+  auto it = buckets_.find(s.length());
+  if (it == buckets_.end()) {
+    it = buckets_.emplace(s.length(), LengthBucketIndex(s.length(), k_, q_))
+             .first;
+  }
+  return it->second.Insert(id, s, probe_options_.max_instances_per_window);
+}
+
+std::vector<IndexCandidate> InvertedSegmentIndex::Query(
+    const UncertainString& r, int length, double tau,
+    IndexQueryStats* stats) const {
+  auto it = buckets_.find(length);
+  if (it == buckets_.end()) return {};
+  const LengthBucketIndex& bucket = it->second;
+  const int m = bucket.num_segments();
+  std::vector<std::vector<ProbeSubstring>> probe_sets(
+      static_cast<size_t>(m));
+  std::vector<bool> wildcard(static_cast<size_t>(m), false);
+  for (int x = 0; x < m; ++x) {
+    Result<std::vector<ProbeSubstring>> probes = BuildProbeSet(
+        r, length, bucket.segments()[static_cast<size_t>(x)], k_,
+        probe_options_);
+    if (probes.ok()) {
+      probe_sets[static_cast<size_t>(x)] = std::move(probes).value();
+    } else {
+      wildcard[static_cast<size_t>(x)] = true;
+    }
+  }
+  return bucket.QueryCandidates(probe_sets, wildcard, k_, tau, stats);
+}
+
+const LengthBucketIndex* InvertedSegmentIndex::bucket(int length) const {
+  auto it = buckets_.find(length);
+  return it == buckets_.end() ? nullptr : &it->second;
+}
+
+size_t InvertedSegmentIndex::MemoryUsage() const {
+  size_t total = 0;
+  for (const auto& [length, bucket] : buckets_) total += bucket.MemoryUsage();
+  return total;
+}
+
+int64_t InvertedSegmentIndex::num_postings() const {
+  int64_t total = 0;
+  for (const auto& [length, bucket] : buckets_) total += bucket.num_postings();
+  return total;
+}
+
+void InvertedSegmentIndex::Serialize(BinaryWriter* writer) const {
+  writer->WriteI32(k_);
+  writer->WriteI32(q_);
+  writer->WriteU64(buckets_.size());
+  for (const auto& [length, bucket] : buckets_) {
+    bucket.Serialize(writer);
+  }
+}
+
+Result<InvertedSegmentIndex> InvertedSegmentIndex::Deserialize(
+    BinaryReader* reader, ProbeSetOptions probe_options) {
+  Result<int32_t> k = reader->ReadI32();
+  if (!k.ok()) return k.status();
+  Result<int32_t> q = reader->ReadI32();
+  if (!q.ok()) return q.status();
+  if (*k < 0 || *q < 1) {
+    return Status::InvalidArgument("corrupt index: bad k/q header");
+  }
+  InvertedSegmentIndex index(*k, *q, probe_options);
+  Result<uint64_t> num_buckets = reader->ReadU64();
+  if (!num_buckets.ok()) return num_buckets.status();
+  for (uint64_t b = 0; b < *num_buckets; ++b) {
+    Result<LengthBucketIndex> bucket =
+        LengthBucketIndex::Deserialize(reader, *k, *q);
+    if (!bucket.ok()) return bucket.status();
+    const int length = bucket->length();
+    if (!index.buckets_.emplace(length, std::move(bucket).value()).second) {
+      return Status::InvalidArgument("corrupt index: duplicate bucket length");
+    }
+  }
+  return index;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,153 @@
+#ifndef UJOIN_INDEX_SEGMENT_INDEX_H_
+#define UJOIN_INDEX_SEGMENT_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "filter/partition.h"
+#include "filter/probe_set.h"
+#include "text/uncertain_string.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief One posting of an inverted list L^x_l(w): an uncertain string id
+/// and the probability that its x-th segment equals w.
+struct Posting {
+  uint32_t id;
+  double prob;
+};
+
+/// \brief Candidate produced by an index query: a string id together with
+/// the q-gram filter evidence gathered during the merge scan.
+struct IndexCandidate {
+  uint32_t id;
+  int matched_segments;
+  double upper_bound;  ///< Theorem 2 bound on Pr(ed(R, S_id) <= k)
+};
+
+/// \brief Work counters for one index query.
+struct IndexQueryStats {
+  int64_t lists_scanned = 0;
+  int64_t postings_scanned = 0;
+  int64_t ids_touched = 0;            ///< ids appearing in >= 1 merged list
+  int64_t support_pruned = 0;         ///< dropped by Lemma 5's count check
+  int64_t probability_pruned = 0;     ///< dropped by Theorem 2's bound
+  int64_t candidates = 0;             ///< survivors returned to the caller
+};
+
+/// \brief Inverted index over the x-th segments of all indexed strings of
+/// one length l (the paper's L^x_l lists, Section 4).
+///
+/// Each indexed string is partitioned with the even-partition scheme; every
+/// possible instance w of its x-th segment is inserted into L^x_l(w) with
+/// the instance probability.  A string id appears at most once per list and
+/// lists are sorted by id (ids must be inserted in increasing order, which
+/// the self-join driver guarantees by visiting strings in length order).
+class LengthBucketIndex {
+ public:
+  LengthBucketIndex(int length, int k, int q);
+
+  /// Indexes string `id`.  Segments whose instance count exceeds
+  /// `max_instances_per_segment` are recorded as wildcards: they count as
+  /// matched with α = 1 during queries, which keeps pruning conservative.
+  Status Insert(uint32_t id, const UncertainString& s,
+                int64_t max_instances_per_segment = 1 << 14);
+
+  int length() const { return length_; }
+  int num_segments() const { return static_cast<int>(segments_.size()); }
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::vector<uint32_t>& ids() const { return ids_; }
+
+  /// Posting list for instance `w` of segment `x`; nullptr when absent.
+  const std::vector<Posting>* Find(int x, std::string_view w) const;
+
+  /// Runs the paper's two-level merge scan: for every segment x the lists
+  /// L^x_l(w), w ∈ probe_sets[x], are merged by id into (id, α_x) pairs;
+  /// the per-segment merged lists are then scanned in parallel to count
+  /// matched segments (Lemma 5) and evaluate Theorem 2's bound.  Pairs with
+  /// bound <= tau are pruned.  `wildcard_segments[x]`, when set, marks a
+  /// probe set that could not be built (instance blow-up): that segment
+  /// counts as matched with α = 1 for every id.
+  std::vector<IndexCandidate> QueryCandidates(
+      const std::vector<std::vector<ProbeSubstring>>& probe_sets,
+      const std::vector<bool>& wildcard_segments, int k, double tau,
+      IndexQueryStats* stats = nullptr) const;
+
+  /// Approximate heap footprint of the inverted lists, in bytes.
+  size_t MemoryUsage() const;
+
+  /// Total postings across all inverted lists.
+  int64_t num_postings() const { return num_postings_; }
+
+  /// Appends this bucket to `writer` / restores it (k and q must match the
+  /// values the bucket was built with; the partition is recomputed).
+  void Serialize(BinaryWriter* writer) const;
+  static Result<LengthBucketIndex> Deserialize(BinaryReader* reader, int k,
+                                               int q);
+
+ private:
+  using InvertedMap = std::unordered_map<std::string, std::vector<Posting>>;
+
+  int length_;
+  std::vector<Segment> segments_;
+  std::vector<InvertedMap> lists_;                    // one map per segment x
+  std::vector<std::vector<uint32_t>> wildcard_ids_;   // per segment, sorted
+  std::vector<uint32_t> ids_;                         // all indexed ids
+  size_t memory_bytes_ = 0;
+  int64_t num_postings_ = 0;
+};
+
+/// \brief The full index: one LengthBucketIndex per string length, plus the
+/// probe-set plumbing to query it (Section 4).
+///
+/// Usage in a join: strings are visited in ascending length order; for the
+/// current string R the buckets of length |R|-k .. |R| are queried, then R
+/// is inserted into its own bucket, so every pair is enumerated exactly
+/// once.
+class InvertedSegmentIndex {
+ public:
+  InvertedSegmentIndex(int k, int q, ProbeSetOptions probe_options = {});
+
+  /// Indexes `s` under `id`; ids must be inserted in increasing order.
+  Status Insert(uint32_t id, const UncertainString& s);
+
+  /// Candidates among indexed strings of length `length` for probe string
+  /// `r`, pruned with Lemma 5 and Theorem 2 at threshold `tau` (using the
+  /// index's configured k and q).
+  std::vector<IndexCandidate> Query(const UncertainString& r, int length,
+                                    double tau,
+                                    IndexQueryStats* stats = nullptr) const;
+
+  const LengthBucketIndex* bucket(int length) const;
+
+  int k() const { return k_; }
+  int q() const { return q_; }
+
+  /// Total footprint of all buckets, in bytes.
+  size_t MemoryUsage() const;
+
+  /// Total postings across all buckets.
+  int64_t num_postings() const;
+
+  /// Serialization of the whole index (k, q and every bucket).  The probe
+  /// options are not persisted — supply them when deserializing.
+  void Serialize(BinaryWriter* writer) const;
+  static Result<InvertedSegmentIndex> Deserialize(
+      BinaryReader* reader, ProbeSetOptions probe_options = {});
+
+ private:
+  int k_;
+  int q_;
+  ProbeSetOptions probe_options_;
+  std::map<int, LengthBucketIndex> buckets_;
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_INDEX_SEGMENT_INDEX_H_

@@ -1,0 +1,114 @@
+#include "join/cross_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "join/search.h"
+#include "util/timer.h"
+
+namespace ujoin {
+
+namespace {
+
+void MergeStats(const JoinStats& probe_stats, JoinStats* total) {
+  total->length_compatible_pairs += probe_stats.length_compatible_pairs;
+  total->qgram_candidates += probe_stats.qgram_candidates;
+  total->freq_candidates += probe_stats.freq_candidates;
+  total->freq_lower_pruned += probe_stats.freq_lower_pruned;
+  total->freq_upper_pruned += probe_stats.freq_upper_pruned;
+  total->cdf_accepted += probe_stats.cdf_accepted;
+  total->cdf_rejected += probe_stats.cdf_rejected;
+  total->cdf_undecided += probe_stats.cdf_undecided;
+  total->verified_pairs += probe_stats.verified_pairs;
+  total->result_pairs += probe_stats.result_pairs;
+  total->qgram_time += probe_stats.qgram_time;
+  total->freq_time += probe_stats.freq_time;
+  total->cdf_time += probe_stats.cdf_time;
+  total->verify_time += probe_stats.verify_time;
+}
+
+}  // namespace
+
+Result<CrossJoinResult> SimilarityJoin(
+    const std::vector<UncertainString>& left,
+    const std::vector<UncertainString>& right, const Alphabet& alphabet,
+    const JoinOptions& options) {
+  CrossJoinResult result;
+  Timer total_timer;
+
+  // Index the smaller side; probe with the larger side.  The (k, τ)
+  // predicate is symmetric, so only the reported pair orientation flips.
+  const bool right_indexed = right.size() <= left.size();
+  const std::vector<UncertainString>& indexed =
+      right_indexed ? right : left;
+  const std::vector<UncertainString>& probes = right_indexed ? left : right;
+
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(indexed, alphabet, options);
+  if (!searcher.ok()) return searcher.status();
+
+  int threads = options.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(threads,
+                     static_cast<int>(std::max<size_t>(probes.size(), 1)));
+
+  struct ProbeOutcome {
+    Status status;
+    std::vector<SearchHit> hits;
+    JoinStats stats;
+  };
+  std::vector<ProbeOutcome> outcomes(probes.size());
+  auto run_probe = [&](size_t probe_id) {
+    ProbeOutcome& outcome = outcomes[probe_id];
+    Result<std::vector<SearchHit>> hits =
+        searcher->Search(probes[probe_id], &outcome.stats);
+    if (hits.ok()) {
+      outcome.hits = std::move(hits).value();
+    } else {
+      outcome.status = hits.status();
+    }
+  };
+
+  if (threads == 1) {
+    for (size_t probe_id = 0; probe_id < probes.size(); ++probe_id) {
+      run_probe(probe_id);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&]() {
+        for (;;) {
+          const size_t probe_id = next.fetch_add(1);
+          if (probe_id >= probes.size()) return;
+          run_probe(probe_id);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+
+  for (size_t probe_id = 0; probe_id < probes.size(); ++probe_id) {
+    const ProbeOutcome& outcome = outcomes[probe_id];
+    if (!outcome.status.ok()) return outcome.status;
+    for (const SearchHit& hit : outcome.hits) {
+      const uint32_t lhs =
+          right_indexed ? static_cast<uint32_t>(probe_id) : hit.id;
+      const uint32_t rhs =
+          right_indexed ? hit.id : static_cast<uint32_t>(probe_id);
+      result.pairs.push_back(JoinPair{lhs, rhs, hit.probability, hit.exact});
+    }
+    MergeStats(outcome.stats, &result.stats);
+  }
+  result.stats.peak_index_memory = searcher->IndexMemoryUsage();
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.stats.total_time = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,88 @@
+#ifndef UJOIN_JOIN_JOIN_OPTIONS_H_
+#define UJOIN_JOIN_JOIN_OPTIONS_H_
+
+#include "filter/probe_set.h"
+#include "verify/verifier.h"
+
+namespace ujoin {
+
+/// \brief Exact-verification algorithm used on surviving candidates.
+enum class VerifyMethod {
+  kTrie,  ///< trie-based verification (Section 6.2) — the paper's method
+  kCompressedTrie,  ///< path-compressed trie: same results, node budget
+                    ///< independent of string length (library extension)
+  kNaive,  ///< all-world-pairs enumeration with prefix pruning (baseline)
+};
+
+/// \brief Parameters of a (k, τ) similarity join or search.
+///
+/// The filter toggles reproduce the paper's algorithm variants
+/// (Section 7): QFCT enables everything (default); QCT disables the
+/// frequency filter; QFT disables the CDF filter; FCT disables q-gram
+/// filtering (and with it the inverted index).
+struct JoinOptions {
+  int k = 2;        ///< edit-distance threshold
+  double tau = 0.1; ///< probability threshold; a pair matches iff
+                    ///< Pr(ed(R,S) <= k) > tau
+  int q = 3;        ///< q-gram (segment) length driving the partitioning
+
+  bool use_qgram_filter = true;  ///< Sections 3–4
+  bool use_freq_filter = true;   ///< Section 5
+  bool use_cdf_filter = true;    ///< Section 6.1
+
+  /// When false, the q-gram stage prunes only with the exact support-level
+  /// necessary condition (Lemmas 4/5) and skips Theorem 2's probabilistic
+  /// bound — a conservative mode immune to the bound's independence
+  /// approximation (see DESIGN.md).
+  bool qgram_probabilistic_pruning = true;
+
+  /// Verify pairs that the CDF lower bound already accepted, so that every
+  /// reported probability is exact (costs extra verification work).
+  bool always_verify = false;
+
+  /// Stop trie-based verification as soon as the (k, τ) verdict is certain
+  /// instead of computing the exact probability (see
+  /// TrieVerifier::DecideSimilar).  Reported probabilities of pairs decided
+  /// early are certified lower bounds (> τ) flagged as inexact.  Ignored
+  /// when always_verify is set.  Off by default to match the paper's
+  /// algorithm; the ablation benchmark quantifies the speedup.
+  bool early_stop_verification = false;
+
+  VerifyMethod verify_method = VerifyMethod::kTrie;
+  VerifyOptions verify;
+  ProbeSetOptions probe;
+
+  /// Worker threads for embarrassingly parallel drivers (the two-collection
+  /// SimilarityJoin and SimilaritySearcher::SearchMany).  <= 0 picks the
+  /// hardware concurrency; the self-join is sequential by construction
+  /// (its index grows as it scans) and ignores this.
+  int threads = 1;
+
+  /// Convenience constructors for the paper's named variants.
+  static JoinOptions Qfct(int k, double tau, int q = 3) {
+    JoinOptions o;
+    o.k = k;
+    o.tau = tau;
+    o.q = q;
+    return o;
+  }
+  static JoinOptions Qct(int k, double tau, int q = 3) {
+    JoinOptions o = Qfct(k, tau, q);
+    o.use_freq_filter = false;
+    return o;
+  }
+  static JoinOptions Qft(int k, double tau, int q = 3) {
+    JoinOptions o = Qfct(k, tau, q);
+    o.use_cdf_filter = false;
+    return o;
+  }
+  static JoinOptions Fct(int k, double tau, int q = 3) {
+    JoinOptions o = Qfct(k, tau, q);
+    o.use_qgram_filter = false;
+    return o;
+  }
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_JOIN_JOIN_OPTIONS_H_

@@ -1,0 +1,34 @@
+#include "join/join_stats.h"
+
+#include <cstdio>
+
+namespace ujoin {
+
+std::string JoinStats::ToString() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "pairs: length-compatible=%lld qgram=%lld (support-pruned=%lld, "
+      "prob-pruned=%lld) freq=%lld (fd-pruned=%lld, cheb-pruned=%lld)\n"
+      "cdf: accepted=%lld rejected=%lld undecided=%lld | verified=%lld "
+      "results=%lld\n"
+      "time[s]: qgram=%.4f freq=%.4f cdf=%.4f verify=%.4f index=%.4f "
+      "total=%.4f\n"
+      "index: peak-memory=%zu bytes",
+      static_cast<long long>(length_compatible_pairs),
+      static_cast<long long>(qgram_candidates),
+      static_cast<long long>(qgram_support_pruned),
+      static_cast<long long>(qgram_probability_pruned),
+      static_cast<long long>(freq_candidates),
+      static_cast<long long>(freq_lower_pruned),
+      static_cast<long long>(freq_upper_pruned),
+      static_cast<long long>(cdf_accepted),
+      static_cast<long long>(cdf_rejected),
+      static_cast<long long>(cdf_undecided),
+      static_cast<long long>(verified_pairs),
+      static_cast<long long>(result_pairs), qgram_time, freq_time, cdf_time,
+      verify_time, index_build_time, total_time, peak_index_memory);
+  return buf;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,61 @@
+#ifndef UJOIN_JOIN_JOIN_STATS_H_
+#define UJOIN_JOIN_JOIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/segment_index.h"
+#include "verify/verifier.h"
+
+namespace ujoin {
+
+/// \brief Per-stage counters and timings of one join (or search) run.
+///
+/// These are the quantities plotted in the paper's Figures 2–9: candidates
+/// surviving each filter, accept/reject counts of the CDF bounds, exact
+/// verifications performed, per-stage wall time, and peak index memory.
+struct JoinStats {
+  // --- pair flow ------------------------------------------------------
+  /// Pairs within the length window |ΔL| <= k (the filter pipeline input).
+  int64_t length_compatible_pairs = 0;
+  /// Pairs surviving the q-gram stage (equals the input when disabled).
+  int64_t qgram_candidates = 0;
+  int64_t qgram_support_pruned = 0;      ///< by Lemma 5's count condition
+  int64_t qgram_probability_pruned = 0;  ///< by Theorem 2's bound
+  /// Pairs surviving the frequency-distance stage.
+  int64_t freq_candidates = 0;
+  int64_t freq_lower_pruned = 0;  ///< by Lemma 6 (fd lower bound > k)
+  int64_t freq_upper_pruned = 0;  ///< by Theorem 3 (bound <= τ)
+  /// CDF-bound decisions (Section 6.1).
+  int64_t cdf_accepted = 0;
+  int64_t cdf_rejected = 0;
+  int64_t cdf_undecided = 0;
+  /// Pairs handed to exact verification, and final results.
+  int64_t verified_pairs = 0;
+  int64_t result_pairs = 0;
+
+  // --- per-stage wall time, seconds -----------------------------------
+  double qgram_time = 0.0;
+  double freq_time = 0.0;
+  double cdf_time = 0.0;
+  double verify_time = 0.0;
+  double index_build_time = 0.0;
+  double total_time = 0.0;
+
+  // --- resources -------------------------------------------------------
+  size_t peak_index_memory = 0;  ///< inverted-index bytes (Figure 7)
+  IndexQueryStats index_stats;
+  VerifyStats verify_stats;
+
+  /// Filtering time = everything except verification.
+  double FilterTime() const {
+    return qgram_time + freq_time + cdf_time + index_build_time;
+  }
+
+  /// Multi-line human-readable dump (used by examples and benches).
+  std::string ToString() const;
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_JOIN_JOIN_STATS_H_

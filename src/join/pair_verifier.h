@@ -1,0 +1,87 @@
+#ifndef UJOIN_JOIN_PAIR_VERIFIER_H_
+#define UJOIN_JOIN_PAIR_VERIFIER_H_
+
+#include <optional>
+
+#include "join/join_options.h"
+#include "text/uncertain_string.h"
+#include "util/status.h"
+#include "verify/compressed_verifier.h"
+#include "verify/verifier.h"
+
+namespace ujoin::internal {
+
+/// \brief Verification front-end for one probe string R, shared by the
+/// self-join and search drivers.
+///
+/// Builds the configured verifier (plain or compressed trie) at most once
+/// per probe and reuses it for every candidate (the Section 6.2
+/// amortization).  When the trie overflows its node budget the verifier
+/// falls back per pair to VerifyPairProbability's chain (cheaper-side trie,
+/// compressed trie, naive enumeration).
+class PairVerifier {
+ public:
+  PairVerifier(const UncertainString& r, const JoinOptions& options)
+      : r_(r), options_(options) {}
+
+  /// Exact Pr(ed(R, s) <= k).
+  Result<double> Probability(const UncertainString& s, VerifyStats* stats) {
+    if (options_.verify_method == VerifyMethod::kNaive) {
+      return NaiveVerifyProbability(r_, s, options_.k, options_.verify, stats);
+    }
+    EnsureVerifier();
+    if (trie_.has_value()) return trie_->Probability(s, stats);
+    if (compressed_.has_value()) return compressed_->Probability(s, stats);
+    return VerifyPairProbability(r_, s, options_.k, options_.verify, stats);
+  }
+
+  /// (k, τ) verdict; terminates early when the configuration allows it.
+  Result<ThresholdVerdict> Decide(const UncertainString& s, double tau,
+                                  VerifyStats* stats) {
+    const bool can_stop_early = options_.early_stop_verification &&
+                                !options_.always_verify &&
+                                options_.verify_method != VerifyMethod::kNaive;
+    if (can_stop_early) {
+      EnsureVerifier();
+      if (trie_.has_value()) return trie_->DecideSimilar(s, tau, stats);
+      if (compressed_.has_value()) {
+        return compressed_->DecideSimilar(s, tau, stats);
+      }
+    }
+    Result<double> prob = Probability(s, stats);
+    if (!prob.ok()) return prob.status();
+    return ThresholdVerdict{prob.value() > tau, prob.value(), prob.value(),
+                            true};
+  }
+
+ private:
+  void EnsureVerifier() {
+    if (trie_.has_value() || compressed_.has_value() || failed_) return;
+    if (options_.verify_method == VerifyMethod::kTrie) {
+      Result<TrieVerifier> verifier =
+          TrieVerifier::Create(r_, options_.k, options_.verify);
+      if (verifier.ok()) {
+        trie_.emplace(std::move(verifier).value());
+        return;
+      }
+    } else if (options_.verify_method == VerifyMethod::kCompressedTrie) {
+      Result<CompressedTrieVerifier> verifier =
+          CompressedTrieVerifier::Create(r_, options_.k, options_.verify);
+      if (verifier.ok()) {
+        compressed_.emplace(std::move(verifier).value());
+        return;
+      }
+    }
+    failed_ = true;  // don't retry a blown-up trie per candidate
+  }
+
+  const UncertainString& r_;
+  const JoinOptions& options_;
+  std::optional<TrieVerifier> trie_;
+  std::optional<CompressedTrieVerifier> compressed_;
+  bool failed_ = false;
+};
+
+}  // namespace ujoin::internal
+
+#endif  // UJOIN_JOIN_PAIR_VERIFIER_H_

@@ -1,0 +1,400 @@
+#include "join/search.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
+
+#include "filter/cdf_filter.h"
+#include "join/pair_verifier.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ujoin {
+
+namespace {
+
+Status ValidateString(const UncertainString& s, const Alphabet& alphabet,
+                      const char* what) {
+  if (s.empty()) {
+    return Status::InvalidArgument(std::string(what) + " is empty");
+  }
+  for (int pos = 0; pos < s.length(); ++pos) {
+    for (const CharProb& cp : s.AlternativesAt(pos)) {
+      if (!alphabet.Contains(cp.symbol)) {
+        return Status::InvalidArgument(std::string(what) + " uses symbol '" +
+                                       cp.symbol + "' outside the alphabet");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+SimilaritySearcher::SimilaritySearcher(std::vector<UncertainString> collection,
+                                       const Alphabet& alphabet,
+                                       const JoinOptions& options)
+    : collection_(std::move(collection)),
+      alphabet_(alphabet),
+      options_(options),
+      index_(options.k, options.q, options.probe) {}
+
+Result<SimilaritySearcher> SimilaritySearcher::Create(
+    std::vector<UncertainString> collection, const Alphabet& alphabet,
+    const JoinOptions& options) {
+  UJOIN_CHECK(options.k >= 0 && options.q >= 1);
+  for (size_t i = 0; i < collection.size(); ++i) {
+    UJOIN_RETURN_IF_ERROR(
+        ValidateString(collection[i], alphabet, "collection string"));
+  }
+  SimilaritySearcher searcher(std::move(collection), alphabet, options);
+  int max_length = 0;
+  for (const UncertainString& s : searcher.collection_) {
+    max_length = std::max(max_length, s.length());
+  }
+  searcher.ids_by_length_.resize(static_cast<size_t>(max_length) + 1);
+  searcher.freq_summaries_.reserve(searcher.collection_.size());
+  for (uint32_t id = 0; id < searcher.collection_.size(); ++id) {
+    const UncertainString& s = searcher.collection_[id];
+    if (options.use_qgram_filter) {
+      UJOIN_RETURN_IF_ERROR(searcher.index_.Insert(id, s));
+    }
+    if (options.use_freq_filter) {
+      searcher.freq_summaries_.push_back(FrequencySummary::Build(s, alphabet));
+    }
+    searcher.ids_by_length_[static_cast<size_t>(s.length())].push_back(id);
+  }
+  return searcher;
+}
+
+Result<std::vector<SearchHit>> SimilaritySearcher::Search(
+    const UncertainString& query, JoinStats* stats) const {
+  return SearchImpl(query, stats, /*force_exact=*/false);
+}
+
+Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
+    const UncertainString& query, JoinStats* stats, bool force_exact) const {
+  UJOIN_RETURN_IF_ERROR(ValidateString(query, alphabet_, "query"));
+  JoinStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  Timer total_timer;
+  std::vector<SearchHit> hits;
+
+  std::optional<FrequencySummary> query_summary;
+  if (options_.use_freq_filter) {
+    ScopedTimer timer(&stats->freq_time);
+    query_summary.emplace(FrequencySummary::Build(query, alphabet_));
+  }
+  JoinOptions effective_options = options_;
+  if (force_exact) {
+    effective_options.always_verify = true;
+    effective_options.early_stop_verification = false;
+  }
+  internal::PairVerifier verifier(query, effective_options);
+
+  const double qgram_tau =
+      options_.qgram_probabilistic_pruning ? options_.tau : 0.0;
+  const int max_indexed_length =
+      static_cast<int>(ids_by_length_.size()) - 1;
+  const int lo = std::max(1, query.length() - options_.k);
+  const int hi = std::min(max_indexed_length, query.length() + options_.k);
+
+  std::vector<uint32_t> candidates;
+  for (int l = lo; l <= hi; ++l) {
+    stats->length_compatible_pairs +=
+        static_cast<int64_t>(ids_by_length_[static_cast<size_t>(l)].size());
+    if (options_.use_qgram_filter) {
+      ScopedTimer timer(&stats->qgram_time);
+      for (const IndexCandidate& c :
+           index_.Query(query, l, qgram_tau, &stats->index_stats)) {
+        candidates.push_back(c.id);
+      }
+    } else {
+      for (uint32_t id : ids_by_length_[static_cast<size_t>(l)]) {
+        candidates.push_back(id);
+      }
+    }
+  }
+  stats->qgram_candidates += static_cast<int64_t>(candidates.size());
+
+  for (uint32_t id : candidates) {
+    const UncertainString& s = collection_[id];
+    if (options_.use_freq_filter) {
+      ScopedTimer timer(&stats->freq_time);
+      const FreqFilterOutcome freq =
+          EvaluateFreqFilter(*query_summary, freq_summaries_[id], options_.k);
+      if (freq.fd_lower_bound > options_.k) {
+        ++stats->freq_lower_pruned;
+        continue;
+      }
+      if (freq.upper_bound <= options_.tau) {
+        ++stats->freq_upper_pruned;
+        continue;
+      }
+    }
+    ++stats->freq_candidates;
+
+    bool need_verify = true;
+    double lower_bound = 0.0;
+    if (options_.use_cdf_filter) {
+      ScopedTimer timer(&stats->cdf_time);
+      const CdfFilterOutcome cdf =
+          EvaluateCdfFilter(query, s, options_.k, options_.tau);
+      if (cdf.decision == CdfDecision::kReject) {
+        ++stats->cdf_rejected;
+        continue;
+      }
+      if (cdf.decision == CdfDecision::kAccept) {
+        ++stats->cdf_accepted;
+        if (!effective_options.always_verify) {
+          lower_bound = cdf.bounds.lower[static_cast<size_t>(options_.k)];
+          need_verify = false;
+        }
+      } else {
+        ++stats->cdf_undecided;
+      }
+    }
+
+    if (!need_verify) {
+      ++stats->result_pairs;
+      hits.push_back(SearchHit{id, lower_bound, /*exact=*/false});
+      continue;
+    }
+
+    ScopedTimer timer(&stats->verify_time);
+    ++stats->verified_pairs;
+    Result<ThresholdVerdict> verdict =
+        verifier.Decide(s, options_.tau, &stats->verify_stats);
+    if (!verdict.ok()) return verdict.status();
+    if (verdict->similar) {
+      ++stats->result_pairs;
+      hits.push_back(SearchHit{id, verdict->lower, verdict->exact});
+    }
+  }
+
+  std::sort(hits.begin(), hits.end());
+  stats->total_time = total_timer.ElapsedSeconds();
+  return hits;
+}
+
+Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
+    const UncertainString& query, int count, JoinStats* stats) const {
+  if (count <= 0) {
+    return Status::InvalidArgument("count must be positive");
+  }
+  // Top-k needs comparable (exact) probabilities.
+  Result<std::vector<SearchHit>> hits =
+      SearchImpl(query, stats, /*force_exact=*/true);
+  if (!hits.ok()) return hits.status();
+  std::sort(hits->begin(), hits->end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              if (a.probability != b.probability) {
+                return a.probability > b.probability;
+              }
+              return a.id < b.id;
+            });
+  if (static_cast<int>(hits->size()) > count) {
+    hits->resize(static_cast<size_t>(count));
+  }
+  return hits;
+}
+
+namespace {
+
+constexpr uint32_t kSearcherMagic = 0x554a5358;  // "UJSX"
+constexpr uint32_t kSearcherVersion = 1;
+
+void SerializeUncertainString(const UncertainString& s, BinaryWriter* writer) {
+  writer->WriteI32(s.length());
+  for (int i = 0; i < s.length(); ++i) {
+    auto alts = s.AlternativesAt(i);
+    writer->WriteU32(static_cast<uint32_t>(alts.size()));
+    for (const CharProb& cp : alts) {
+      writer->WriteU8(static_cast<uint8_t>(cp.symbol));
+      writer->WriteDouble(cp.prob);
+    }
+  }
+}
+
+Result<UncertainString> DeserializeUncertainString(BinaryReader* reader) {
+  Result<int32_t> length = reader->ReadI32();
+  if (!length.ok()) return length.status();
+  if (*length < 0) {
+    return Status::InvalidArgument("corrupt searcher: negative length");
+  }
+  UncertainString::Builder builder;
+  for (int32_t i = 0; i < *length; ++i) {
+    Result<uint32_t> num_alts = reader->ReadU32();
+    if (!num_alts.ok()) return num_alts.status();
+    if (*num_alts == 0 || *num_alts > 256) {
+      return Status::InvalidArgument("corrupt searcher: bad alternative count");
+    }
+    std::vector<CharProb> alts;
+    alts.reserve(*num_alts);
+    for (uint32_t a = 0; a < *num_alts; ++a) {
+      Result<uint8_t> symbol = reader->ReadU8();
+      if (!symbol.ok()) return symbol.status();
+      Result<double> prob = reader->ReadDouble();
+      if (!prob.ok()) return prob.status();
+      alts.push_back(CharProb{static_cast<char>(*symbol), *prob});
+    }
+    builder.AddUncertain(std::move(alts));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Status SimilaritySearcher::Save(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU32(kSearcherMagic);
+  writer.WriteU32(kSearcherVersion);
+  writer.WriteI32(options_.k);
+  writer.WriteDouble(options_.tau);
+  writer.WriteI32(options_.q);
+  uint8_t flags = 0;
+  flags |= options_.use_qgram_filter ? 1 : 0;
+  flags |= options_.use_freq_filter ? 2 : 0;
+  flags |= options_.use_cdf_filter ? 4 : 0;
+  flags |= options_.qgram_probabilistic_pruning ? 8 : 0;
+  flags |= options_.always_verify ? 16 : 0;
+  flags |= options_.early_stop_verification ? 32 : 0;
+  writer.WriteU8(flags);
+  writer.WriteU8(static_cast<uint8_t>(options_.verify_method));
+  writer.WriteU64(collection_.size());
+  for (const UncertainString& s : collection_) {
+    SerializeUncertainString(s, &writer);
+  }
+  writer.WriteU8(options_.use_qgram_filter ? 1 : 0);
+  if (options_.use_qgram_filter) index_.Serialize(&writer);
+  return writer.WriteToFile(path);
+}
+
+Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
+                                                    const Alphabet& alphabet) {
+  Result<BinaryReader> reader_or = BinaryReader::FromFile(path);
+  if (!reader_or.ok()) return reader_or.status();
+  BinaryReader reader = std::move(reader_or).value();
+
+  Result<uint32_t> magic = reader.ReadU32();
+  if (!magic.ok()) return magic.status();
+  if (*magic != kSearcherMagic) {
+    return Status::InvalidArgument("not a ujoin searcher file");
+  }
+  Result<uint32_t> version = reader.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kSearcherVersion) {
+    return Status::InvalidArgument("unsupported searcher version " +
+                                   std::to_string(*version));
+  }
+  JoinOptions options;
+  Result<int32_t> k = reader.ReadI32();
+  if (!k.ok()) return k.status();
+  options.k = *k;
+  Result<double> tau = reader.ReadDouble();
+  if (!tau.ok()) return tau.status();
+  options.tau = *tau;
+  Result<int32_t> q = reader.ReadI32();
+  if (!q.ok()) return q.status();
+  options.q = *q;
+  if (options.k < 0 || options.q < 1 || options.tau < 0.0 ||
+      options.tau > 1.0) {
+    return Status::InvalidArgument("corrupt searcher: bad options");
+  }
+  Result<uint8_t> flags = reader.ReadU8();
+  if (!flags.ok()) return flags.status();
+  options.use_qgram_filter = *flags & 1;
+  options.use_freq_filter = *flags & 2;
+  options.use_cdf_filter = *flags & 4;
+  options.qgram_probabilistic_pruning = *flags & 8;
+  options.always_verify = *flags & 16;
+  options.early_stop_verification = *flags & 32;
+  Result<uint8_t> method = reader.ReadU8();
+  if (!method.ok()) return method.status();
+  if (*method > static_cast<uint8_t>(VerifyMethod::kNaive)) {
+    return Status::InvalidArgument("corrupt searcher: bad verify method");
+  }
+  options.verify_method = static_cast<VerifyMethod>(*method);
+
+  Result<uint64_t> count = reader.ReadU64();
+  if (!count.ok()) return count.status();
+  std::vector<UncertainString> collection;
+  collection.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    Result<UncertainString> s = DeserializeUncertainString(&reader);
+    if (!s.ok()) return s.status();
+    UJOIN_RETURN_IF_ERROR(ValidateString(*s, alphabet, "persisted string"));
+    collection.push_back(std::move(s).value());
+  }
+
+  Result<uint8_t> has_index = reader.ReadU8();
+  if (!has_index.ok()) return has_index.status();
+
+  SimilaritySearcher searcher(std::move(collection), alphabet, options);
+  if (*has_index != 0) {
+    Result<InvertedSegmentIndex> index =
+        InvertedSegmentIndex::Deserialize(&reader, options.probe);
+    if (!index.ok()) return index.status();
+    if (index->k() != options.k || index->q() != options.q) {
+      return Status::InvalidArgument(
+          "corrupt searcher: index parameters disagree with options");
+    }
+    searcher.index_ = std::move(index).value();
+  }
+  // Rebuild the cheap side structures.
+  int max_length = 0;
+  for (const UncertainString& s : searcher.collection_) {
+    max_length = std::max(max_length, s.length());
+  }
+  searcher.ids_by_length_.resize(static_cast<size_t>(max_length) + 1);
+  searcher.freq_summaries_.reserve(searcher.collection_.size());
+  for (uint32_t id = 0; id < searcher.collection_.size(); ++id) {
+    const UncertainString& s = searcher.collection_[id];
+    if (options.use_freq_filter) {
+      searcher.freq_summaries_.push_back(FrequencySummary::Build(s, alphabet));
+    }
+    searcher.ids_by_length_[static_cast<size_t>(s.length())].push_back(id);
+  }
+  return searcher;
+}
+
+Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
+    const std::vector<UncertainString>& queries, int threads) const {
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  threads = std::min(
+      threads, static_cast<int>(std::max<size_t>(queries.size(), 1)));
+  std::vector<Result<std::vector<SearchHit>>> results(
+      queries.size(), Result<std::vector<SearchHit>>(std::vector<SearchHit>{}));
+  if (threads == 1) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      results[i] = Search(queries[i]);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&]() {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= queries.size()) return;
+          results[i] = Search(queries[i]);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  std::vector<std::vector<SearchHit>> out;
+  out.reserve(queries.size());
+  for (Result<std::vector<SearchHit>>& r : results) {
+    if (!r.ok()) return r.status();
+    out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,99 @@
+#ifndef UJOIN_JOIN_SEARCH_H_
+#define UJOIN_JOIN_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "filter/freq_filter.h"
+#include "index/segment_index.h"
+#include "join/join_options.h"
+#include "join/join_stats.h"
+#include "text/alphabet.h"
+#include "text/uncertain_string.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief One hit of a similarity search: a collection index plus the match
+/// probability (exact when `exact`, else a certified CDF lower bound > τ).
+struct SearchHit {
+  uint32_t id;
+  double probability;
+  bool exact;
+
+  friend bool operator==(const SearchHit& a, const SearchHit& b) {
+    return a.id == b.id;
+  }
+  friend bool operator<(const SearchHit& a, const SearchHit& b) {
+    return a.id < b.id;
+  }
+};
+
+/// \brief Prebuilt similarity-search structure over an uncertain string
+/// collection: the inverted segment index plus the frequency side index.
+///
+/// Where the self-join interleaves querying and indexing, the searcher
+/// indexes the whole collection once and answers arbitrarily many
+/// (k, τ)-matching queries — the "similarity search" primitive the paper's
+/// filters were originally designed around (cf. [4, 6]).  Queries may be
+/// uncertain strings themselves; a deterministic query is simply the
+/// single-instance special case (Section 3.1).
+class SimilaritySearcher {
+ public:
+  /// Builds the index structures; the collection is copied in.
+  static Result<SimilaritySearcher> Create(
+      std::vector<UncertainString> collection, const Alphabet& alphabet,
+      const JoinOptions& options);
+
+  /// All ids with Pr(ed(query, S_id) <= k) > τ, sorted by id.
+  Result<std::vector<SearchHit>> Search(const UncertainString& query,
+                                        JoinStats* stats = nullptr) const;
+
+  /// The `count` most probable matches with Pr(ed <= k) > τ, sorted by
+  /// descending probability (ties by id).  Forces exact verification so
+  /// probabilities are comparable.
+  Result<std::vector<SearchHit>> SearchTopK(const UncertainString& query,
+                                            int count,
+                                            JoinStats* stats = nullptr) const;
+
+  /// Answers many queries, optionally in parallel (`threads` <= 0 picks the
+  /// hardware concurrency).  The searcher is immutable after Create, so
+  /// concurrent Search calls are safe; results arrive in query order.
+  Result<std::vector<std::vector<SearchHit>>> SearchMany(
+      const std::vector<UncertainString>& queries, int threads = 1) const;
+
+  const std::vector<UncertainString>& collection() const {
+    return collection_;
+  }
+  size_t IndexMemoryUsage() const { return index_.MemoryUsage(); }
+
+  /// Persists the searcher (join options, collection with full-precision
+  /// probabilities, and the inverted segment index) to `path`.  Frequency
+  /// summaries are cheap and rebuilt at load time.
+  Status Save(const std::string& path) const;
+
+  /// Restores a searcher written by Save.  The alphabet must contain every
+  /// symbol of the persisted collection; corrupt or truncated files are
+  /// rejected with InvalidArgument.
+  static Result<SimilaritySearcher> Load(const std::string& path,
+                                         const Alphabet& alphabet);
+
+ private:
+  SimilaritySearcher(std::vector<UncertainString> collection,
+                     const Alphabet& alphabet, const JoinOptions& options);
+
+  Result<std::vector<SearchHit>> SearchImpl(const UncertainString& query,
+                                            JoinStats* stats,
+                                            bool force_exact) const;
+
+  std::vector<UncertainString> collection_;
+  const Alphabet alphabet_;
+  JoinOptions options_;
+  InvertedSegmentIndex index_;
+  std::vector<FrequencySummary> freq_summaries_;
+  std::vector<std::vector<uint32_t>> ids_by_length_;  // indexed by length
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_JOIN_SEARCH_H_

@@ -1,0 +1,232 @@
+#include "join/self_join.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <optional>
+
+#include "filter/cdf_filter.h"
+#include "filter/freq_filter.h"
+#include "index/segment_index.h"
+#include "join/pair_verifier.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace ujoin {
+
+namespace {
+
+Status ValidateCollection(const std::vector<UncertainString>& collection,
+                          const Alphabet& alphabet) {
+  for (size_t i = 0; i < collection.size(); ++i) {
+    const UncertainString& s = collection[i];
+    if (s.empty()) {
+      return Status::InvalidArgument("string " + std::to_string(i) +
+                                     " is empty");
+    }
+    for (int pos = 0; pos < s.length(); ++pos) {
+      for (const CharProb& cp : s.AlternativesAt(pos)) {
+        if (!alphabet.Contains(cp.symbol)) {
+          return Status::InvalidArgument(
+              std::string("string ") + std::to_string(i) + " uses symbol '" +
+              cp.symbol + "' outside the alphabet");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Visiting order: ascending length, ties by original index.  The index is
+// queried before insertion, so each unordered pair is examined exactly once.
+std::vector<uint32_t> LengthSortedOrder(
+    const std::vector<UncertainString>& collection) {
+  std::vector<uint32_t> order(collection.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return collection[a].length() < collection[b].length();
+  });
+  return order;
+}
+
+void EmitPair(uint32_t a, uint32_t b, double probability, bool exact,
+              std::vector<JoinPair>* pairs) {
+  if (a > b) std::swap(a, b);
+  pairs->push_back(JoinPair{a, b, probability, exact});
+}
+
+}  // namespace
+
+Result<SelfJoinResult> SimilaritySelfJoin(
+    const std::vector<UncertainString>& collection, const Alphabet& alphabet,
+    const JoinOptions& options) {
+  UJOIN_CHECK(options.k >= 0 && options.q >= 1);
+  UJOIN_CHECK(options.tau >= 0.0 && options.tau <= 1.0);
+  UJOIN_RETURN_IF_ERROR(ValidateCollection(collection, alphabet));
+
+  SelfJoinResult result;
+  JoinStats& stats = result.stats;
+  Timer total_timer;
+
+  const std::vector<uint32_t> order = LengthSortedOrder(collection);
+  std::vector<int> visited_lengths;  // ascending; internal id -> length
+  visited_lengths.reserve(order.size());
+
+  InvertedSegmentIndex index(options.k, options.q, options.probe);
+  std::vector<FrequencySummary> freq_summaries;
+  if (options.use_freq_filter) freq_summaries.reserve(order.size());
+
+  // The q-gram stage prunes with Theorem 2's bound only when probabilistic
+  // pruning is on; otherwise only the exact support condition applies.
+  const double qgram_tau =
+      options.qgram_probabilistic_pruning ? options.tau : 0.0;
+
+  std::vector<uint32_t> candidates;
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    const UncertainString& r = collection[order[i]];
+    const int len = r.length();
+
+    // ---- candidate generation -------------------------------------------
+    // Previously visited strings with length in [len - k, len] (visited
+    // strings are never longer than the current one).
+    const auto window_begin = std::lower_bound(
+        visited_lengths.begin(), visited_lengths.end(), len - options.k);
+    const int64_t in_window =
+        visited_lengths.end() - window_begin;
+    stats.length_compatible_pairs += in_window;
+
+    candidates.clear();
+    if (options.use_qgram_filter) {
+      ScopedTimer timer(&stats.qgram_time);
+      for (int l = std::max(1, len - options.k); l <= len; ++l) {
+        std::vector<IndexCandidate> found =
+            index.Query(r, l, qgram_tau, &stats.index_stats);
+        for (const IndexCandidate& c : found) candidates.push_back(c.id);
+      }
+      stats.qgram_candidates += static_cast<int64_t>(candidates.size());
+    } else {
+      const uint32_t first =
+          static_cast<uint32_t>(window_begin - visited_lengths.begin());
+      for (uint32_t j = first; j < i; ++j) candidates.push_back(j);
+      stats.qgram_candidates += static_cast<int64_t>(candidates.size());
+    }
+
+    // R's own frequency summary must exist before the cascade touches it.
+    if (options.use_freq_filter) {
+      ScopedTimer timer(&stats.freq_time);
+      freq_summaries.push_back(FrequencySummary::Build(r, alphabet));
+    }
+
+    // ---- per-candidate filter cascade ------------------------------------
+    internal::PairVerifier verifier(r, options);
+    for (uint32_t j : candidates) {
+      const UncertainString& s = collection[order[j]];
+
+      if (options.use_freq_filter) {
+        ScopedTimer timer(&stats.freq_time);
+        const FreqFilterOutcome freq = EvaluateFreqFilter(
+            freq_summaries[i], freq_summaries[j], options.k);
+        if (freq.fd_lower_bound > options.k) {
+          ++stats.freq_lower_pruned;
+          continue;
+        }
+        if (freq.upper_bound <= options.tau) {
+          ++stats.freq_upper_pruned;
+          continue;
+        }
+      }
+      ++stats.freq_candidates;
+
+      bool need_verify = true;
+      double accepted_lower_bound = 0.0;
+      if (options.use_cdf_filter) {
+        ScopedTimer timer(&stats.cdf_time);
+        const CdfFilterOutcome cdf =
+            EvaluateCdfFilter(r, s, options.k, options.tau);
+        if (cdf.decision == CdfDecision::kReject) {
+          ++stats.cdf_rejected;
+          continue;
+        }
+        if (cdf.decision == CdfDecision::kAccept) {
+          ++stats.cdf_accepted;
+          if (!options.always_verify) {
+            accepted_lower_bound =
+                cdf.bounds.lower[static_cast<size_t>(options.k)];
+            need_verify = false;
+          }
+        } else {
+          ++stats.cdf_undecided;
+        }
+      }
+
+      if (!need_verify) {
+        ++stats.result_pairs;
+        EmitPair(order[i], order[j], accepted_lower_bound, /*exact=*/false,
+                 &result.pairs);
+        continue;
+      }
+
+      ScopedTimer timer(&stats.verify_time);
+      ++stats.verified_pairs;
+      Result<ThresholdVerdict> verdict =
+          verifier.Decide(s, options.tau, &stats.verify_stats);
+      if (!verdict.ok()) return verdict.status();
+      if (verdict->similar) {
+        ++stats.result_pairs;
+        EmitPair(order[i], order[j], verdict->lower, verdict->exact,
+                 &result.pairs);
+      }
+    }
+
+    // ---- make the current string visible to later probes -----------------
+    if (options.use_qgram_filter) {
+      ScopedTimer timer(&stats.index_build_time);
+      UJOIN_RETURN_IF_ERROR(index.Insert(i, r));
+      stats.peak_index_memory =
+          std::max(stats.peak_index_memory, index.MemoryUsage());
+    }
+    visited_lengths.push_back(len);
+  }
+
+  std::sort(result.pairs.begin(), result.pairs.end());
+  stats.total_time = total_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<SelfJoinResult> ExhaustiveSelfJoin(
+    const std::vector<UncertainString>& collection, const Alphabet& alphabet,
+    const JoinOptions& options) {
+  UJOIN_RETURN_IF_ERROR(ValidateCollection(collection, alphabet));
+  SelfJoinResult result;
+  Timer total_timer;
+  const std::vector<uint32_t> order = LengthSortedOrder(collection);
+  std::vector<int> visited_lengths;
+  visited_lengths.reserve(order.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    const UncertainString& r = collection[order[i]];
+    const auto window_begin =
+        std::lower_bound(visited_lengths.begin(), visited_lengths.end(),
+                         r.length() - options.k);
+    const uint32_t first =
+        static_cast<uint32_t>(window_begin - visited_lengths.begin());
+    internal::PairVerifier verifier(r, options);
+    for (uint32_t j = first; j < i; ++j) {
+      ++result.stats.length_compatible_pairs;
+      ++result.stats.verified_pairs;
+      Result<double> prob =
+          verifier.Probability(collection[order[j]], &result.stats.verify_stats);
+      if (!prob.ok()) return prob.status();
+      if (prob.value() > options.tau) {
+        ++result.stats.result_pairs;
+        EmitPair(order[i], order[j], prob.value(), /*exact=*/true,
+                 &result.pairs);
+      }
+    }
+    visited_lengths.push_back(r.length());
+  }
+  std::sort(result.pairs.begin(), result.pairs.end());
+  result.stats.total_time = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,36 @@
+#ifndef UJOIN_JOIN_UJOIN_H_
+#define UJOIN_JOIN_UJOIN_H_
+
+/// \file
+/// \brief Umbrella header: the full public API of ujoin, the similarity-join
+/// library for character-level uncertain strings (reproduction of Patil &
+/// Shah, "Similarity Joins for Uncertain Strings", SIGMOD 2014).
+///
+/// Typical use:
+///
+///   ujoin::Alphabet dna = ujoin::Alphabet::Dna();
+///   auto s = ujoin::UncertainString::Parse(
+///       "A{(C,0.5),(G,0.5)}A{(C,0.5),(G,0.5)}AC", dna);
+///   ujoin::JoinOptions opt = ujoin::JoinOptions::Qfct(/*k=*/2, /*tau=*/0.1);
+///   auto result = ujoin::SimilaritySelfJoin(collection, dna, opt);
+///   for (const ujoin::JoinPair& p : result->pairs) { ... }
+
+#include "filter/cdf_filter.h"
+#include "filter/freq_filter.h"
+#include "filter/qgram_filter.h"
+#include "index/segment_index.h"
+#include "join/cross_join.h"
+#include "join/join_options.h"
+#include "join/join_stats.h"
+#include "join/search.h"
+#include "join/self_join.h"
+#include "join/string_level_join.h"
+#include "text/alphabet.h"
+#include "text/edit_distance.h"
+#include "text/possible_worlds.h"
+#include "text/string_level.h"
+#include "text/uncertain_string.h"
+#include "util/status.h"
+#include "verify/verifier.h"
+
+#endif  // UJOIN_JOIN_UJOIN_H_

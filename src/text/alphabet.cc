@@ -1,0 +1,46 @@
+#include "text/alphabet.h"
+
+#include "util/check.h"
+
+namespace ujoin {
+
+Result<Alphabet> Alphabet::Create(std::string_view chars) {
+  if (chars.empty()) {
+    return Status::InvalidArgument("alphabet must contain at least one symbol");
+  }
+  Alphabet a;
+  for (char c : chars) {
+    if (a.Contains(c)) {
+      return Status::InvalidArgument(std::string("duplicate symbol '") + c +
+                                     "' in alphabet");
+    }
+    a.index_[static_cast<unsigned char>(c)] =
+        static_cast<int16_t>(a.symbols_.size());
+    a.symbols_.push_back(c);
+  }
+  return a;
+}
+
+namespace {
+
+Alphabet MustCreate(std::string_view chars) {
+  Result<Alphabet> r = Alphabet::Create(chars);
+  UJOIN_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+Alphabet Alphabet::Dna() { return MustCreate("ACGT"); }
+
+Alphabet Alphabet::Names() { return MustCreate("abcdefghijklmnopqrstuvwxyz "); }
+
+Alphabet Alphabet::Protein() {
+  // 20 standard amino acids plus the ambiguity codes B and Z (|Σ| = 22),
+  // matching the alphabet size reported for the paper's protein dataset.
+  return MustCreate("ACDEFGHIKLMNPQRSTVWYBZ");
+}
+
+Alphabet Alphabet::Uppercase() { return MustCreate("ABCDEFGHIJKLMNOPQRSTUVWXYZ"); }
+
+}  // namespace ujoin

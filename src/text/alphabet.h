@@ -1,0 +1,60 @@
+#ifndef UJOIN_TEXT_ALPHABET_H_
+#define UJOIN_TEXT_ALPHABET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief Finite symbol set Σ over which (uncertain) strings are defined.
+///
+/// An alphabet maps raw bytes to dense indices [0, size) so that frequency
+/// vectors and per-character tables can be plain arrays.  The factories below
+/// mirror the alphabets used in the paper's experiments: author names
+/// (|Σ| = 27), protein sequences (|Σ| = 22), plus DNA for examples and tests.
+class Alphabet {
+ public:
+  /// Builds an alphabet from the distinct characters of `chars` (order kept).
+  static Result<Alphabet> Create(std::string_view chars);
+
+  /// `ACGT` — used by the paper's running examples (Table 1).
+  static Alphabet Dna();
+
+  /// Lowercase letters plus space: the dblp author-name alphabet (|Σ| = 27).
+  static Alphabet Names();
+
+  /// Twenty-two amino-acid letters (20 standard + B, Z), |Σ| = 22.
+  static Alphabet Protein();
+
+  /// Uppercase A–Z, handy for tests.
+  static Alphabet Uppercase();
+
+  /// Number of symbols.
+  int size() const { return static_cast<int>(symbols_.size()); }
+
+  /// Dense index of `c`, or -1 when `c` is not in the alphabet.
+  int IndexOf(char c) const { return index_[static_cast<unsigned char>(c)]; }
+
+  /// True when `c` belongs to the alphabet.
+  bool Contains(char c) const { return IndexOf(c) >= 0; }
+
+  /// Symbol at dense index `i` (0 <= i < size()).
+  char SymbolAt(int i) const { return symbols_[static_cast<size_t>(i)]; }
+
+  /// All symbols in index order.
+  const std::string& symbols() const { return symbols_; }
+
+ private:
+  Alphabet() { index_.fill(-1); }
+
+  std::string symbols_;
+  std::array<int16_t, 256> index_;
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_TEXT_ALPHABET_H_

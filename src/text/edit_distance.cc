@@ -1,0 +1,93 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace ujoin {
+
+int EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter: O(|b|) space
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  std::vector<int> row(static_cast<size_t>(m) + 1);
+  for (int j = 0; j <= m; ++j) row[static_cast<size_t>(j)] = j;
+  for (int i = 1; i <= n; ++i) {
+    int diag = row[0];  // DP[i-1][0]
+    row[0] = i;
+    for (int j = 1; j <= m; ++j) {
+      const int up = row[static_cast<size_t>(j)];
+      const int cost = (a[static_cast<size_t>(i - 1)] ==
+                        b[static_cast<size_t>(j - 1)])
+                           ? 0
+                           : 1;
+      row[static_cast<size_t>(j)] =
+          std::min({diag + cost, up + 1, row[static_cast<size_t>(j - 1)] + 1});
+      diag = up;
+    }
+  }
+  return row[static_cast<size_t>(m)];
+}
+
+int BoundedEditDistance(std::string_view a, std::string_view b, int k) {
+  if (k < 0) return k + 1;  // no distance is <= a negative threshold
+  if (a.size() < b.size()) std::swap(a, b);
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n - m > k) return k + 1;
+  if (m == 0) return n <= k ? n : k + 1;
+
+  // Banded DP over rows of `a`: only cells with |i - j| <= k can be <= k.
+  const int kInf = k + 1;
+  const int width = 2 * k + 1;
+  // band[d] holds DP[i][i + d - k] for d in [0, width).
+  std::vector<int> band(static_cast<size_t>(width), kInf);
+  std::vector<int> next(static_cast<size_t>(width), kInf);
+  // Row 0: DP[0][j] = j for j <= k.
+  for (int d = k; d < width; ++d) {
+    const int j = d - k;
+    if (j <= m) band[static_cast<size_t>(d)] = j;
+  }
+  for (int i = 1; i <= n; ++i) {
+    std::fill(next.begin(), next.end(), kInf);
+    int row_min = kInf;
+    const int j_lo = std::max(0, i - k);
+    const int j_hi = std::min(m, i + k);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const int d = j - i + k;
+      int best = kInf;
+      if (j == 0) {
+        best = i;  // first column
+      } else {
+        // Diagonal DP[i-1][j-1] sits at the same offset d in the previous row.
+        const int diag = band[static_cast<size_t>(d)];
+        const int cost = (a[static_cast<size_t>(i - 1)] ==
+                          b[static_cast<size_t>(j - 1)])
+                             ? 0
+                             : 1;
+        best = diag == kInf ? kInf : std::min(kInf, diag + cost);
+        // Up: DP[i-1][j] at offset d+1.
+        if (d + 1 < width && band[static_cast<size_t>(d + 1)] < kInf) {
+          best = std::min(best, band[static_cast<size_t>(d + 1)] + 1);
+        }
+        // Left: DP[i][j-1] at offset d-1 in the current row.
+        if (d - 1 >= 0 && next[static_cast<size_t>(d - 1)] < kInf) {
+          best = std::min(best, next[static_cast<size_t>(d - 1)] + 1);
+        }
+      }
+      next[static_cast<size_t>(d)] = std::min(best, kInf);
+      row_min = std::min(row_min, next[static_cast<size_t>(d)]);
+    }
+    if (row_min >= kInf) return k + 1;  // prefix pruning: whole band exceeded
+    band.swap(next);
+  }
+  const int d = m - n + k;
+  if (d < 0 || d >= width) return k + 1;
+  return std::min(band[static_cast<size_t>(d)], kInf);
+}
+
+bool WithinEditDistance(std::string_view a, std::string_view b, int k) {
+  return BoundedEditDistance(a, b, k) <= k;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,23 @@
+#ifndef UJOIN_TEXT_EDIT_DISTANCE_H_
+#define UJOIN_TEXT_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace ujoin {
+
+/// Levenshtein edit distance between deterministic strings: the minimum
+/// number of single-character insertions, deletions and substitutions
+/// transforming `a` into `b`.  O(|a|·|b|) time, O(min) space.
+int EditDistance(std::string_view a, std::string_view b);
+
+/// Thresholded edit distance: returns ed(a, b) when it is at most `k`, and
+/// k+1 otherwise.  Banded DP in O((2k+1)·min(|a|,|b|)) time — the workhorse
+/// for verification, where `k` is small.
+int BoundedEditDistance(std::string_view a, std::string_view b, int k);
+
+/// True when ed(a, b) <= k.
+bool WithinEditDistance(std::string_view a, std::string_view b, int k);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,36 @@
+#include "text/frequency.h"
+
+#include "util/check.h"
+
+namespace ujoin {
+
+Result<FrequencyVector> MakeFrequencyVector(std::string_view s,
+                                            const Alphabet& alphabet) {
+  FrequencyVector f(static_cast<size_t>(alphabet.size()), 0);
+  for (char c : s) {
+    const int idx = alphabet.IndexOf(c);
+    if (idx < 0) {
+      return Status::InvalidArgument(std::string("symbol '") + c +
+                                     "' is not in the alphabet");
+    }
+    ++f[static_cast<size_t>(idx)];
+  }
+  return f;
+}
+
+int FrequencyDistance(const FrequencyVector& fr, const FrequencyVector& fs) {
+  UJOIN_CHECK(fr.size() == fs.size());
+  int pos_surplus = 0;
+  int neg_surplus = 0;
+  for (size_t i = 0; i < fr.size(); ++i) {
+    const int diff = fr[i] - fs[i];
+    if (diff > 0) {
+      pos_surplus += diff;
+    } else {
+      neg_surplus -= diff;
+    }
+  }
+  return pos_surplus > neg_surplus ? pos_surplus : neg_surplus;
+}
+
+}  // namespace ujoin

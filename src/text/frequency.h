@@ -1,0 +1,28 @@
+#ifndef UJOIN_TEXT_FREQUENCY_H_
+#define UJOIN_TEXT_FREQUENCY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "text/alphabet.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief Per-symbol occurrence counts f(s) of a deterministic string
+/// (Section 2.2).  Index i counts alphabet symbol i.
+using FrequencyVector = std::vector<int>;
+
+/// Builds the frequency vector of `s`; fails when `s` contains a symbol
+/// outside `alphabet`.
+Result<FrequencyVector> MakeFrequencyVector(std::string_view s,
+                                            const Alphabet& alphabet);
+
+/// Frequency distance fd(r, s) = max(pD, nD) where pD sums positive surpluses
+/// of r over s and nD the reverse.  fd lower-bounds the edit distance
+/// (Kahveci & Singh), which is what makes it a safe pruning signal.
+int FrequencyDistance(const FrequencyVector& fr, const FrequencyVector& fs);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_TEXT_FREQUENCY_H_

@@ -1,0 +1,62 @@
+#include "text/possible_worlds.h"
+
+#include "util/check.h"
+
+namespace ujoin {
+
+WorldEnumerator::WorldEnumerator(const UncertainString& s) : s_(s) { Reset(); }
+
+void WorldEnumerator::Reset() {
+  uncertain_positions_.clear();
+  current_.resize(static_cast<size_t>(s_.length()));
+  for (int i = 0; i < s_.length(); ++i) {
+    current_[static_cast<size_t>(i)] = s_.AlternativesAt(i)[0].symbol;
+    if (s_.NumAlternatives(i) > 1) uncertain_positions_.push_back(i);
+  }
+  choice_.assign(uncertain_positions_.size(), 0);
+  done_ = false;
+}
+
+bool WorldEnumerator::Next(std::string* instance, double* prob) {
+  if (done_) return false;
+  // Emit the current odometer state.
+  double p = 1.0;
+  for (size_t u = 0; u < uncertain_positions_.size(); ++u) {
+    const int pos = uncertain_positions_[u];
+    p *= s_.AlternativesAt(pos)[static_cast<size_t>(choice_[u])].prob;
+  }
+  *instance = current_;
+  *prob = p;
+  // Advance the odometer (least-significant digit last).
+  for (size_t u = uncertain_positions_.size(); u-- > 0;) {
+    const int pos = uncertain_positions_[u];
+    if (choice_[u] + 1 < s_.NumAlternatives(pos)) {
+      ++choice_[u];
+      current_[static_cast<size_t>(pos)] =
+          s_.AlternativesAt(pos)[static_cast<size_t>(choice_[u])].symbol;
+      return true;
+    }
+    choice_[u] = 0;
+    current_[static_cast<size_t>(pos)] = s_.AlternativesAt(pos)[0].symbol;
+  }
+  done_ = true;
+  return true;
+}
+
+Result<std::vector<std::pair<std::string, double>>> AllWorlds(
+    const UncertainString& s, int64_t max_worlds) {
+  const int64_t count = s.WorldCount();
+  if (count > max_worlds) {
+    return Status::ResourceExhausted(
+        "string has " + std::to_string(count) +
+        " possible worlds, more than the cap of " + std::to_string(max_worlds));
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(static_cast<size_t>(count));
+  ForEachWorld(s, [&](const std::string& instance, double prob) {
+    out.emplace_back(instance, prob);
+  });
+  return out;
+}
+
+}  // namespace ujoin

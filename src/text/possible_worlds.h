@@ -1,0 +1,63 @@
+#ifndef UJOIN_TEXT_POSSIBLE_WORLDS_H_
+#define UJOIN_TEXT_POSSIBLE_WORLDS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/uncertain_string.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief Streams the possible worlds Ω of an uncertain string.
+///
+/// Each world is a deterministic instance together with its existence
+/// probability; probabilities over all worlds sum to 1.  Enumeration order is
+/// lexicographic in the per-position alternative indices (an odometer over
+/// the uncertain positions), so it is deterministic and instances sharing a
+/// prefix of alternative choices are adjacent.
+///
+///   WorldEnumerator worlds(s);
+///   std::string instance; double prob;
+///   while (worlds.Next(&instance, &prob)) { ... }
+///
+/// The caller is responsible for checking `s.WorldCount()` beforehand when
+/// exponential blow-up is a concern; AllWorlds() below enforces a cap.
+class WorldEnumerator {
+ public:
+  explicit WorldEnumerator(const UncertainString& s);
+
+  /// Produces the next world; returns false when Ω is exhausted.
+  bool Next(std::string* instance, double* prob);
+
+  /// Restarts enumeration from the first world.
+  void Reset();
+
+ private:
+  const UncertainString& s_;
+  std::vector<int> uncertain_positions_;
+  std::vector<int> choice_;  // current alternative index per uncertain position
+  std::string current_;      // instance under construction
+  bool done_ = false;
+};
+
+/// Materializes all possible worlds of `s`.  Fails with ResourceExhausted
+/// when the world count exceeds `max_worlds`.
+Result<std::vector<std::pair<std::string, double>>> AllWorlds(
+    const UncertainString& s, int64_t max_worlds = 1 << 20);
+
+/// Invokes `fn(instance, prob)` for every possible world of `s`.
+template <typename Fn>
+void ForEachWorld(const UncertainString& s, Fn&& fn) {
+  WorldEnumerator worlds(s);
+  std::string instance;
+  double prob;
+  while (worlds.Next(&instance, &prob)) {
+    fn(static_cast<const std::string&>(instance), prob);
+  }
+}
+
+}  // namespace ujoin
+
+#endif  // UJOIN_TEXT_POSSIBLE_WORLDS_H_

@@ -1,0 +1,180 @@
+#include "text/string_level.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "text/edit_distance.h"
+#include "text/possible_worlds.h"
+#include "util/check.h"
+#include "util/math_util.h"
+
+namespace ujoin {
+
+namespace {
+constexpr double kSumTolerance = 1e-6;
+}  // namespace
+
+StringLevelUncertainString::StringLevelUncertainString(
+    std::vector<Instance> instances)
+    : instances_(std::move(instances)) {
+  UJOIN_CHECK(!instances_.empty());
+  std::sort(instances_.begin(), instances_.end(),
+            [](const Instance& a, const Instance& b) {
+              if (a.prob != b.prob) return a.prob > b.prob;
+              return a.text < b.text;
+            });
+  min_length_ = max_length_ = static_cast<int>(instances_[0].text.size());
+  for (const Instance& inst : instances_) {
+    const int len = static_cast<int>(inst.text.size());
+    min_length_ = std::min(min_length_, len);
+    max_length_ = std::max(max_length_, len);
+  }
+}
+
+Result<StringLevelUncertainString> StringLevelUncertainString::Create(
+    std::vector<Instance> instances) {
+  if (instances.empty()) {
+    return Status::InvalidArgument("a pdf needs at least one instance");
+  }
+  std::sort(instances.begin(), instances.end(),
+            [](const Instance& a, const Instance& b) {
+              return a.text < b.text;
+            });
+  double sum = 0.0;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i].prob <= 0.0) {
+      return Status::InvalidArgument("instance '" + instances[i].text +
+                                     "' has non-positive probability");
+    }
+    if (i > 0 && instances[i].text == instances[i - 1].text) {
+      return Status::InvalidArgument("duplicate instance '" +
+                                     instances[i].text + "'");
+    }
+    sum += instances[i].prob;
+  }
+  if (std::fabs(sum - 1.0) > kSumTolerance) {
+    return Status::InvalidArgument("instance probabilities sum to " +
+                                   std::to_string(sum) + ", expected 1");
+  }
+  for (Instance& inst : instances) inst.prob /= sum;
+  return StringLevelUncertainString(std::move(instances));
+}
+
+Result<StringLevelUncertainString> StringLevelUncertainString::FromCharacterLevel(
+    const UncertainString& s, int64_t max_worlds) {
+  Result<std::vector<std::pair<std::string, double>>> worlds =
+      AllWorlds(s, max_worlds);
+  if (!worlds.ok()) return worlds.status();
+  std::vector<Instance> instances;
+  instances.reserve(worlds->size());
+  for (auto& [text, prob] : *worlds) {
+    instances.push_back(Instance{std::move(text), prob});
+  }
+  return StringLevelUncertainString(std::move(instances));
+}
+
+Result<UncertainString> StringLevelUncertainString::ToCharacterLevel(
+    double tolerance) const {
+  // All instances must share one length.
+  if (min_length_ != max_length_) {
+    return Status::FailedPrecondition(
+        "instances have different lengths; the character-level model fixes "
+        "|S| across worlds");
+  }
+  const int len = max_length_;
+  // Marginal distribution per position.
+  std::vector<std::map<char, double>> marginals(static_cast<size_t>(len));
+  for (const Instance& inst : instances_) {
+    for (int i = 0; i < len; ++i) {
+      marginals[static_cast<size_t>(i)][inst.text[static_cast<size_t>(i)]] +=
+          inst.prob;
+    }
+  }
+  UncertainString::Builder builder;
+  for (int i = 0; i < len; ++i) {
+    std::vector<CharProb> alts;
+    for (const auto& [symbol, prob] : marginals[static_cast<size_t>(i)]) {
+      alts.push_back(CharProb{symbol, prob});
+    }
+    builder.AddUncertain(std::move(alts));
+  }
+  Result<UncertainString> converted = builder.Build();
+  if (!converted.ok()) return converted.status();
+  // The conversion is lossless only when the pdf factorizes: verify that
+  // the product of marginals reproduces each instance probability AND that
+  // the world counts agree (otherwise mass leaked onto new instances).
+  if (converted->WorldCount() != static_cast<int64_t>(instances_.size())) {
+    return Status::FailedPrecondition(
+        "pdf does not factorize into independent positions (world-count "
+        "mismatch)");
+  }
+  for (const Instance& inst : instances_) {
+    const double product = MatchProbability(inst.text, *converted);
+    if (std::fabs(product - inst.prob) > tolerance) {
+      return Status::FailedPrecondition(
+          "pdf does not factorize into independent positions (instance '" +
+          inst.text + "' has probability " + std::to_string(inst.prob) +
+          " but marginals give " + std::to_string(product) + ")");
+    }
+  }
+  return converted;
+}
+
+size_t StringLevelUncertainString::MemoryUsage() const {
+  size_t bytes = sizeof(*this) + instances_.capacity() * sizeof(Instance);
+  for (const Instance& inst : instances_) bytes += inst.text.capacity();
+  return bytes;
+}
+
+double StringLevelMatchProbability(const StringLevelUncertainString& a,
+                                   const StringLevelUncertainString& b,
+                                   int k) {
+  double total = 0.0;
+  for (const auto& ia : a.instances()) {
+    for (const auto& ib : b.instances()) {
+      if (WithinEditDistance(ia.text, ib.text, k)) {
+        total += ia.prob * ib.prob;
+      }
+    }
+  }
+  return ClampProb(total);
+}
+
+StringLevelVerdict DecideStringLevelSimilar(
+    const StringLevelUncertainString& a, const StringLevelUncertainString& b,
+    int k, double tau) {
+  UJOIN_CHECK(tau >= 0.0 && tau <= 1.0);
+  // Instances are sorted by descending probability, so the outer prefix
+  // mass shrinks fast; `remaining` upper-bounds everything undecided.
+  double matched = 0.0;
+  double resolved = 0.0;
+  for (const auto& ia : a.instances()) {
+    for (const auto& ib : b.instances()) {
+      const double mass = ia.prob * ib.prob;
+      if (WithinEditDistance(ia.text, ib.text, k)) matched += mass;
+      resolved += mass;
+      if (matched > tau || matched + (1.0 - resolved) <= tau) {
+        const bool finished = resolved >= 1.0 - kProbEpsilon;
+        return StringLevelVerdict{matched > tau, ClampProb(matched),
+                                  ClampProb(matched + (1.0 - resolved)),
+                                  finished};
+      }
+    }
+  }
+  const double exact = ClampProb(matched);
+  return StringLevelVerdict{exact > tau, exact, exact, true};
+}
+
+double StringLevelExpectedEditDistance(const StringLevelUncertainString& a,
+                                       const StringLevelUncertainString& b) {
+  double total = 0.0;
+  for (const auto& ia : a.instances()) {
+    for (const auto& ib : b.instances()) {
+      total += ia.prob * ib.prob * EditDistance(ia.text, ib.text);
+    }
+  }
+  return total;
+}
+
+}  // namespace ujoin

@@ -1,0 +1,97 @@
+#ifndef UJOIN_TEXT_STRING_LEVEL_H_
+#define UJOIN_TEXT_STRING_LEVEL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/uncertain_string.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief A string-level uncertain string (Section 1): an explicit
+/// probability distribution over complete instances.
+///
+/// This is the second uncertainty model of Jestes et al. [10].  Unlike the
+/// character-level model it can express correlations between positions and
+/// instances of *different lengths*, at the cost of enumerating the pdf
+/// explicitly.  ujoin supports it as a first-class citizen: exact (k, τ)
+/// matching, eed, conversions to/from the character-level model, and a
+/// self-join (join/string_level_join.h).
+///
+/// Instances are stored sorted by descending probability (ties broken by
+/// instance text), which the verification early-termination exploits.
+class StringLevelUncertainString {
+ public:
+  struct Instance {
+    std::string text;
+    double prob;
+  };
+
+  /// Validates (non-empty, distinct instances, positive probabilities
+  /// summing to 1 within tolerance) and normalizes.
+  static Result<StringLevelUncertainString> Create(
+      std::vector<Instance> instances);
+
+  /// Expands a character-level string into its explicit pdf; fails with
+  /// ResourceExhausted beyond `max_worlds` instances.
+  static Result<StringLevelUncertainString> FromCharacterLevel(
+      const UncertainString& s, int64_t max_worlds = 1 << 20);
+
+  /// Converts to the character-level model.  Succeeds only when the pdf
+  /// factorizes exactly into independent per-position distributions (equal
+  /// lengths and product-form probabilities); otherwise returns
+  /// FailedPrecondition — the character-level model cannot represent
+  /// correlated positions.
+  Result<UncertainString> ToCharacterLevel(double tolerance = 1e-9) const;
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const Instance& instance(int i) const {
+    return instances_[static_cast<size_t>(i)];
+  }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  int min_length() const { return min_length_; }
+  int max_length() const { return max_length_; }
+
+  /// The highest-probability instance.
+  const std::string& MostLikelyInstance() const { return instances_[0].text; }
+
+  size_t MemoryUsage() const;
+
+ private:
+  explicit StringLevelUncertainString(std::vector<Instance> instances);
+
+  std::vector<Instance> instances_;  // sorted by descending probability
+  int min_length_ = 0;
+  int max_length_ = 0;
+};
+
+/// Exact Pr(ed(A, B) <= k) under the joint (independent) distribution.
+/// O(|A| · |B|) thresholded edit-distance computations; instances are
+/// visited in decreasing probability so `tau_accept`/`tau_reject`-style
+/// callers can use DecideStringLevelSimilar below instead.
+double StringLevelMatchProbability(const StringLevelUncertainString& a,
+                                   const StringLevelUncertainString& b, int k);
+
+/// (k, τ) verdict with early termination: stops as soon as the accumulated
+/// matching mass exceeds τ or the undecided mass cannot lift it above τ.
+struct StringLevelVerdict {
+  bool similar;
+  double lower;
+  double upper;
+  bool exact;
+};
+StringLevelVerdict DecideStringLevelSimilar(
+    const StringLevelUncertainString& a, const StringLevelUncertainString& b,
+    int k, double tau);
+
+/// Expected edit distance under the string-level model.
+double StringLevelExpectedEditDistance(const StringLevelUncertainString& a,
+                                       const StringLevelUncertainString& b);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_TEXT_STRING_LEVEL_H_

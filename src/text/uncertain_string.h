@@ -1,0 +1,159 @@
+#ifndef UJOIN_TEXT_UNCERTAIN_STRING_H_
+#define UJOIN_TEXT_UNCERTAIN_STRING_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/alphabet.h"
+#include "util/status.h"
+
+namespace ujoin {
+
+/// \brief One alternative of an uncertain character: symbol plus probability.
+struct CharProb {
+  char symbol;
+  double prob;
+
+  friend bool operator==(const CharProb& a, const CharProb& b) {
+    return a.symbol == b.symbol && a.prob == b.prob;
+  }
+};
+
+/// \brief A character-level uncertain string (Section 1 of the paper).
+///
+/// S = S[1]S[2]...S[l] where each position holds a discrete distribution over
+/// the alphabet: S[i] = {(c_j, p_i(c_j))} with probabilities summing to 1.
+/// Positions are 0-based in this API (the paper uses 1-based positions).
+///
+/// Alternatives at each position are stored sorted by symbol in one flat
+/// array shared by all positions, so iteration is cache-friendly and a
+/// deterministic position costs a single entry.  A deterministic string is
+/// simply an uncertain string whose every position has one alternative.
+///
+/// Instances are immutable; use Builder or Parse to construct them.
+class UncertainString {
+ public:
+  class Builder;
+
+  /// Empty string.
+  UncertainString() { offsets_.push_back(0); }
+
+  /// Wraps a deterministic string (every position certain with probability 1).
+  static UncertainString FromDeterministic(std::string_view s);
+
+  /// Parses the paper's notation, e.g. `A{(C,0.5),(G,0.5)}A{(C,0.5),(G,0.5)}AC`.
+  ///
+  /// Every symbol must belong to `alphabet`; the probabilities of each
+  /// uncertain position must be positive and sum to 1 (within a small
+  /// tolerance; they are renormalized exactly).
+  static Result<UncertainString> Parse(std::string_view text,
+                                       const Alphabet& alphabet);
+
+  /// Number of positions l.  All possible instances share this length.
+  int length() const { return static_cast<int>(offsets_.size()) - 1; }
+
+  bool empty() const { return length() == 0; }
+
+  /// Number of alternatives at position i.
+  int NumAlternatives(int i) const {
+    return static_cast<int>(offsets_[i + 1] - offsets_[i]);
+  }
+
+  /// Alternatives at position i, sorted by symbol.
+  std::span<const CharProb> AlternativesAt(int i) const {
+    return {entries_.data() + offsets_[i], entries_.data() + offsets_[i + 1]};
+  }
+
+  /// True when position i is deterministic.
+  bool IsCertain(int i) const { return NumAlternatives(i) == 1; }
+
+  /// True when every position is deterministic.
+  bool IsDeterministic() const { return num_uncertain_ == 0; }
+
+  /// Number of uncertain (multi-alternative) positions.
+  int NumUncertainPositions() const { return num_uncertain_; }
+
+  /// p_i(c): probability of symbol `c` at position i (0 when absent).
+  double ProbabilityOf(int i, char c) const;
+
+  /// The highest-probability symbol at position i (ties broken by symbol).
+  char MostLikelySymbol(int i) const;
+
+  /// The instance formed by the most likely symbol at every position.
+  std::string MostLikelyInstance() const;
+
+  /// Number of possible worlds, saturated at kWorldCountCap.
+  int64_t WorldCount() const;
+
+  /// The uncertain substring S[pos .. pos+len-1].
+  UncertainString Substring(int pos, int len) const;
+
+  /// Concatenation (used e.g. by the Figure 9 self-append workload).
+  static UncertainString Concat(const UncertainString& a,
+                                const UncertainString& b);
+
+  /// Renders the paper's notation (inverse of Parse for valid input).
+  std::string ToString() const;
+
+  /// Structural equality: same symbols and identical probabilities.
+  friend bool operator==(const UncertainString& a, const UncertainString& b) {
+    return a.offsets_ == b.offsets_ && a.entries_ == b.entries_;
+  }
+
+  /// Approximate size of this string's in-memory representation, in bytes.
+  size_t MemoryUsage() const {
+    return offsets_.capacity() * sizeof(uint32_t) +
+           entries_.capacity() * sizeof(CharProb);
+  }
+
+ private:
+  friend class Builder;
+
+  std::vector<uint32_t> offsets_;  // length() + 1 entries
+  std::vector<CharProb> entries_;  // alternatives, flat, sorted per position
+  int num_uncertain_ = 0;
+};
+
+/// \brief Incremental constructor for UncertainString with validation.
+class UncertainString::Builder {
+ public:
+  Builder() = default;
+
+  /// Appends a deterministic position.
+  Builder& AddCertain(char c);
+
+  /// Appends an uncertain position with the given alternatives.  Alternatives
+  /// are validated (distinct symbols, positive probabilities summing to 1
+  /// within tolerance) when Build() runs.
+  Builder& AddUncertain(std::vector<CharProb> alternatives);
+
+  /// Validates and produces the string; the builder is left empty.
+  Result<UncertainString> Build();
+
+ private:
+  UncertainString s_;
+  Status deferred_error_;
+};
+
+/// Probability that deterministic `w` matches T starting at 0-based `start`:
+/// Π_j p_{start+j}(w[j]).  Returns 0 when the window exceeds T.
+double MatchProbabilityAt(std::string_view w, const UncertainString& t,
+                          int start);
+
+/// Probability that deterministic `w` equals T (0 unless lengths agree).
+double MatchProbability(std::string_view w, const UncertainString& t);
+
+/// Probability that uncertain W matches T starting at `start`:
+/// Π_j Σ_c Pr(W[j]=c)·Pr(T[start+j]=c).
+double MatchProbabilityAt(const UncertainString& w, const UncertainString& t,
+                          int start);
+
+/// Probability that uncertain W equals T (0 unless lengths agree).
+double MatchProbability(const UncertainString& w, const UncertainString& t);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_TEXT_UNCERTAIN_STRING_H_

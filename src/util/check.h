@@ -1,0 +1,33 @@
+#ifndef UJOIN_UTIL_CHECK_H_
+#define UJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ujoin::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ujoin check failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ujoin::internal
+
+/// Aborts the process when an internal invariant is violated.  These guard
+/// programmer errors, not user input; user input errors surface as Status.
+#define UJOIN_CHECK(expr)                                         \
+  do {                                                            \
+    if (!(expr)) ::ujoin::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifndef NDEBUG
+#define UJOIN_DCHECK(expr) UJOIN_CHECK(expr)
+#else
+#define UJOIN_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#endif
+
+#endif  // UJOIN_UTIL_CHECK_H_

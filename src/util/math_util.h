@@ -1,0 +1,36 @@
+#ifndef UJOIN_UTIL_MATH_UTIL_H_
+#define UJOIN_UTIL_MATH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ujoin {
+
+/// Probabilities accumulated over many floating-point operations can drift a
+/// hair outside [0, 1]; tolerance used when validating / clamping them.
+inline constexpr double kProbEpsilon = 1e-9;
+
+/// Clamps a computed probability into [0, 1].
+inline double ClampProb(double p) { return std::clamp(p, 0.0, 1.0); }
+
+/// True when |a - b| is within an absolute-plus-relative tolerance; used by
+/// internal sanity checks on probability arithmetic.
+inline bool ApproxEqual(double a, double b, double tol = kProbEpsilon) {
+  return std::fabs(a - b) <= tol * (1.0 + std::max(std::fabs(a), std::fabs(b)));
+}
+
+/// Saturating multiply for world counts: the number of possible worlds of an
+/// uncertain string overflows int64 quickly, so counting code saturates at
+/// kWorldCountCap instead of overflowing.
+inline constexpr int64_t kWorldCountCap = INT64_MAX / 2;
+
+inline int64_t SaturatingMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a > kWorldCountCap / b) return kWorldCountCap;
+  return a * b;
+}
+
+}  // namespace ujoin
+
+#endif  // UJOIN_UTIL_MATH_UTIL_H_

@@ -1,0 +1,91 @@
+#ifndef UJOIN_UTIL_RNG_H_
+#define UJOIN_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace ujoin {
+
+/// \brief Small, fast, deterministic pseudo-random generator (xoshiro256**).
+///
+/// Every randomized component in ujoin (data generation, property tests,
+/// benchmark workloads) takes an explicit seed so that runs are reproducible
+/// across machines; std::mt19937 distributions are implementation-defined,
+/// which is why we ship our own.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97f4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound); bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    UJOIN_DCHECK(bound > 0);
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible for
+    // the bounds used in this library (<< 2^32).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    UJOIN_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal variate (Marsaglia polar method).
+  double Normal() {
+    for (;;) {
+      double u = 2.0 * UniformDouble() - 1.0;
+      double v = 2.0 * UniformDouble() - 1.0;
+      double s = u * u + v * v;
+      if (s > 0.0 && s < 1.0) {
+        double factor = std::sqrt(-2.0 * std::log(s) / s);
+        return u * factor;
+      }
+    }
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_UTIL_RNG_H_

@@ -1,0 +1,24 @@
+#include "util/serde.h"
+
+#include <fstream>
+
+namespace ujoin {
+
+Status BinaryWriter::WriteToFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<BinaryReader> BinaryReader::FromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::string buffer((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read from '" + path + "' failed");
+  return BinaryReader(std::move(buffer));
+}
+
+}  // namespace ujoin

@@ -1,0 +1,121 @@
+#ifndef UJOIN_UTIL_STATUS_H_
+#define UJOIN_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ujoin {
+
+/// \brief Error category attached to a failed Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kIoError,
+  kInternal,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Success-or-error outcome of a fallible operation.
+///
+/// ujoin never throws across its public API: operations that can fail return a
+/// Status (or a Result<T>, below).  Statuses are cheap to copy in the success
+/// case and carry a code plus message otherwise.
+class Status {
+ public:
+  /// Constructs an OK (successful) status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Value-or-error result of a fallible operation producing a T.
+///
+/// A Result is either a value (status().ok()) or an error Status.  Accessing
+/// the value of an errored Result aborts, so call sites must check first:
+///
+///   Result<UncertainString> r = UncertainString::Parse(text, alphabet);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: makes `return some_t;` work.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error status (must not be OK).
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status from the enclosing function.
+#define UJOIN_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::ujoin::Status _ujoin_st = (expr);              \
+    if (!_ujoin_st.ok()) return _ujoin_st;           \
+  } while (0)
+
+}  // namespace ujoin
+
+#endif  // UJOIN_UTIL_STATUS_H_

@@ -1,0 +1,55 @@
+#ifndef UJOIN_UTIL_TIMER_H_
+#define UJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ujoin {
+
+/// \brief Monotonic wall-clock stopwatch used by the per-stage join
+/// statistics and the benchmark harnesses.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Adds the scope's wall time to an accumulator on destruction.
+///
+/// Used to attribute join time to pipeline stages without littering the
+/// driver with explicit stopwatch bookkeeping.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator_seconds)
+      : accumulator_(accumulator_seconds) {}
+  ~ScopedTimer() { *accumulator_ += timer_.ElapsedSeconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  Timer timer_;
+};
+
+}  // namespace ujoin
+
+#endif  // UJOIN_UTIL_TIMER_H_

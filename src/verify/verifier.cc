@@ -1,0 +1,256 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "text/edit_distance.h"
+#include "text/possible_worlds.h"
+#include "util/check.h"
+#include "util/math_util.h"
+#include "verify/compressed_verifier.h"
+
+namespace ujoin {
+
+namespace {
+
+/// One active-node entry: T_R node id and its exact edit distance (<= k)
+/// from the current T_S prefix.
+struct ActiveEntry {
+  int32_t node;
+  int32_t dist;
+};
+
+using ActiveSet = std::vector<ActiveEntry>;  // sorted by node id
+
+// Binary-searches `set` (sorted by node id) for `node`; -1 when absent.
+int32_t LookupDistance(const ActiveSet& set, int32_t node) {
+  auto it = std::lower_bound(
+      set.begin(), set.end(), node,
+      [](const ActiveEntry& e, int32_t id) { return e.node < id; });
+  if (it == set.end() || it->node != node) return -1;
+  return it->dist;
+}
+
+/// Walks the on-demand trie of S against a fixed T_R.
+///
+/// With a threshold τ >= 0 the walk terminates early: `total_` only grows
+/// and `resolved_` tracks the S-prefix mass whose contribution is final, so
+/// total_ > τ certifies "similar" and total_ + (1 - resolved_) <= τ
+/// certifies "not similar".
+class TrieWalker {
+ public:
+  TrieWalker(const InstanceTrie& trie, const UncertainString& s, int k,
+             VerifyStats* stats, double tau = -1.0)
+      : trie_(trie), s_(s), k_(k), tau_(tau), stats_(stats) {}
+
+  double Run() {
+    // Active set of the empty S-prefix: every T_R node of depth <= k, at
+    // distance equal to its depth.  BFS ids are level-ordered, so these
+    // nodes form a prefix of the id range.
+    ActiveSet root_active;
+    for (int32_t id = 0; id < trie_.num_nodes(); ++id) {
+      const auto& node = trie_.node(id);
+      if (node.depth > k_) break;
+      root_active.push_back(ActiveEntry{id, node.depth});
+    }
+    Recurse(0, 1.0, root_active);
+    return ClampProb(total_);
+  }
+
+  /// Certified lower / upper bounds after Run() (tight unless stopped).
+  double lower_bound() const { return ClampProb(total_); }
+  double upper_bound() const {
+    return ClampProb(total_ + (1.0 - resolved_));
+  }
+  bool stopped_early() const { return stopped_; }
+
+ private:
+  void Recurse(int depth, double prefix_prob, const ActiveSet& active) {
+    if (stats_ != nullptr) {
+      ++stats_->explored_s_nodes;
+      stats_->active_entries += static_cast<int64_t>(active.size());
+    }
+    if (depth == s_.length()) {
+      for (const ActiveEntry& e : active) {
+        if (trie_.IsLeaf(e.node)) {
+          total_ += prefix_prob * trie_.node(e.node).prob;
+        }
+      }
+      resolved_ += prefix_prob;
+      MaybeStop();
+      return;
+    }
+    for (const CharProb& cp : s_.AlternativesAt(depth)) {
+      if (stopped_) return;
+      const double child_prob = prefix_prob * cp.prob;
+      ActiveSet child = Extend(active, cp.symbol, depth + 1);
+      if (child.empty()) {
+        // Prefix pruning: the subtree contributes exactly 0.
+        resolved_ += child_prob;
+        MaybeStop();
+        continue;
+      }
+      Recurse(depth + 1, child_prob, child);
+    }
+  }
+
+  void MaybeStop() {
+    if (tau_ < 0.0) return;
+    if (total_ > tau_ || total_ + (1.0 - resolved_) <= tau_) stopped_ = true;
+  }
+
+  /// A(u·c) from A(u): D(u·c, v) = min over match/substitute (diagonal),
+  /// delete c (up), insert symbol(v) (left), exactly the edit-distance DP
+  /// evaluated over trie paths.
+  ///
+  /// Candidate nodes — the root, members of A(u), their children, and the
+  /// children of anything entering A(u·c) (insertion chains) — are visited
+  /// in id order so a node's parent is always resolved before the node.
+  /// Children occupy contiguous BFS id ranges, so the candidate stream is a
+  /// merge of intervals managed by a small binary heap (no per-element
+  /// allocations, unlike a node-based set).
+  ActiveSet Extend(const ActiveSet& active, char c, int new_len) {
+    ActiveSet next;
+    using Range = std::pair<int32_t, int32_t>;  // [current, end)
+    std::priority_queue<Range, std::vector<Range>, std::greater<Range>> heap;
+    auto push_children = [&](int32_t v) {
+      const auto& node = trie_.node(v);
+      if (node.num_children > 0) {
+        heap.push({node.first_child, node.first_child + node.num_children});
+      }
+    };
+    if (new_len <= k_) heap.push({trie_.root(), trie_.root() + 1});
+    for (const ActiveEntry& e : active) {
+      heap.push({e.node, e.node + 1});
+      push_children(e.node);
+    }
+    int32_t last = -1;
+    while (!heap.empty()) {
+      const auto [v, end] = heap.top();
+      heap.pop();
+      if (v + 1 < end) heap.push({v + 1, end});
+      if (v == last) continue;  // ranges may overlap: dedup on pop
+      last = v;
+      int32_t best;
+      if (v == trie_.root()) {
+        best = new_len;  // ed(u·c, ε) = |u·c|
+      } else {
+        const auto& node = trie_.node(v);
+        best = k_ + 1;
+        const int32_t parent_du = LookupDistance(active, node.parent);
+        if (parent_du >= 0) {
+          const int32_t cost = node.symbol == c ? 0 : 1;
+          best = std::min(best, parent_du + cost);  // diagonal
+        }
+        const int32_t self_du = LookupDistance(active, v);
+        if (self_du >= 0) best = std::min(best, self_du + 1);  // delete c
+        const int32_t parent_dnext = LookupDistance(next, node.parent);
+        if (parent_dnext >= 0) {
+          best = std::min(best, parent_dnext + 1);  // insert symbol(v)
+        }
+      }
+      if (best > k_) continue;
+      next.push_back(ActiveEntry{v, best});  // ids ascend: `next` stays sorted
+      push_children(v);
+    }
+    return next;
+  }
+
+  const InstanceTrie& trie_;
+  const UncertainString& s_;
+  const int k_;
+  const double tau_;  // negative disables early termination
+  VerifyStats* stats_;
+  double total_ = 0.0;     // accumulated matching mass (only grows)
+  double resolved_ = 0.0;  // S-prefix mass with a final contribution
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Result<TrieVerifier> TrieVerifier::Create(const UncertainString& r, int k,
+                                          const VerifyOptions& options) {
+  UJOIN_CHECK(k >= 0);
+  Result<InstanceTrie> trie = InstanceTrie::Build(r, options.max_trie_nodes);
+  if (!trie.ok()) return trie.status();
+  return TrieVerifier(std::move(trie).value(), k);
+}
+
+double TrieVerifier::Probability(const UncertainString& s,
+                                 VerifyStats* stats) const {
+  if (stats != nullptr) stats->r_trie_nodes += trie_.num_nodes();
+  TrieWalker walker(trie_, s, k_, stats);
+  return walker.Run();
+}
+
+ThresholdVerdict TrieVerifier::DecideSimilar(const UncertainString& s,
+                                             double tau,
+                                             VerifyStats* stats) const {
+  UJOIN_CHECK(tau >= 0.0 && tau <= 1.0);
+  if (stats != nullptr) stats->r_trie_nodes += trie_.num_nodes();
+  TrieWalker walker(trie_, s, k_, stats, tau);
+  walker.Run();
+  ThresholdVerdict verdict;
+  verdict.lower = walker.lower_bound();
+  verdict.upper = walker.upper_bound();
+  verdict.exact = !walker.stopped_early();
+  verdict.similar = verdict.lower > tau;
+  UJOIN_DCHECK(verdict.similar || verdict.upper <= tau || verdict.exact);
+  return verdict;
+}
+
+Result<double> TrieVerifyProbability(const UncertainString& r,
+                                     const UncertainString& s, int k,
+                                     const VerifyOptions& options,
+                                     VerifyStats* stats) {
+  Result<TrieVerifier> verifier = TrieVerifier::Create(r, k, options);
+  if (!verifier.ok()) return verifier.status();
+  return verifier->Probability(s, stats);
+}
+
+Result<double> VerifyPairProbability(const UncertainString& r,
+                                     const UncertainString& s, int k,
+                                     const VerifyOptions& options,
+                                     VerifyStats* stats) {
+  // A string's trie has at most WorldCount() nodes per level; prefer the
+  // side with fewer worlds as the materialized T_R.
+  const UncertainString* first = &r;
+  const UncertainString* second = &s;
+  if (s.WorldCount() < r.WorldCount()) std::swap(first, second);
+  Result<double> out = TrieVerifyProbability(*first, *second, k, options, stats);
+  if (out.ok()) return out;
+  out = TrieVerifyProbability(*second, *first, k, options, stats);
+  if (out.ok()) return out;
+  // The plain tries overflowed: the path-compressed trie's node budget is
+  // independent of string length and usually still fits.
+  out = CompressedTrieVerifyProbability(*first, *second, k, options, stats);
+  if (out.ok()) return out;
+  out = CompressedTrieVerifyProbability(*second, *first, k, options, stats);
+  if (out.ok()) return out;
+  return NaiveVerifyProbability(r, s, k, options, stats);
+}
+
+Result<double> NaiveVerifyProbability(const UncertainString& r,
+                                      const UncertainString& s, int k,
+                                      const VerifyOptions& options,
+                                      VerifyStats* stats) {
+  UJOIN_CHECK(k >= 0);
+  const int64_t pairs = SaturatingMul(r.WorldCount(), s.WorldCount());
+  if (pairs > options.max_world_pairs) {
+    return Status::ResourceExhausted(
+        "naive verification over " + std::to_string(pairs) +
+        " world pairs exceeds the cap of " +
+        std::to_string(options.max_world_pairs));
+  }
+  double total = 0.0;
+  ForEachWorld(r, [&](const std::string& ri, double pi) {
+    ForEachWorld(s, [&](const std::string& sj, double pj) {
+      if (stats != nullptr) ++stats->world_pairs;
+      if (BoundedEditDistance(ri, sj, k) <= k) total += pi * pj;
+    });
+  });
+  return ClampProb(total);
+}
+
+}  // namespace ujoin

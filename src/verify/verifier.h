@@ -1,0 +1,107 @@
+#ifndef UJOIN_VERIFY_VERIFIER_H_
+#define UJOIN_VERIFY_VERIFIER_H_
+
+#include <cstdint>
+
+#include "text/uncertain_string.h"
+#include "util/status.h"
+#include "verify/instance_trie.h"
+
+namespace ujoin {
+
+/// \brief Resource guards for exact verification (possible worlds grow
+/// exponentially with the number of uncertain positions).
+struct VerifyOptions {
+  /// Cap on the materialized trie of R's instances.
+  int64_t max_trie_nodes = int64_t{1} << 22;
+  /// Cap on |worlds(R)| x |worlds(S)| for the naive verifier.
+  int64_t max_world_pairs = int64_t{1} << 26;
+};
+
+/// \brief Work counters reported by the verifiers (Figure 8's cost drivers).
+struct VerifyStats {
+  int64_t r_trie_nodes = 0;       ///< nodes of the materialized T_R
+  int64_t explored_s_nodes = 0;   ///< on-demand T_S nodes visited
+  int64_t active_entries = 0;     ///< Σ active-set sizes over visited nodes
+  int64_t world_pairs = 0;        ///< instance pairs compared (naive only)
+};
+
+/// \brief Outcome of threshold-decided verification (DecideSimilar).
+///
+/// `lower` and `upper` are certified bounds on Pr(ed(R, S) <= k); when the
+/// walk ran to completion they coincide and `exact` is true.  `similar` is
+/// the (k, τ) verdict: Pr > τ.
+struct ThresholdVerdict {
+  bool similar;
+  double lower;
+  double upper;
+  bool exact;
+};
+
+/// \brief Exact verification of candidates against one fixed R
+/// (Section 6.2): builds the trie T_R once and reuses it for every candidate
+/// pair (R, *), walking an on-demand trie of each S's instances with
+/// incremental active-node sets.
+///
+/// For each node u of T_S the verifier maintains {(v, d)}: the T_R nodes
+/// within edit distance d <= k of u's prefix, computed from the parent's set
+/// alone.  Subtrees with an empty set are never materialized (prefix
+/// pruning), which is what lets the verifier skip the vast majority of S's
+/// possible worlds.  At leaf pairs the accumulated probability is exact:
+/// the returned value equals Σ p(r_i)·p(s_j) over worlds with
+/// ed(r_i, s_j) <= k.
+class TrieVerifier {
+ public:
+  /// Builds T_R; fails when the trie would exceed options.max_trie_nodes.
+  static Result<TrieVerifier> Create(const UncertainString& r, int k,
+                                     const VerifyOptions& options = {});
+
+  /// Exact Pr(ed(R, S) <= k).  `stats`, when given, is accumulated into.
+  double Probability(const UncertainString& s,
+                     VerifyStats* stats = nullptr) const;
+
+  /// Threshold-decided verification with early termination (an extension of
+  /// Section 6.2, in the spirit of the paper's future-work note): the walk
+  /// over T_S stops as soon as the accumulated matching mass exceeds τ
+  /// (accept) or the accumulated mass plus everything still unresolved can
+  /// no longer exceed τ (reject).  Same worst-case cost as Probability, but
+  /// often far cheaper on clear accepts/rejects.
+  ThresholdVerdict DecideSimilar(const UncertainString& s, double tau,
+                                 VerifyStats* stats = nullptr) const;
+
+  const InstanceTrie& trie() const { return trie_; }
+  int k() const { return k_; }
+
+ private:
+  TrieVerifier(InstanceTrie trie, int k) : trie_(std::move(trie)), k_(k) {}
+
+  InstanceTrie trie_;
+  int k_;
+};
+
+/// One-shot trie verification of a single pair.
+Result<double> TrieVerifyProbability(const UncertainString& r,
+                                     const UncertainString& s, int k,
+                                     const VerifyOptions& options = {},
+                                     VerifyStats* stats = nullptr);
+
+/// Baseline verification (Section 7.7's "naive"): enumerates all possible
+/// worlds of R × S and sums the probability of pairs within threshold,
+/// using the thresholded banded DP (prefix pruning) per pair.
+Result<double> NaiveVerifyProbability(const UncertainString& r,
+                                      const UncertainString& s, int k,
+                                      const VerifyOptions& options = {},
+                                      VerifyStats* stats = nullptr);
+
+/// Robust one-shot verification: builds the instance trie on whichever side
+/// is cheaper (Pr(ed) is symmetric), falls back to the other side and then
+/// to naive enumeration when resource caps are hit.  Fails only when every
+/// strategy exceeds its cap.
+Result<double> VerifyPairProbability(const UncertainString& r,
+                                     const UncertainString& s, int k,
+                                     const VerifyOptions& options = {},
+                                     VerifyStats* stats = nullptr);
+
+}  // namespace ujoin
+
+#endif  // UJOIN_VERIFY_VERIFIER_H_

@@ -1,0 +1,191 @@
+#include "datagen/datagen.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace ujoin {
+namespace {
+
+TEST(DatagenTest, DeterministicForSameSeed) {
+  DatasetOptions opt;
+  opt.size = 20;
+  opt.seed = 99;
+  const Dataset a = GenerateDataset(opt);
+  const Dataset b = GenerateDataset(opt);
+  ASSERT_EQ(a.strings.size(), b.strings.size());
+  for (size_t i = 0; i < a.strings.size(); ++i) {
+    EXPECT_TRUE(a.strings[i] == b.strings[i]);
+  }
+  opt.seed = 100;
+  const Dataset c = GenerateDataset(opt);
+  int differing = 0;
+  for (size_t i = 0; i < a.strings.size(); ++i) {
+    differing += !(a.strings[i] == c.strings[i]);
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(DatagenTest, RespectsLengthBounds) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = 200;
+  const Dataset names = GenerateDataset(opt);
+  for (const UncertainString& s : names.strings) {
+    EXPECT_GE(s.length(), 10);
+    EXPECT_LE(s.length(), 35);
+  }
+  opt.kind = DatasetOptions::Kind::kProtein;
+  const Dataset protein = GenerateDataset(opt);
+  for (const UncertainString& s : protein.strings) {
+    EXPECT_GE(s.length(), 20);
+    EXPECT_LE(s.length(), 45);
+  }
+}
+
+TEST(DatagenTest, ThetaControlsUncertainFraction) {
+  for (double theta : {0.1, 0.2, 0.4}) {
+    DatasetOptions opt;
+    opt.size = 200;
+    opt.theta = theta;
+    opt.seed = 7;
+    const Dataset data = GenerateDataset(opt);
+    int64_t uncertain = 0, total = 0;
+    for (const UncertainString& s : data.strings) {
+      uncertain += s.NumUncertainPositions();
+      total += s.length();
+    }
+    const double measured =
+        static_cast<double>(uncertain) / static_cast<double>(total);
+    EXPECT_NEAR(measured, theta, 0.05) << "theta=" << theta;
+  }
+}
+
+TEST(DatagenTest, GammaControlsMeanAlternatives) {
+  DatasetOptions opt;
+  opt.size = 300;
+  opt.theta = 0.3;
+  opt.gamma = 5;
+  const Dataset data = GenerateDataset(opt);
+  int64_t alternatives = 0, uncertain = 0;
+  for (const UncertainString& s : data.strings) {
+    for (int i = 0; i < s.length(); ++i) {
+      if (!s.IsCertain(i)) {
+        alternatives += s.NumAlternatives(i);
+        ++uncertain;
+      }
+    }
+  }
+  ASSERT_GT(uncertain, 0);
+  const double mean =
+      static_cast<double>(alternatives) / static_cast<double>(uncertain);
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 6.5);
+}
+
+TEST(DatagenTest, SymbolsStayInAlphabet) {
+  for (DatasetOptions::Kind kind :
+       {DatasetOptions::Kind::kNames, DatasetOptions::Kind::kProtein}) {
+    DatasetOptions opt;
+    opt.kind = kind;
+    opt.size = 50;
+    const Dataset data = GenerateDataset(opt);
+    for (const UncertainString& s : data.strings) {
+      for (int i = 0; i < s.length(); ++i) {
+        double sum = 0.0;
+        for (const CharProb& cp : s.AlternativesAt(i)) {
+          EXPECT_TRUE(data.alphabet.Contains(cp.symbol));
+          sum += cp.prob;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DatagenTest, MaxUncertainPositionsCap) {
+  DatasetOptions opt;
+  opt.size = 100;
+  opt.theta = 0.5;
+  opt.max_uncertain_positions = 3;
+  const Dataset data = GenerateDataset(opt);
+  for (const UncertainString& s : data.strings) {
+    EXPECT_LE(s.NumUncertainPositions(), 3);
+  }
+}
+
+TEST(DatagenTest, AppendSelfMultipliesLength) {
+  DatasetOptions opt;
+  opt.size = 5;
+  const Dataset data = GenerateDataset(opt);
+  const UncertainString& s = data.strings[0];
+  for (int times = 0; times <= 3; ++times) {
+    const UncertainString longer = AppendSelf(s, times);
+    EXPECT_EQ(longer.length(), s.length() * (times + 1));
+    EXPECT_EQ(longer.NumUncertainPositions(),
+              s.NumUncertainPositions() * (times + 1));
+  }
+}
+
+TEST(DatagenTest, CapUncertainPositionsDeterminizesTail) {
+  DatasetOptions opt;
+  opt.size = 30;
+  opt.theta = 0.4;
+  const Dataset data = GenerateDataset(opt);
+  for (const UncertainString& s : data.strings) {
+    const UncertainString capped = CapUncertainPositions(s, 2);
+    EXPECT_LE(capped.NumUncertainPositions(), 2);
+    EXPECT_EQ(capped.length(), s.length());
+    EXPECT_EQ(capped.MostLikelyInstance(), s.MostLikelyInstance());
+  }
+}
+
+TEST(DatagenTest, SaveLoadRoundTrip) {
+  DatasetOptions opt;
+  opt.size = 40;
+  opt.theta = 0.3;
+  const Dataset data = GenerateDataset(opt);
+  const std::string path = ::testing::TempDir() + "/ujoin_datagen_test.txt";
+  ASSERT_TRUE(SaveDataset(data, path).ok());
+  Result<std::vector<UncertainString>> loaded =
+      LoadDataset(path, data.alphabet);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), data.strings.size());
+  for (size_t i = 0; i < loaded->size(); ++i) {
+    ASSERT_EQ((*loaded)[i].length(), data.strings[i].length());
+    for (int pos = 0; pos < (*loaded)[i].length(); ++pos) {
+      auto got = (*loaded)[i].AlternativesAt(pos);
+      auto want = data.strings[i].AlternativesAt(pos);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t a = 0; a < got.size(); ++a) {
+        EXPECT_EQ(got[a].symbol, want[a].symbol);
+        EXPECT_NEAR(got[a].prob, want[a].prob, 1e-6);  // %.6g serialization
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatagenTest, LoadRejectsMalformedFile) {
+  const std::string path = ::testing::TempDir() + "/ujoin_datagen_bad.txt";
+  {
+    FILE* f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    fputs("this is not { valid\n", f);
+    fclose(f);
+  }
+  Result<std::vector<UncertainString>> loaded =
+      LoadDataset(path, Alphabet::Names());
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatagenTest, MissingFileIsIoError) {
+  Result<std::vector<UncertainString>> loaded =
+      LoadDataset("/nonexistent/path/file.txt", Alphabet::Names());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ujoin

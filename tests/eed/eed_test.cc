@@ -1,0 +1,131 @@
+#include "eed/eed.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "text/edit_distance.h"
+#include "text/possible_worlds.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+UncertainString Parse(const char* text, const Alphabet& alphabet) {
+  Result<UncertainString> s = UncertainString::Parse(text, alphabet);
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+TEST(ExpectedEditDistanceTest, DeterministicPairsReduceToEditDistance) {
+  const UncertainString a = UncertainString::FromDeterministic("kitten");
+  const UncertainString b = UncertainString::FromDeterministic("sitting");
+  Result<double> eed = ExpectedEditDistance(a, b);
+  ASSERT_TRUE(eed.ok());
+  EXPECT_DOUBLE_EQ(*eed, 3.0);
+}
+
+TEST(ExpectedEditDistanceTest, HandComputedUncertainPair) {
+  Alphabet dna = Alphabet::Dna();
+  // R = A{(C,0.6),(G,0.4)}, S = AC: ed = 0 w.p. 0.6, ed = 1 w.p. 0.4.
+  Result<double> eed =
+      ExpectedEditDistance(Parse("A{(C,0.6),(G,0.4)}", dna),
+                           UncertainString::FromDeterministic("AC"));
+  ASSERT_TRUE(eed.ok());
+  EXPECT_NEAR(*eed, 0.4, 1e-12);
+}
+
+TEST(ExpectedEditDistanceTest, SymmetricAndBounded) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(201);
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 6;
+  opt.theta = 0.4;
+  for (int trial = 0; trial < 50; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    Result<double> ab = ExpectedEditDistance(r, s);
+    Result<double> ba = ExpectedEditDistance(s, r);
+    ASSERT_TRUE(ab.ok() && ba.ok());
+    EXPECT_NEAR(*ab, *ba, 1e-9);
+    EXPECT_GE(*ab, std::abs(r.length() - s.length()) - 1e-9);
+    EXPECT_LE(*ab, std::max(r.length(), s.length()) + 1e-9);
+  }
+}
+
+TEST(ExpectedEditDistanceTest, CapReturnsResourceExhausted) {
+  UncertainString::Builder b;
+  for (int i = 0; i < 16; ++i) b.AddUncertain({{'A', 0.5}, {'C', 0.5}});
+  const UncertainString s = b.Build().value();
+  Result<double> eed = ExpectedEditDistance(s, s, /*max_world_pairs=*/100);
+  ASSERT_FALSE(eed.ok());
+  EXPECT_EQ(eed.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EedSelfJoinTest, FindsPairsBelowThreshold) {
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("ACGTAC", dna),
+      Parse("ACGTAG", dna),                  // ed 1 from [0]
+      Parse("A{(C,0.8),(G,0.2)}GTAC", dna),  // eed 0.2 from [0]
+      Parse("TTTTTT", dna),                  // far from everything
+  };
+  EedJoinOptions options;
+  options.threshold = 1.0;
+  Result<EedJoinResult> out = EedSelfJoin(collection, options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->pairs.size(), 2u);
+  EXPECT_EQ(out->pairs[0].lhs, 0u);
+  EXPECT_EQ(out->pairs[0].rhs, 1u);
+  EXPECT_NEAR(out->pairs[0].eed, 1.0, 1e-12);
+  EXPECT_EQ(out->pairs[1].lhs, 0u);
+  EXPECT_EQ(out->pairs[1].rhs, 2u);
+  EXPECT_NEAR(out->pairs[1].eed, 0.2, 1e-12);
+  EXPECT_GT(out->pairs_evaluated, 0);
+}
+
+TEST(EedSelfJoinTest, EedAndKTauSemanticsDisagree) {
+  // The motivating example of Section 1: eed blends all worlds, so a pair
+  // can have a large eed yet high probability of a small edit distance.
+  Alphabet dna = Alphabet::Dna();
+  // S agrees with R on 8 of 10 positions with probability 0.9 and is
+  // completely different with probability 0.1 (one uncertain position that
+  // cascades is impossible character-level; emulate with a far tail).
+  const UncertainString r = UncertainString::FromDeterministic("AAAAAAAAAA");
+  const UncertainString s = Parse(
+      "AAAAAAAAA{(A,0.9),(T,0.1)}", dna);  // ed 0 w.p. 0.9, else 1
+  Result<double> eed = ExpectedEditDistance(r, s);
+  ASSERT_TRUE(eed.ok());
+  EXPECT_NEAR(*eed, 0.1, 1e-12);
+  // Now a string with many slightly-uncertain positions: every world is at
+  // distance >= 2, yet eed can be lower than a (k=1)-similar pair's eed
+  // depending on weights — the semantics order pairs differently.
+  const UncertainString far = Parse("AAAAAAAATT", dna);
+  Result<double> eed_far = ExpectedEditDistance(r, far);
+  ASSERT_TRUE(eed_far.ok());
+  EXPECT_NEAR(*eed_far, 2.0, 1e-12);
+}
+
+TEST(OverlappingQGramIndexTest, CountsPostingsOfAllInstances) {
+  Alphabet dna = Alphabet::Dna();
+  OverlappingQGramIndex index(3);
+  // Deterministic string of length 6: 4 overlapping 3-grams.
+  ASSERT_TRUE(index.Insert(0, Parse("ACGTAC", dna)).ok());
+  EXPECT_EQ(index.num_postings(), 4);
+  const size_t deterministic_size = index.MemoryUsage();
+  // One uncertain position multiplies instances in the windows covering it.
+  ASSERT_TRUE(index.Insert(1, Parse("AC{(G,0.5),(T,0.5)}TAC", dna)).ok());
+  EXPECT_EQ(index.num_postings(), 4 + 3 * 2 + 1);  // 3 windows x 2, 1 certain
+  EXPECT_GT(index.MemoryUsage(), deterministic_size);
+}
+
+TEST(OverlappingQGramIndexTest, ShortStringsContributeNothing) {
+  Alphabet dna = Alphabet::Dna();
+  OverlappingQGramIndex index(4);
+  ASSERT_TRUE(index.Insert(0, Parse("ACG", dna)).ok());
+  EXPECT_EQ(index.num_postings(), 0);
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,167 @@
+#include "filter/cdf_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "text/edit_distance.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+UncertainString Parse(const char* text, const Alphabet& alphabet) {
+  Result<UncertainString> s = UncertainString::Parse(text, alphabet);
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+TEST(CdfFilterTest, DeterministicPairBoundsAreExact) {
+  Alphabet names = Alphabet::Names();
+  Rng rng(61);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::string a = testing::RandomString(
+        names, static_cast<int>(rng.UniformInt(0, 10)), rng);
+    const std::string b = testing::RandomEdits(a, names, 4, rng);
+    const int k = static_cast<int>(rng.UniformInt(0, 4));
+    const CdfBounds bounds =
+        ComputeCdfBounds(UncertainString::FromDeterministic(a),
+                         UncertainString::FromDeterministic(b), k);
+    const int ed = EditDistance(a, b);
+    for (int j = 0; j <= k; ++j) {
+      const double exact = ed <= j ? 1.0 : 0.0;
+      EXPECT_DOUBLE_EQ(bounds.lower[static_cast<size_t>(j)], exact)
+          << "a=" << a << " b=" << b << " j=" << j;
+      EXPECT_DOUBLE_EQ(bounds.upper[static_cast<size_t>(j)], exact)
+          << "a=" << a << " b=" << b << " j=" << j;
+    }
+  }
+}
+
+TEST(CdfFilterTest, BoundsBracketExactProbabilityOnRandomPairs) {
+  // Theorem 4: L[j] <= Pr(ed(R,S) <= j) <= U[j] on random uncertain pairs,
+  // verified against brute-force world enumeration.
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(62);
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 8;
+  opt.theta = 0.4;
+  int informative = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    const int k = static_cast<int>(rng.UniformInt(0, 3));
+    const CdfBounds bounds = ComputeCdfBounds(r, s, k);
+    for (int j = 0; j <= k; ++j) {
+      const double truth = testing::BruteForceMatchProbability(r, s, j);
+      EXPECT_LE(bounds.lower[static_cast<size_t>(j)], truth + 1e-9)
+          << "R=" << r.ToString() << " S=" << s.ToString() << " j=" << j;
+      EXPECT_GE(bounds.upper[static_cast<size_t>(j)], truth - 1e-9)
+          << "R=" << r.ToString() << " S=" << s.ToString() << " j=" << j;
+      informative += bounds.lower[static_cast<size_t>(j)] > 1e-9;
+      informative += bounds.upper[static_cast<size_t>(j)] < 1.0 - 1e-9;
+    }
+  }
+  EXPECT_GT(informative, 200);  // the bounds must often carry signal
+}
+
+TEST(CdfFilterTest, PaperFootnoteCounterexamplesHold) {
+  // Footnote 1 shows the bounds of Ge & Li [6] are invalid on these inputs;
+  // Theorem 4's corrected bounds must bracket the exact probability.
+  Alphabet ascii =
+      Alphabet::Create("ACDGIRST").value();  // covers both examples
+  {
+    // (a) old lower-bound violation: r = ACC,
+    //     S = A{(C,0.7),(G,0.1),(T,0.1)}... + implicit 4th alternative mass.
+    // The footnote's pdf sums to 0.9; we renormalize the remainder onto a
+    // distinct symbol (D) to keep a valid distribution.
+    const UncertainString r = UncertainString::FromDeterministic("ACC");
+    const UncertainString s =
+        Parse("A{(C,0.7),(G,0.1),(T,0.1),(D,0.1)}", ascii);
+    const int k = 1;
+    const CdfBounds bounds = ComputeCdfBounds(r, s, k);
+    const double truth = testing::BruteForceMatchProbability(r, s, k);
+    EXPECT_LE(bounds.lower[1], truth + 1e-9);
+    EXPECT_GE(bounds.upper[1], truth - 1e-9);
+  }
+  {
+    // (b) old upper-bound violation: r = DISC,
+    //     S = DI{(C,0.4),(S,0.5),(R,0.1)}.
+    const UncertainString r = UncertainString::FromDeterministic("DISC");
+    const UncertainString s = Parse("DI{(C,0.4),(S,0.5),(R,0.1)}", ascii);
+    const int k = 1;
+    const CdfBounds bounds = ComputeCdfBounds(r, s, k);
+    const double truth = testing::BruteForceMatchProbability(r, s, k);
+    EXPECT_LE(bounds.lower[1], truth + 1e-9);
+    EXPECT_GE(bounds.upper[1], truth - 1e-9);
+  }
+}
+
+TEST(CdfFilterTest, LengthGapBeyondKGivesZeroBounds) {
+  const UncertainString r = UncertainString::FromDeterministic("AAAAAAA");
+  const UncertainString s = UncertainString::FromDeterministic("AA");
+  const CdfBounds bounds = ComputeCdfBounds(r, s, 2);
+  for (int j = 0; j <= 2; ++j) {
+    EXPECT_DOUBLE_EQ(bounds.lower[static_cast<size_t>(j)], 0.0);
+    EXPECT_DOUBLE_EQ(bounds.upper[static_cast<size_t>(j)], 0.0);
+  }
+}
+
+TEST(CdfFilterTest, EmptyStringsAreDistanceZero) {
+  const CdfBounds bounds =
+      ComputeCdfBounds(UncertainString(), UncertainString(), 1);
+  EXPECT_DOUBLE_EQ(bounds.lower[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds.upper[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds.lower[1], 1.0);
+  EXPECT_DOUBLE_EQ(bounds.upper[1], 1.0);
+}
+
+TEST(CdfFilterTest, EmptyVersusNonEmptyCountsInsertions) {
+  const UncertainString r = UncertainString::FromDeterministic("AC");
+  const CdfBounds bounds = ComputeCdfBounds(r, UncertainString(), 3);
+  // ed = 2 exactly.
+  EXPECT_DOUBLE_EQ(bounds.lower[1], 0.0);
+  EXPECT_DOUBLE_EQ(bounds.upper[1], 0.0);
+  EXPECT_DOUBLE_EQ(bounds.lower[2], 1.0);
+  EXPECT_DOUBLE_EQ(bounds.upper[2], 1.0);
+  EXPECT_DOUBLE_EQ(bounds.lower[3], 1.0);
+}
+
+TEST(CdfFilterTest, DecisionsFollowBounds) {
+  CdfBounds bounds;
+  bounds.lower = {0.0, 0.3};
+  bounds.upper = {0.1, 0.8};
+  EXPECT_EQ(DecideWithCdfBounds(bounds, 1, 0.25), CdfDecision::kAccept);
+  EXPECT_EQ(DecideWithCdfBounds(bounds, 1, 0.8), CdfDecision::kReject);
+  EXPECT_EQ(DecideWithCdfBounds(bounds, 1, 0.5), CdfDecision::kUndecided);
+}
+
+TEST(CdfFilterTest, MonotoneInJ) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(63);
+  testing::RandomStringOptions opt;
+  opt.theta = 0.5;
+  for (int trial = 0; trial < 100; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    const int k = 3;
+    const CdfBounds bounds = ComputeCdfBounds(r, s, k);
+    for (int j = 1; j <= k; ++j) {
+      EXPECT_GE(bounds.upper[static_cast<size_t>(j)],
+                bounds.upper[static_cast<size_t>(j - 1)] - 1e-12);
+    }
+  }
+}
+
+TEST(CdfFilterTest, AcceptExampleIdenticalCertainPrefix) {
+  Alphabet dna = Alphabet::Dna();
+  // Identical strings with mild uncertainty: probability of ed <= 1 is high,
+  // the lower bound should accept at small τ.
+  const UncertainString s = Parse("AC{(G,0.9),(T,0.1)}TACG", dna);
+  const CdfFilterOutcome out = EvaluateCdfFilter(s, s, 1, 0.05);
+  EXPECT_EQ(out.decision, CdfDecision::kAccept);
+}
+
+}  // namespace
+}  // namespace ujoin

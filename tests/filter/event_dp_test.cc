@@ -1,0 +1,115 @@
+#include "filter/event_dp.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+// Brute-force Poisson-binomial: enumerate all 2^m outcomes.
+std::vector<double> BruteForceDistribution(const std::vector<double>& alphas) {
+  const size_t m = alphas.size();
+  std::vector<double> dist(m + 1, 0.0);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    double p = 1.0;
+    int count = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        p *= alphas[i];
+        ++count;
+      } else {
+        p *= 1.0 - alphas[i];
+      }
+    }
+    dist[static_cast<size_t>(count)] += p;
+  }
+  return dist;
+}
+
+TEST(EventCountDistributionTest, EmptyEventsAreCertainZero) {
+  const std::vector<double> dist = EventCountDistribution({});
+  ASSERT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist[0], 1.0);
+}
+
+TEST(EventCountDistributionTest, SingleEvent) {
+  const std::vector<double> alphas = {0.3};
+  const std::vector<double> dist = EventCountDistribution(alphas);
+  ASSERT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist[0], 0.7);
+  EXPECT_DOUBLE_EQ(dist[1], 0.3);
+}
+
+TEST(EventCountDistributionTest, MatchesBruteForceEnumeration) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = static_cast<int>(rng.UniformInt(1, 10));
+    std::vector<double> alphas;
+    for (int i = 0; i < m; ++i) alphas.push_back(rng.UniformDouble());
+    const std::vector<double> dist = EventCountDistribution(alphas);
+    const std::vector<double> brute = BruteForceDistribution(alphas);
+    ASSERT_EQ(dist.size(), brute.size());
+    double sum = 0.0;
+    for (size_t y = 0; y < dist.size(); ++y) {
+      EXPECT_NEAR(dist[y], brute[y], 1e-12);
+      sum += dist[y];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(ProbAtLeastEventsTest, BoundaryCounts) {
+  const std::vector<double> alphas = {0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(ProbAtLeastEvents(alphas, 0), 1.0);
+  EXPECT_DOUBLE_EQ(ProbAtLeastEvents(alphas, -3), 1.0);
+  EXPECT_DOUBLE_EQ(ProbAtLeastEvents(alphas, 4), 0.0);
+  EXPECT_NEAR(ProbAtLeastEvents(alphas, 3), 0.125, 1e-12);
+}
+
+TEST(ProbAtLeastEventsTest, AtLeastOneMatchesClosedForm) {
+  // Lemmas 3/5: for m = k+1 the bound is 1 - Π(1 - α_x).
+  Rng rng(78);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int m = static_cast<int>(rng.UniformInt(1, 12));
+    std::vector<double> alphas;
+    double none = 1.0;
+    for (int i = 0; i < m; ++i) {
+      alphas.push_back(rng.UniformDouble());
+      none *= 1.0 - alphas.back();
+    }
+    EXPECT_NEAR(ProbAtLeastEvents(alphas, 1), 1.0 - none, 1e-12);
+  }
+}
+
+TEST(ProbAtLeastEventsTest, PaperExampleBounds) {
+  // Table 1 narrative: S3 has α = (1, 0, 0.2), m = 3, k = 1 -> bound 0.2;
+  // S4 has α = (0.8, 0.5, 0) -> bound 0.4.
+  const std::vector<double> s3 = {1.0, 0.0, 0.2};
+  EXPECT_NEAR(ProbAtLeastEvents(s3, 2), 0.2, 1e-12);
+  const std::vector<double> s4 = {0.8, 0.5, 0.0};
+  EXPECT_NEAR(ProbAtLeastEvents(s4, 2), 0.4, 1e-12);
+}
+
+TEST(ProbAtLeastEventsTest, MonotoneInAlphas) {
+  Rng rng(79);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int m = static_cast<int>(rng.UniformInt(2, 8));
+    std::vector<double> lo_alphas, hi_alphas;
+    for (int i = 0; i < m; ++i) {
+      const double a = rng.UniformDouble();
+      lo_alphas.push_back(a * 0.5);
+      hi_alphas.push_back(a);
+    }
+    for (int need = 0; need <= m; ++need) {
+      EXPECT_LE(ProbAtLeastEvents(lo_alphas, need),
+                ProbAtLeastEvents(hi_alphas, need) + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,142 @@
+// Cross-cutting analytical properties of the filter bounds.
+
+#include <gtest/gtest.h>
+
+#include "filter/cdf_filter.h"
+#include "filter/event_dp.h"
+#include "filter/freq_filter.h"
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+TEST(FilterPropertiesTest, CdfAtKZeroIsExactMatchProbability) {
+  // With k = 0 the only alignment is the diagonal: both bounds collapse to
+  // the exact Pr(R = S).
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(601);
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 8;
+  opt.theta = 0.5;
+  for (int trial = 0; trial < 100; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    testing::RandomStringOptions opt2 = opt;
+    opt2.min_length = opt2.max_length = r.length();
+    const UncertainString s = testing::RandomUncertainString(dna, opt2, rng);
+    const CdfBounds bounds = ComputeCdfBounds(r, s, 0);
+    const double match = MatchProbability(r, s);
+    EXPECT_NEAR(bounds.lower[0], match, 1e-9);
+    EXPECT_NEAR(bounds.upper[0], match, 1e-9);
+  }
+}
+
+TEST(FilterPropertiesTest, CdfBoundsWidenWithUncertainty) {
+  // A deterministic pair has exact (0/1) bounds; blurring one position can
+  // only move bounds inward from {0,1}, never invert them.
+  Alphabet dna = Alphabet::Dna();
+  const UncertainString r = UncertainString::FromDeterministic("ACGTAC");
+  const UncertainString s_sharp = UncertainString::FromDeterministic("ACGTAC");
+  Result<UncertainString> s_blurred =
+      UncertainString::Parse("ACG{(T,0.7),(A,0.3)}AC", dna);
+  ASSERT_TRUE(s_blurred.ok());
+  const CdfBounds sharp = ComputeCdfBounds(r, s_sharp, 1);
+  const CdfBounds blurred = ComputeCdfBounds(r, *s_blurred, 1);
+  EXPECT_DOUBLE_EQ(sharp.lower[1], 1.0);
+  EXPECT_LE(blurred.lower[1], 1.0);
+  EXPECT_GE(blurred.upper[1], blurred.lower[1]);
+}
+
+TEST(FilterPropertiesTest, ChebyshevBoundMonotoneInK) {
+  // Pr(fd <= k) grows with k, and so must any upper bound worth its salt.
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(602);
+  testing::RandomStringOptions opt;
+  opt.min_length = 3;
+  opt.max_length = 10;
+  opt.theta = 0.4;
+  for (int trial = 0; trial < 80; ++trial) {
+    const FrequencySummary a = FrequencySummary::Build(
+        testing::RandomUncertainString(dna, opt, rng), dna);
+    const FrequencySummary b = FrequencySummary::Build(
+        testing::RandomUncertainString(dna, opt, rng), dna);
+    double previous = 0.0;
+    for (int k = 0; k <= 5; ++k) {
+      const double bound = FreqChebyshevBound(a, b, k);
+      EXPECT_GE(bound, previous - 1e-12) << "k=" << k;
+      previous = bound;
+    }
+  }
+}
+
+TEST(FilterPropertiesTest, FreqLowerBoundNeverExceedsChebyshevSupport) {
+  // Whenever Lemma 6 proves fd > k in every world, Theorem 3's bound on
+  // Pr(fd <= k) must be compatible (it cannot certify mass below k).
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(603);
+  testing::RandomStringOptions opt;
+  opt.min_length = 2;
+  opt.max_length = 9;
+  opt.theta = 0.4;
+  for (int trial = 0; trial < 100; ++trial) {
+    const UncertainString ra = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString rb = testing::RandomUncertainString(dna, opt, rng);
+    const FrequencySummary a = FrequencySummary::Build(ra, dna);
+    const FrequencySummary b = FrequencySummary::Build(rb, dna);
+    const int lower = FreqDistanceLowerBound(a, b);
+    for (int k = 0; k < lower; ++k) {
+      const double truth =
+          testing::BruteForceFreqDistanceProbability(ra, rb, k, dna);
+      EXPECT_DOUBLE_EQ(truth, 0.0);  // Lemma 6's claim, brute-force checked
+    }
+  }
+}
+
+TEST(FilterPropertiesTest, EventDpHandlesDegenerateProbabilities) {
+  // Exact zeros and ones must behave like deterministic events.
+  const std::vector<double> alphas = {1.0, 0.0, 1.0, 0.5};
+  const std::vector<double> dist = EventCountDistribution(alphas);
+  ASSERT_EQ(dist.size(), 5u);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);  // two certain events always fire
+  EXPECT_DOUBLE_EQ(dist[1], 0.0);
+  EXPECT_NEAR(dist[2], 0.5, 1e-12);
+  EXPECT_NEAR(dist[3], 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(dist[4], 0.0);  // the zero event never fires
+  EXPECT_NEAR(ProbAtLeastEvents(alphas, 2), 1.0, 1e-12);
+  EXPECT_NEAR(ProbAtLeastEvents(alphas, 3), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(ProbAtLeastEvents(alphas, 4), 0.0);
+}
+
+TEST(FilterPropertiesTest, ChebyshevIsOneWhenExpectationBelowK) {
+  // The one-sided Chebyshev inequality needs E[fd] > k; the implementation
+  // must return the vacuous bound 1 otherwise, never something tighter.
+  Alphabet dna = Alphabet::Dna();
+  const FrequencySummary a = FrequencySummary::Build(
+      UncertainString::FromDeterministic("ACGT"), dna);
+  // Identical strings: E[fd] = 0 <= k for every k >= 0.
+  for (int k = 0; k <= 3; ++k) {
+    EXPECT_DOUBLE_EQ(FreqChebyshevBound(a, a, k), 1.0);
+  }
+}
+
+TEST(FilterPropertiesTest, CdfUpperDominatesLower) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(604);
+  testing::RandomStringOptions opt;
+  opt.theta = 0.5;
+  for (int trial = 0; trial < 150; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    const int k = static_cast<int>(rng.UniformInt(0, 4));
+    const CdfBounds bounds = ComputeCdfBounds(r, s, k);
+    for (int j = 0; j <= k; ++j) {
+      EXPECT_LE(bounds.lower[static_cast<size_t>(j)],
+                bounds.upper[static_cast<size_t>(j)] + 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,70 @@
+#include "filter/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace ujoin {
+namespace {
+
+TEST(SegmentCountTest, FollowsPaperRule) {
+  // m = max(k + 1, ⌊len / q⌋), clamped to len.
+  EXPECT_EQ(SegmentCount(6, 1, 2), 3);   // Table 1: len 6, q 2 -> m 3
+  EXPECT_EQ(SegmentCount(19, 2, 3), 6);  // dblp defaults
+  EXPECT_EQ(SegmentCount(32, 4, 3), 10); // protein defaults
+  EXPECT_EQ(SegmentCount(5, 4, 3), 5);   // k+1 = 5 > ⌊5/3⌋ but m <= len
+  EXPECT_EQ(SegmentCount(3, 4, 3), 3);   // clamp to len
+  EXPECT_EQ(SegmentCount(1, 0, 1), 1);
+}
+
+TEST(EvenPartitionTest, SegmentsAreDisjointAndCover) {
+  for (int len = 1; len <= 40; ++len) {
+    for (int m = 1; m <= len; ++m) {
+      const std::vector<Segment> segments = EvenPartition(len, m);
+      ASSERT_EQ(static_cast<int>(segments.size()), m);
+      int expected_start = 0;
+      for (const Segment& seg : segments) {
+        EXPECT_EQ(seg.start, expected_start);
+        EXPECT_GE(seg.length, 1);
+        expected_start = seg.end();
+      }
+      EXPECT_EQ(expected_start, len);
+    }
+  }
+}
+
+TEST(EvenPartitionTest, LengthsDifferByAtMostOneAndLongerComeLast) {
+  for (int len = 1; len <= 40; ++len) {
+    for (int m = 1; m <= len; ++m) {
+      const std::vector<Segment> segments = EvenPartition(len, m);
+      const int base = len / m;
+      bool seen_longer = false;
+      for (const Segment& seg : segments) {
+        EXPECT_TRUE(seg.length == base || seg.length == base + 1);
+        if (seg.length == base + 1) seen_longer = true;
+        if (seen_longer) {
+          EXPECT_EQ(seg.length, base + 1);
+        }
+      }
+    }
+  }
+}
+
+TEST(EvenPartitionTest, PaperSchemeGivesQAndQPlusOneSegments) {
+  // Section 4: with m = ⌊|S|/q⌋, the last |S| - mq segments have length q+1.
+  const int len = 20, q = 3;
+  const std::vector<Segment> segments = PartitionForJoin(len, /*k=*/2, q);
+  ASSERT_EQ(segments.size(), 6u);  // ⌊20/3⌋ = 6 > k+1 = 3
+  int longer = 0;
+  for (const Segment& seg : segments) {
+    EXPECT_TRUE(seg.length == q || seg.length == q + 1);
+    longer += seg.length == q + 1;
+  }
+  EXPECT_EQ(longer, len - (len / q) * q);  // 20 - 18 = 2
+}
+
+TEST(EvenPartitionTest, ShortStringUsesKPlusOneSegments) {
+  const std::vector<Segment> segments = PartitionForJoin(8, /*k=*/3, /*q=*/3);
+  EXPECT_EQ(segments.size(), 4u);  // max(4, ⌊8/3⌋=2) = 4
+}
+
+}  // namespace
+}  // namespace ujoin

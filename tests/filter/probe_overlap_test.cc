@@ -1,0 +1,148 @@
+// Focused tests of the overlap-grouping union probability (Section 3.2)
+// on adversarial occurrence patterns: periodic substrings, chained
+// overlaps, and mixtures of overlapping and disjoint occurrences.
+
+#include <gtest/gtest.h>
+
+#include "filter/probe_set.h"
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+UncertainString Parse(const char* text, const Alphabet& alphabet) {
+  Result<UncertainString> s = UncertainString::Parse(text, alphabet);
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+std::vector<ProbeOccurrence> Occurrences(const UncertainString& r,
+                                         std::string_view w) {
+  std::vector<ProbeOccurrence> out;
+  for (int start = 0; start + static_cast<int>(w.size()) <= r.length();
+       ++start) {
+    const double p = MatchProbabilityAt(w, r, start);
+    if (p > 0.0) out.push_back(ProbeOccurrence{start, p});
+  }
+  return out;
+}
+
+std::vector<int> Starts(const std::vector<ProbeOccurrence>& occs) {
+  std::vector<int> out;
+  for (const ProbeOccurrence& o : occs) out.push_back(o.start);
+  return out;
+}
+
+TEST(ProbeOverlapTest, DeterministicStringGivesProbabilityOne) {
+  const UncertainString r = UncertainString::FromDeterministic("AAAAAA");
+  const std::vector<ProbeOccurrence> occs = Occurrences(r, "AAA");
+  ASSERT_EQ(occs.size(), 4u);
+  EXPECT_DOUBLE_EQ(GroupedOccurrenceProbability(r, "AAA", occs), 1.0);
+}
+
+TEST(ProbeOverlapTest, DisjointOccurrencesAreExactlyIndependent) {
+  Alphabet dna = Alphabet::Dna();
+  // "AC" can occur at 0 and 3 (disjoint): union = 1 - (1-p0)(1-p3).
+  const UncertainString r =
+      Parse("{(A,0.5),(G,0.5)}CT{(A,0.3),(G,0.7)}C", dna);
+  const std::vector<ProbeOccurrence> occs = Occurrences(r, "AC");
+  ASSERT_EQ(occs.size(), 2u);
+  const double grouped = GroupedOccurrenceProbability(r, "AC", occs);
+  EXPECT_NEAR(grouped, 1.0 - (1.0 - 0.5) * (1.0 - 0.3), 1e-12);
+  Result<double> exact = ExactOccurrenceProbability(r, "AC", Starts(occs));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(grouped, *exact, 1e-12);
+}
+
+TEST(ProbeOverlapTest, PairwiseOverlapIsExact) {
+  Alphabet dna = Alphabet::Dna();
+  // Two overlapping occurrences of "CC" (the case the paper's literal
+  // formula got wrong — see DESIGN.md).
+  const UncertainString r =
+      Parse("{(C,0.4),(G,0.6)}C{(C,0.5),(T,0.5)}", dna);
+  const std::vector<ProbeOccurrence> occs = Occurrences(r, "CC");
+  ASSERT_EQ(occs.size(), 2u);
+  const double grouped = GroupedOccurrenceProbability(r, "CC", occs);
+  Result<double> exact = ExactOccurrenceProbability(r, "CC", Starts(occs));
+  ASSERT_TRUE(exact.ok());
+  // Union = P(C at 0)·P(C at 1 certain... positions: r0 uncertain, r1='C',
+  // r2 uncertain: occ0 = r0=C (0.4), occ1 = r2=C (0.5), independent.
+  EXPECT_NEAR(*exact, 0.4 + 0.5 - 0.2, 1e-12);
+  EXPECT_NEAR(grouped, *exact, 1e-12);
+}
+
+TEST(ProbeOverlapTest, IncompatibleSuffixPrefixHasEmptyIntersection) {
+  Alphabet dna = Alphabet::Dna();
+  // w = "AC": suffix "C" != prefix "A", so overlapping occurrences are
+  // mutually exclusive and the union is the plain sum.
+  const UncertainString r = Parse("{(A,0.5),(C,0.5)}{(A,0.3),(C,0.7)}C", dna);
+  const std::vector<ProbeOccurrence> occs = Occurrences(r, "AC");
+  ASSERT_EQ(occs.size(), 2u);  // starts 0 and 1, overlapping
+  const double grouped = GroupedOccurrenceProbability(r, "AC", occs);
+  Result<double> exact = ExactOccurrenceProbability(r, "AC", Starts(occs));
+  ASSERT_TRUE(exact.ok());
+  // occ0 = r0=A ∧ r1=C (0.35); occ1 = r1=A ∧ r2=C certain (0.3); disjoint
+  // events (r1 can't be both C and A): union = 0.65.
+  EXPECT_NEAR(*exact, 0.65, 1e-12);
+  EXPECT_NEAR(grouped, *exact, 1e-12);
+}
+
+TEST(ProbeOverlapTest, PeriodicTripleOverlapStaysValidAndNearExact) {
+  Alphabet dna = Alphabet::Dna();
+  // w = "ACAC" with period 2 over a fully uncertain region: three chained
+  // occurrences where A_0 ∩ A_2 ⊄ A_1 — the paper's chain recursion is a
+  // heuristic here.  It must stay a valid probability and, on this input,
+  // within a small absolute error of exact.
+  std::string pattern = "ACAC";
+  UncertainString::Builder b;
+  for (int i = 0; i < 8; ++i) {
+    b.AddUncertain({{'A', 0.5}, {'C', 0.5}});
+  }
+  const UncertainString r = b.Build().value();
+  const std::vector<ProbeOccurrence> occs = Occurrences(r, pattern);
+  ASSERT_EQ(occs.size(), 5u);
+  const double grouped = GroupedOccurrenceProbability(r, pattern, occs);
+  Result<double> exact = ExactOccurrenceProbability(r, pattern, Starts(occs));
+  ASSERT_TRUE(exact.ok());
+  EXPECT_GE(grouped, 0.0);
+  EXPECT_LE(grouped, 1.0);
+  EXPECT_NEAR(grouped, *exact, 0.05);
+}
+
+TEST(ProbeOverlapTest, RandomizedGroupedStaysNearExact) {
+  // Across random uncertain strings and patterns, the grouped recursion
+  // must stay a valid probability and track the exact union closely (it is
+  // exact except for >= 3 chained occurrences with conflicting periods).
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(57);
+  double worst = 0.0;
+  int evaluated = 0;
+  for (int trial = 0; trial < 900; ++trial) {
+    testing::RandomStringOptions opt;
+    opt.min_length = 4;
+    opt.max_length = 10;
+    opt.theta = 0.6;
+    opt.max_alternatives = 2;
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const int q = static_cast<int>(rng.UniformInt(2, 4));
+    // Patterns with self-overlap potential: draw from {A,C} only.
+    std::string w;
+    for (int i = 0; i < q; ++i) w.push_back(rng.Bernoulli(0.5) ? 'A' : 'C');
+    const std::vector<ProbeOccurrence> occs = Occurrences(r, w);
+    if (occs.empty()) continue;
+    ++evaluated;
+    const double grouped = GroupedOccurrenceProbability(r, w, occs);
+    Result<double> exact = ExactOccurrenceProbability(r, w, Starts(occs));
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(grouped, -1e-12);
+    EXPECT_LE(grouped, 1.0 + 1e-12);
+    worst = std::max(worst, std::fabs(grouped - *exact));
+  }
+  EXPECT_GT(evaluated, 200);
+  EXPECT_LT(worst, 0.12) << "grouped recursion drifted too far from exact";
+}
+
+}  // namespace
+}  // namespace ujoin

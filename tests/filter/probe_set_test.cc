@@ -1,0 +1,180 @@
+#include "filter/probe_set.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "text/possible_worlds.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+std::map<std::string, double> ToMap(const std::vector<ProbeSubstring>& set) {
+  std::map<std::string, double> out;
+  for (const ProbeSubstring& p : set) out[p.text] = p.prob;
+  return out;
+}
+
+TEST(ProbeSetTest, DeterministicProbeSetListsWindowSubstrings) {
+  // Table 1: r = GGATCC, q = 2, k = 1, m = 3, positional windows.
+  const UncertainString r = UncertainString::FromDeterministic("GGATCC");
+  const std::vector<Segment> segments = EvenPartition(6, 3);
+  ProbeSetOptions opt;
+
+  auto set1 = BuildProbeSet(r, 6, segments[0], 1, opt);
+  ASSERT_TRUE(set1.ok());
+  EXPECT_EQ(ToMap(*set1), (std::map<std::string, double>{{"GA", 1.0},
+                                                         {"GG", 1.0}}));
+  auto set2 = BuildProbeSet(r, 6, segments[1], 1, opt);
+  ASSERT_TRUE(set2.ok());
+  EXPECT_EQ(ToMap(*set2), (std::map<std::string, double>{
+                              {"AT", 1.0}, {"GA", 1.0}, {"TC", 1.0}}));
+  auto set3 = BuildProbeSet(r, 6, segments[2], 1, opt);
+  ASSERT_TRUE(set3.ok());
+  EXPECT_EQ(ToMap(*set3), (std::map<std::string, double>{{"CC", 1.0},
+                                                         {"TC", 1.0}}));
+}
+
+TEST(ProbeSetTest, Section32OverlapGroupingExample) {
+  // R = A{(A,0.8),(C,0.2)}AATT, q = 3, k = 1, segment S^1 at position 0:
+  // the naive sum double-counts AAA (1.32); the grouped set is
+  // {(AAA, 0.8), (ACA, 0.2), (CAA, 0.2)}.
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> r =
+      UncertainString::Parse("A{(A,0.8),(C,0.2)}AATT", dna);
+  ASSERT_TRUE(r.ok());
+  const Segment seg{0, 3};
+  Result<std::vector<ProbeSubstring>> set =
+      BuildProbeSet(*r, 6, seg, 1, ProbeSetOptions{});
+  ASSERT_TRUE(set.ok());
+  const std::map<std::string, double> got = ToMap(*set);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_NEAR(got.at("AAA"), 0.8, 1e-12);
+  EXPECT_NEAR(got.at("ACA"), 0.2, 1e-12);
+  EXPECT_NEAR(got.at("CAA"), 0.2, 1e-12);
+}
+
+TEST(ProbeSetTest, GroupedMatchesExactOnPaperExample) {
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> r =
+      UncertainString::Parse("A{(A,0.8),(C,0.2)}AATT", dna);
+  ASSERT_TRUE(r.ok());
+  ProbeSetOptions exact_opt;
+  exact_opt.exact_union_probability = true;
+  Result<std::vector<ProbeSubstring>> exact =
+      BuildProbeSet(*r, 6, Segment{0, 3}, 1, exact_opt);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_NEAR(ToMap(*exact).at("AAA"), 0.8, 1e-12);
+}
+
+TEST(ProbeSetTest, ExactOccurrenceProbabilityViaEnumeration) {
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> r =
+      UncertainString::Parse("{(A,0.5),(C,0.5)}A{(A,0.5),(C,0.5)}A", dna);
+  ASSERT_TRUE(r.ok());
+  // Pr("AA" occurs at start 0 or 2) = Pr(R0=A) + Pr(R2=A) - Pr(both) with
+  // independence = 0.5 + 0.5 - 0.25 = 0.75.
+  const std::vector<int> starts = {0, 2};
+  Result<double> p = ExactOccurrenceProbability(*r, "AA", starts);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(*p, 0.75, 1e-12);
+}
+
+TEST(ProbeSetTest, GroupedProbabilityAgainstBruteForceUnion) {
+  // Randomized: the paper's grouped recursion versus exact enumeration.
+  // Occurrences that do not overlap are exact; overlapping suffix-prefix
+  // cases follow the paper's approximation, so we compare against exact
+  // union probabilities and record agreement within a loose tolerance while
+  // asserting exactness for the non-overlapping decomposition.
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(55);
+  int exact_cases = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    testing::RandomStringOptions opt;
+    opt.min_length = 4;
+    opt.max_length = 9;
+    opt.theta = 0.4;
+    opt.max_alternatives = 2;
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const int q = static_cast<int>(rng.UniformInt(2, 3));
+    const std::string w = testing::RandomString(dna, q, rng);
+    // Candidate occurrence starts: every position where w can occur.
+    std::vector<ProbeOccurrence> occurrences;
+    std::vector<int> starts;
+    for (int start = 0; start + q <= r.length(); ++start) {
+      const double p = MatchProbabilityAt(w, r, start);
+      if (p > 0.0) {
+        occurrences.push_back(ProbeOccurrence{start, p});
+        starts.push_back(start);
+      }
+    }
+    if (occurrences.empty()) continue;
+    Result<double> exact = ExactOccurrenceProbability(r, w, starts);
+    ASSERT_TRUE(exact.ok());
+    const double grouped =
+        GroupedOccurrenceProbability(r, w, occurrences);
+    // Always a valid probability.
+    EXPECT_GE(grouped, -1e-12);
+    EXPECT_LE(grouped, 1.0 + 1e-12);
+    // Check exactness when no two occurrences overlap.
+    bool overlapping = false;
+    for (size_t i = 1; i < starts.size(); ++i) {
+      overlapping = overlapping || starts[i] < starts[i - 1] + q;
+    }
+    if (!overlapping) {
+      EXPECT_NEAR(grouped, *exact, 1e-9);
+      ++exact_cases;
+    }
+  }
+  EXPECT_GT(exact_cases, 30);
+}
+
+TEST(ProbeSetTest, EmptyWindowYieldsEmptySet) {
+  const UncertainString r = UncertainString::FromDeterministic("ACGT");
+  // |r| - |s| = 4 - 10 exceeds k = 2: nothing to probe.
+  Result<std::vector<ProbeSubstring>> set =
+      BuildProbeSet(r, 10, Segment{0, 3}, 2, ProbeSetOptions{});
+  ASSERT_TRUE(set.ok());
+  EXPECT_TRUE(set->empty());
+}
+
+TEST(ProbeSetTest, InstanceCapReturnsResourceExhausted) {
+  UncertainString::Builder b;
+  for (int i = 0; i < 10; ++i) b.AddUncertain({{'A', 0.5}, {'C', 0.5}});
+  Result<UncertainString> r = b.Build();
+  ASSERT_TRUE(r.ok());
+  ProbeSetOptions opt;
+  opt.max_instances_per_window = 8;
+  Result<std::vector<ProbeSubstring>> set =
+      BuildProbeSet(*r, 10, Segment{0, 5}, 1, opt);
+  ASSERT_FALSE(set.ok());
+  EXPECT_EQ(set.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ProbeSetTest, ProbabilitiesArePositiveAndSortedUnique) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(56);
+  testing::RandomStringOptions opt;
+  opt.min_length = 6;
+  opt.max_length = 12;
+  for (int trial = 0; trial < 100; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    Result<std::vector<ProbeSubstring>> set = BuildProbeSet(
+        r, r.length(), Segment{2, 3}, 2, ProbeSetOptions{});
+    ASSERT_TRUE(set.ok());
+    for (size_t i = 0; i < set->size(); ++i) {
+      EXPECT_GT((*set)[i].prob, 0.0);
+      EXPECT_LE((*set)[i].prob, 1.0 + 1e-12);
+      if (i > 0) {
+        EXPECT_LT((*set)[i - 1].text, (*set)[i].text);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,201 @@
+// Metamorphic properties of the join: relations that must hold between
+// runs with systematically varied inputs, independent of absolute results.
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "join/ujoin.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+using PairKey = std::pair<uint32_t, uint32_t>;
+
+std::set<PairKey> PairSet(const SelfJoinResult& result) {
+  std::set<PairKey> out;
+  for (const JoinPair& p : result.pairs) out.insert({p.lhs, p.rhs});
+  return out;
+}
+
+Dataset SmallDataset(uint64_t seed, int size = 50) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = size;
+  opt.theta = 0.25;
+  opt.seed = seed;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.max_uncertain_positions = 4;
+  return GenerateDataset(opt);
+}
+
+TEST(MetamorphicTest, ResultsShrinkAsTauGrows) {
+  const Dataset data = SmallDataset(81);
+  std::set<PairKey> previous;
+  bool first = true;
+  for (double tau : {0.01, 0.05, 0.1, 0.3, 0.6}) {
+    JoinOptions options = JoinOptions::Qfct(2, tau);
+    options.always_verify = true;
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    ASSERT_TRUE(out.ok());
+    const std::set<PairKey> pairs = PairSet(*out);
+    if (!first) {
+      EXPECT_TRUE(std::includes(previous.begin(), previous.end(),
+                                pairs.begin(), pairs.end()))
+          << "tau=" << tau;
+    }
+    previous = pairs;
+    first = false;
+  }
+}
+
+TEST(MetamorphicTest, ResultsGrowAsKGrows) {
+  const Dataset data = SmallDataset(82);
+  std::set<PairKey> previous;
+  bool first = true;
+  for (int k : {0, 1, 2, 3}) {
+    JoinOptions options = JoinOptions::Qfct(k, 0.1);
+    options.always_verify = true;
+    Result<SelfJoinResult> out =
+        SimilaritySelfJoin(data.strings, data.alphabet, options);
+    ASSERT_TRUE(out.ok());
+    const std::set<PairKey> pairs = PairSet(*out);
+    if (!first) {
+      EXPECT_TRUE(std::includes(pairs.begin(), pairs.end(), previous.begin(),
+                                previous.end()))
+          << "k=" << k;
+    }
+    previous = pairs;
+    first = false;
+  }
+}
+
+TEST(MetamorphicTest, AddingStringsPreservesExistingPairs) {
+  const Dataset data = SmallDataset(83, 60);
+  const JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  std::vector<UncertainString> subset(data.strings.begin(),
+                                      data.strings.begin() + 40);
+  Result<SelfJoinResult> small =
+      SimilaritySelfJoin(subset, data.alphabet, options);
+  Result<SelfJoinResult> full =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  ASSERT_TRUE(small.ok() && full.ok());
+  const std::set<PairKey> full_pairs = PairSet(*full);
+  for (const PairKey& pair : PairSet(*small)) {
+    EXPECT_TRUE(full_pairs.count(pair))
+        << "(" << pair.first << "," << pair.second << ")";
+  }
+  // And restricting the full join to the first 40 ids gives the small join.
+  std::set<PairKey> restricted;
+  for (const PairKey& pair : full_pairs) {
+    if (pair.first < 40 && pair.second < 40) restricted.insert(pair);
+  }
+  EXPECT_EQ(restricted, PairSet(*small));
+}
+
+TEST(MetamorphicTest, PermutationInvariance) {
+  const Dataset data = SmallDataset(84);
+  const JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  Result<SelfJoinResult> base =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  ASSERT_TRUE(base.ok());
+  // Reverse the collection; map indices back.
+  std::vector<UncertainString> reversed(data.strings.rbegin(),
+                                        data.strings.rend());
+  Result<SelfJoinResult> rev =
+      SimilaritySelfJoin(reversed, data.alphabet, options);
+  ASSERT_TRUE(rev.ok());
+  const uint32_t n = static_cast<uint32_t>(data.strings.size());
+  std::set<PairKey> remapped;
+  for (const JoinPair& p : rev->pairs) {
+    uint32_t a = n - 1 - p.lhs;
+    uint32_t b = n - 1 - p.rhs;
+    if (a > b) std::swap(a, b);
+    remapped.insert({a, b});
+  }
+  EXPECT_EQ(remapped, PairSet(*base));
+}
+
+TEST(MetamorphicTest, RunsAreDeterministic) {
+  const Dataset data = SmallDataset(85);
+  const JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  Result<SelfJoinResult> a =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  Result<SelfJoinResult> b =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->pairs.size(), b->pairs.size());
+  for (size_t i = 0; i < a->pairs.size(); ++i) {
+    EXPECT_EQ(a->pairs[i].lhs, b->pairs[i].lhs);
+    EXPECT_EQ(a->pairs[i].rhs, b->pairs[i].rhs);
+    EXPECT_DOUBLE_EQ(a->pairs[i].probability, b->pairs[i].probability);
+  }
+}
+
+TEST(MetamorphicTest, DeterministicCollectionReducesToClassicJoin) {
+  // On a deterministic collection, Pr(ed <= k) is 0 or 1, so for any
+  // tau in (0, 1) the join equals the classic edit-distance join.
+  Alphabet names = Alphabet::Names();
+  Rng rng(86);
+  std::vector<UncertainString> collection;
+  std::vector<std::string> raw;
+  for (int i = 0; i < 60; ++i) {
+    std::string s = testing::RandomString(
+        names, static_cast<int>(rng.UniformInt(4, 10)), rng);
+    if (i % 3 == 1 && !raw.empty()) {
+      s = testing::RandomEdits(raw[rng.Uniform(raw.size())], names, 2, rng);
+      if (s.empty()) s.push_back('x');
+    }
+    raw.push_back(s);
+    collection.push_back(UncertainString::FromDeterministic(s));
+  }
+  for (double tau : {0.01, 0.5, 0.99}) {
+    Result<SelfJoinResult> out = SimilaritySelfJoin(
+        collection, names, JoinOptions::Qfct(2, tau));
+    ASSERT_TRUE(out.ok());
+    std::set<PairKey> expected;
+    for (uint32_t i = 0; i < raw.size(); ++i) {
+      for (uint32_t j = i + 1; j < raw.size(); ++j) {
+        if (WithinEditDistance(raw[i], raw[j], 2)) expected.insert({i, j});
+      }
+    }
+    EXPECT_EQ(PairSet(*out), expected) << "tau=" << tau;
+    for (const JoinPair& p : out->pairs) {
+      EXPECT_DOUBLE_EQ(p.probability, 1.0);
+    }
+  }
+}
+
+TEST(MetamorphicTest, SearchAgreesWithSelfJoin) {
+  const Dataset data = SmallDataset(87, 40);
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.always_verify = true;
+  Result<SelfJoinResult> join =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(data.strings, data.alphabet, options);
+  ASSERT_TRUE(join.ok() && searcher.ok());
+  const std::set<PairKey> join_pairs = PairSet(*join);
+  for (uint32_t q = 0; q < data.strings.size(); ++q) {
+    Result<std::vector<SearchHit>> hits = searcher->Search(data.strings[q]);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> hit_ids;
+    for (const SearchHit& h : *hits) hit_ids.insert(h.id);
+    // The searcher reports q itself; the self-join does not.
+    for (uint32_t other = 0; other < data.strings.size(); ++other) {
+      if (other == q) continue;
+      const PairKey key{std::min(q, other), std::max(q, other)};
+      EXPECT_EQ(hit_ids.count(other) > 0, join_pairs.count(key) > 0)
+          << "q=" << q << " other=" << other;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

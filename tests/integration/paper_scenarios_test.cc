@@ -1,0 +1,137 @@
+// End-to-end reproductions of the paper's worked scenarios and scaled-down
+// versions of its experimental configurations.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "join/ujoin.h"
+#include "testing/test_util.h"
+
+namespace ujoin {
+namespace {
+
+UncertainString Parse(const char* text, const Alphabet& alphabet) {
+  Result<UncertainString> s = UncertainString::Parse(text, alphabet);
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+// Table 1, driven through the full indexed join machinery instead of the
+// pair-level filter: r joins against {S1..S4} and only S4 may reach
+// verification via the q-gram stage.
+TEST(PaperScenariosTest, Table1ThroughTheIndexedPipeline) {
+  const Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("A{(C,0.5),(G,0.5)}A{(C,0.5),(G,0.5)}AC", dna),        // S1
+      Parse("AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),(T,0.5)}C", dna),  // S2
+      Parse("G{(A,0.8),(G,0.2)}CT{(A,0.8),(C,0.1),(T,0.1)}C", dna),  // S3
+      Parse("{(G,0.8),(T,0.2)}GA{(C,0.3),(G,0.2),(T,0.5)}CT", dna),  // S4
+  };
+  InvertedSegmentIndex index(/*k=*/1, /*q=*/2);
+  for (uint32_t id = 0; id < collection.size(); ++id) {
+    ASSERT_TRUE(index.Insert(id, collection[id]).ok());
+  }
+  const UncertainString r = UncertainString::FromDeterministic("GGATCC");
+  IndexQueryStats stats;
+  const std::vector<IndexCandidate> candidates =
+      index.Query(r, 6, /*tau=*/0.25, &stats);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].id, 3u);  // S4
+  EXPECT_NEAR(candidates[0].upper_bound, 0.4, 1e-9);
+  // S1 matches no segment at all, so its id never even surfaces in the
+  // merge; S2 surfaces with one matched segment and is support-pruned.
+  EXPECT_EQ(stats.ids_touched, 3);
+  EXPECT_EQ(stats.support_pruned, 1);      // S2 (Lemma 5)
+  EXPECT_EQ(stats.probability_pruned, 1);  // S3 (Theorem 2, 0.2 <= 0.25)
+}
+
+// The Section 3.2 example through the index: the overlap-grouped q(r,1)
+// must drive the merged α correctly.
+TEST(PaperScenariosTest, Section32AlphaThroughProbeSets) {
+  const Alphabet dna = Alphabet::Dna();
+  const UncertainString r = Parse("A{(A,0.8),(C,0.2)}AATT", dna);
+  const UncertainString s = Parse("A{(A,0.8),(C,0.2)}AGCT", dna);
+  QGramOptions options;
+  options.k = 1;
+  options.q = 3;
+  Result<QGramFilterOutcome> out = EvaluateQGramFilter(r, s, options);
+  ASSERT_TRUE(out.ok());
+  ASSERT_GE(out->alphas.size(), 1u);
+  // α_1 = Pr(E_1) = 0.68 exactly as the paper computes.
+  EXPECT_NEAR(out->alphas[0], 0.68, 1e-9);
+}
+
+// Scaled-down versions of the two experimental configurations: the QFCT
+// join must match the exhaustive ground truth on both.
+TEST(PaperScenariosTest, DblpConfigurationEndToEnd) {
+  DatasetOptions data_opt;
+  data_opt.kind = DatasetOptions::Kind::kNames;
+  data_opt.size = 150;
+  data_opt.theta = 0.2;
+  data_opt.seed = 91;
+  data_opt.max_uncertain_positions = 5;
+  const Dataset data = GenerateDataset(data_opt);
+  JoinOptions options = JoinOptions::Qfct(2, 0.1, 3);  // paper defaults
+  options.always_verify = true;
+  Result<SelfJoinResult> got =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  Result<SelfJoinResult> truth =
+      ExhaustiveSelfJoin(data.strings, data.alphabet, options);
+  ASSERT_TRUE(got.ok() && truth.ok());
+  ASSERT_EQ(got->pairs.size(), truth->pairs.size());
+  for (size_t i = 0; i < got->pairs.size(); ++i) {
+    EXPECT_EQ(got->pairs[i].lhs, truth->pairs[i].lhs);
+    EXPECT_EQ(got->pairs[i].rhs, truth->pairs[i].rhs);
+  }
+  EXPECT_GT(got->pairs.size(), 0u);  // the workload must be join-rich
+}
+
+TEST(PaperScenariosTest, ProteinConfigurationEndToEnd) {
+  DatasetOptions data_opt;
+  data_opt.kind = DatasetOptions::Kind::kProtein;
+  data_opt.size = 120;
+  data_opt.theta = 0.1;
+  data_opt.seed = 92;
+  data_opt.max_uncertain_positions = 5;
+  const Dataset data = GenerateDataset(data_opt);
+  JoinOptions options = JoinOptions::Qfct(4, 0.01, 3);  // paper defaults
+  options.always_verify = true;
+  Result<SelfJoinResult> got =
+      SimilaritySelfJoin(data.strings, data.alphabet, options);
+  Result<SelfJoinResult> truth =
+      ExhaustiveSelfJoin(data.strings, data.alphabet, options);
+  ASSERT_TRUE(got.ok() && truth.ok());
+  std::set<std::pair<uint32_t, uint32_t>> got_pairs, truth_pairs;
+  for (const JoinPair& p : got->pairs) got_pairs.insert({p.lhs, p.rhs});
+  for (const JoinPair& p : truth->pairs) truth_pairs.insert({p.lhs, p.rhs});
+  EXPECT_EQ(got_pairs, truth_pairs);
+  EXPECT_GT(got_pairs.size(), 0u);
+}
+
+// The filter-effectiveness ordering of Figure 2, asserted as an invariant
+// on a scaled workload: cascade counts are monotone and the CDF stage
+// decides most of what the q-gram stage lets through.
+TEST(PaperScenariosTest, FilterCascadeOrdering) {
+  DatasetOptions data_opt;
+  data_opt.kind = DatasetOptions::Kind::kNames;
+  data_opt.size = 300;
+  data_opt.theta = 0.2;
+  data_opt.seed = 93;
+  data_opt.max_uncertain_positions = 5;
+  const Dataset data = GenerateDataset(data_opt);
+  Result<SelfJoinResult> out = SimilaritySelfJoin(
+      data.strings, data.alphabet, JoinOptions::Qfct(2, 0.1, 3));
+  ASSERT_TRUE(out.ok());
+  const JoinStats& stats = out->stats;
+  // The q-gram stage must remove the overwhelming majority of pairs.
+  EXPECT_LT(stats.qgram_candidates, stats.length_compatible_pairs / 10);
+  // And the verified share must be a minority of what q-gram passed.
+  EXPECT_LT(stats.verified_pairs, stats.qgram_candidates);
+  EXPECT_EQ(stats.freq_candidates,
+            stats.cdf_accepted + stats.cdf_rejected + stats.cdf_undecided);
+}
+
+}  // namespace
+}  // namespace ujoin

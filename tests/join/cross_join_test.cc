@@ -1,0 +1,106 @@
+#include "join/cross_join.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "testing/test_util.h"
+#include "verify/verifier.h"
+
+namespace ujoin {
+namespace {
+
+std::vector<UncertainString> SmallDataset(int size, uint64_t seed) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = size;
+  opt.theta = 0.25;
+  opt.seed = seed;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.max_uncertain_positions = 4;
+  return GenerateDataset(opt).strings;
+}
+
+std::set<std::pair<uint32_t, uint32_t>> BruteForcePairs(
+    const std::vector<UncertainString>& left,
+    const std::vector<UncertainString>& right, int k, double tau) {
+  std::set<std::pair<uint32_t, uint32_t>> out;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    for (uint32_t j = 0; j < right.size(); ++j) {
+      Result<double> prob = VerifyPairProbability(left[i], right[j], k);
+      UJOIN_CHECK(prob.ok());
+      if (*prob > tau) out.insert({i, j});
+    }
+  }
+  return out;
+}
+
+TEST(CrossJoinTest, MatchesBruteForceGroundTruth) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> left = SmallDataset(30, 51);
+  const std::vector<UncertainString> right = SmallDataset(45, 52);
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.always_verify = true;
+  Result<CrossJoinResult> got =
+      SimilarityJoin(left, right, alphabet, options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  std::set<std::pair<uint32_t, uint32_t>> got_pairs;
+  for (const JoinPair& p : got->pairs) {
+    got_pairs.insert({p.lhs, p.rhs});
+    EXPECT_LT(p.lhs, left.size());
+    EXPECT_LT(p.rhs, right.size());
+    EXPECT_GT(p.probability, options.tau);
+  }
+  EXPECT_EQ(got_pairs,
+            BruteForcePairs(left, right, options.k, options.tau));
+}
+
+TEST(CrossJoinTest, OrientationIndependentOfWhichSideIsIndexed) {
+  const Alphabet alphabet = Alphabet::Names();
+  // `left` smaller than `right` and vice versa must both report pairs in
+  // (left-index, right-index) orientation.
+  const std::vector<UncertainString> small = SmallDataset(10, 53);
+  const std::vector<UncertainString> large = SmallDataset(40, 53);
+  const JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  Result<CrossJoinResult> a = SimilarityJoin(small, large, alphabet, options);
+  Result<CrossJoinResult> b = SimilarityJoin(large, small, alphabet, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  std::set<std::pair<uint32_t, uint32_t>> a_pairs, b_flipped;
+  for (const JoinPair& p : a->pairs) a_pairs.insert({p.lhs, p.rhs});
+  for (const JoinPair& p : b->pairs) b_flipped.insert({p.rhs, p.lhs});
+  EXPECT_EQ(a_pairs, b_flipped);
+  // `small` is a seed-53 prefix of `large`, so each small string matches at
+  // least its own copy in `large`.
+  EXPECT_GE(a_pairs.size(), small.size());
+}
+
+TEST(CrossJoinTest, EmptySidesYieldNoPairs) {
+  const Alphabet alphabet = Alphabet::Dna();
+  const std::vector<UncertainString> some = {
+      UncertainString::FromDeterministic("ACGT")};
+  Result<CrossJoinResult> a =
+      SimilarityJoin({}, some, alphabet, JoinOptions::Qfct(1, 0.1));
+  Result<CrossJoinResult> b =
+      SimilarityJoin(some, {}, alphabet, JoinOptions::Qfct(1, 0.1));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->pairs.empty());
+  EXPECT_TRUE(b->pairs.empty());
+}
+
+TEST(CrossJoinTest, StatsAggregateAcrossProbes) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> left = SmallDataset(20, 54);
+  const std::vector<UncertainString> right = SmallDataset(20, 55);
+  Result<CrossJoinResult> out =
+      SimilarityJoin(left, right, alphabet, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->stats.length_compatible_pairs, 0);
+  EXPECT_EQ(out->stats.result_pairs,
+            static_cast<int64_t>(out->pairs.size()));
+  EXPECT_GT(out->stats.peak_index_memory, 0u);
+}
+
+}  // namespace
+}  // namespace ujoin

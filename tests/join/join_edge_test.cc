@@ -1,0 +1,177 @@
+// Boundary behaviour of the join: degenerate thresholds, extreme k, and
+// pathological collections.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "join/ujoin.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+UncertainString Parse(const char* text, const Alphabet& alphabet) {
+  Result<UncertainString> s = UncertainString::Parse(text, alphabet);
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+TEST(JoinEdgeTest, KZeroMeansWorldEquality) {
+  // Pr(ed <= 0) = Pr(R = S), the match probability.
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("A{(C,0.6),(G,0.4)}GT", dna),
+      Parse("A{(C,0.5),(T,0.5)}GT", dna),
+      Parse("ACGT", dna),
+  };
+  JoinOptions options = JoinOptions::Qfct(0, 0.2);
+  options.always_verify = true;
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, options);
+  ASSERT_TRUE(out.ok());
+  // Pr(0=1) = 0.6*0.5 = 0.3; Pr(0=2) = 0.6; Pr(1=2) = 0.5.  All > 0.2.
+  ASSERT_EQ(out->pairs.size(), 3u);
+  for (const JoinPair& p : out->pairs) {
+    EXPECT_NEAR(p.probability,
+                MatchProbability(collection[p.lhs], collection[p.rhs]), 1e-9);
+  }
+}
+
+TEST(JoinEdgeTest, HugeKMatchesEverythingWithCertainty) {
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("A{(C,0.6),(G,0.4)}", dna),
+      Parse("TTTTT", dna),
+      Parse("G", dna),
+  };
+  JoinOptions options = JoinOptions::Qfct(10, 0.5);
+  options.always_verify = true;
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->pairs.size(), 3u);
+  for (const JoinPair& p : out->pairs) {
+    EXPECT_DOUBLE_EQ(p.probability, 1.0);
+  }
+}
+
+TEST(JoinEdgeTest, TauOneYieldsNothing) {
+  // Pr > 1 is impossible, even for identical deterministic strings.
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("ACGT", dna), Parse("ACGT", dna)};
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, JoinOptions::Qfct(2, 1.0));
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->pairs.empty());
+}
+
+TEST(JoinEdgeTest, SingleCharacterStrings) {
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("{(A,0.5),(C,0.5)}", dna),
+      Parse("A", dna),
+      Parse("{(A,0.9),(G,0.1)}", dna),
+  };
+  JoinOptions options = JoinOptions::Qfct(0, 0.4);
+  options.always_verify = true;
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, options);
+  ASSERT_TRUE(out.ok());
+  // Pr(0=1)=0.5 > 0.4; Pr(0=2)=0.5*0.9=0.45 > 0.4; Pr(1=2)=0.9 > 0.4.
+  EXPECT_EQ(out->pairs.size(), 3u);
+}
+
+TEST(JoinEdgeTest, AllIdenticalUncertainStrings) {
+  Alphabet dna = Alphabet::Dna();
+  const UncertainString s = Parse("AC{(G,0.5),(T,0.5)}T{(A,0.5),(C,0.5)}", dna);
+  const std::vector<UncertainString> collection(6, s);
+  JoinOptions options = JoinOptions::Qfct(2, 0.5);
+  options.always_verify = true;
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->pairs.size(), 15u);  // all C(6,2) pairs
+  for (const JoinPair& p : out->pairs) {
+    // Two independent copies differ in >2 positions rarely: every world
+    // pair is within ed 2 unless both uncertain positions mismatch AND...
+    // exact value: Pr(ed<=2) = 1 (at most 2 mismatching positions).
+    EXPECT_DOUBLE_EQ(p.probability, 1.0);
+  }
+}
+
+TEST(JoinEdgeTest, WidelyVaryingLengthsPruneByLengthWindow) {
+  Alphabet dna = Alphabet::Dna();
+  std::vector<UncertainString> collection;
+  for (int len = 1; len <= 30; len += 4) {
+    collection.push_back(
+        UncertainString::FromDeterministic(std::string(len, 'A')));
+  }
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(out.ok());
+  // Lengths differ by >= 4 > k: nothing joins, and almost nothing should
+  // even reach the filters.
+  EXPECT_TRUE(out->pairs.empty());
+  EXPECT_EQ(out->stats.length_compatible_pairs, 0);
+}
+
+TEST(JoinEdgeTest, TinyTauReportsEveryPositivePair) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(97);
+  testing::RandomStringOptions opt;
+  opt.min_length = 3;
+  opt.max_length = 6;
+  opt.theta = 0.4;
+  std::vector<UncertainString> collection;
+  for (int i = 0; i < 20; ++i) {
+    collection.push_back(testing::RandomUncertainString(dna, opt, rng));
+  }
+  JoinOptions options = JoinOptions::Qfct(2, 0.0);
+  options.always_verify = true;
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, options);
+  ASSERT_TRUE(out.ok());
+  // Ground truth: every pair with positive probability.
+  size_t expected = 0;
+  for (uint32_t i = 0; i < collection.size(); ++i) {
+    for (uint32_t j = i + 1; j < collection.size(); ++j) {
+      expected +=
+          testing::BruteForceMatchProbability(collection[i], collection[j],
+                                              2) > 0.0;
+    }
+  }
+  EXPECT_EQ(out->pairs.size(), expected);
+}
+
+TEST(JoinEdgeTest, QLargerThanStringsStillWorks) {
+  // q = 10 on strings of length ~5: m = k+1 segments of length ~1.
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("ACGTA", dna), Parse("ACGTT", dna), Parse("TTTTT", dna)};
+  Result<SelfJoinResult> out = SimilaritySelfJoin(
+      collection, dna, JoinOptions::Qfct(1, 0.5, /*q=*/10));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->pairs.size(), 1u);
+  EXPECT_EQ(out->pairs[0].lhs, 0u);
+  EXPECT_EQ(out->pairs[0].rhs, 1u);
+}
+
+TEST(JoinEdgeTest, StringsShorterThanKPlusOne) {
+  // len <= k: partitioning clamps to len segments; every same-ballpark
+  // string is a candidate and verification decides.
+  Alphabet dna = Alphabet::Dna();
+  const std::vector<UncertainString> collection = {
+      Parse("AC", dna), Parse("CA", dna), Parse("A", dna), Parse("GGG", dna)};
+  JoinOptions options = JoinOptions::Qfct(3, 0.5);
+  options.always_verify = true;
+  Result<SelfJoinResult> out =
+      SimilaritySelfJoin(collection, dna, options);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->pairs.size(), 6u);  // everything within ed 3 of everything
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,135 @@
+#include "join/search.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "testing/test_util.h"
+#include "util/rng.h"
+#include "verify/verifier.h"
+
+namespace ujoin {
+namespace {
+
+std::vector<UncertainString> SmallDataset(int size, uint64_t seed) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = size;
+  opt.theta = 0.25;
+  opt.seed = seed;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.max_uncertain_positions = 4;
+  return GenerateDataset(opt).strings;
+}
+
+std::set<uint32_t> GroundTruthHits(const UncertainString& query,
+                                   const std::vector<UncertainString>& coll,
+                                   int k, double tau) {
+  std::set<uint32_t> hits;
+  for (uint32_t id = 0; id < coll.size(); ++id) {
+    Result<double> prob = TrieVerifyProbability(query, coll[id], k);
+    UJOIN_CHECK(prob.ok());
+    if (*prob > tau) hits.insert(id);
+  }
+  return hits;
+}
+
+TEST(SimilaritySearcherTest, FindsExactlyTheMatchingIds) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(60, 3);
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.always_verify = true;
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(collection, alphabet, options);
+  ASSERT_TRUE(searcher.ok());
+  // Queries: a few collection members (guaranteed hits) plus fresh strings.
+  for (uint32_t q = 0; q < 10; ++q) {
+    const UncertainString& query = collection[q * 5];
+    Result<std::vector<SearchHit>> hits = searcher->Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> got;
+    for (const SearchHit& h : *hits) {
+      got.insert(h.id);
+      EXPECT_GT(h.probability, options.tau);
+    }
+    EXPECT_EQ(got,
+              GroundTruthHits(query, collection, options.k, options.tau));
+    EXPECT_TRUE(got.count(q * 5));  // a string always matches itself
+  }
+}
+
+TEST(SimilaritySearcherTest, UncertainQueriesWork) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(50, 5);
+  JoinOptions options = JoinOptions::Qfct(2, 0.05);
+  options.always_verify = true;
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(collection, alphabet, options);
+  ASSERT_TRUE(searcher.ok());
+  const std::vector<UncertainString> probes = SmallDataset(10, 77);
+  for (const UncertainString& query : probes) {
+    Result<std::vector<SearchHit>> hits = searcher->Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> got;
+    for (const SearchHit& h : *hits) got.insert(h.id);
+    EXPECT_EQ(got,
+              GroundTruthHits(query, collection, options.k, options.tau));
+  }
+}
+
+TEST(SimilaritySearcherTest, VariantsAgree) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(40, 11);
+  const UncertainString query = collection[7];
+  std::set<uint32_t> reference;
+  for (const JoinOptions& options :
+       {JoinOptions::Qfct(2, 0.1), JoinOptions::Qct(2, 0.1),
+        JoinOptions::Qft(2, 0.1), JoinOptions::Fct(2, 0.1)}) {
+    JoinOptions exact = options;
+    exact.always_verify = true;
+    Result<SimilaritySearcher> searcher =
+        SimilaritySearcher::Create(collection, alphabet, exact);
+    ASSERT_TRUE(searcher.ok());
+    Result<std::vector<SearchHit>> hits = searcher->Search(query);
+    ASSERT_TRUE(hits.ok());
+    std::set<uint32_t> got;
+    for (const SearchHit& h : *hits) got.insert(h.id);
+    if (reference.empty()) {
+      reference = got;
+    } else {
+      EXPECT_EQ(got, reference);
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(SimilaritySearcherTest, QueryValidation) {
+  const Alphabet alphabet = Alphabet::Dna();
+  Result<SimilaritySearcher> searcher = SimilaritySearcher::Create(
+      {UncertainString::FromDeterministic("ACGT")}, alphabet,
+      JoinOptions::Qfct(1, 0.1));
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_FALSE(searcher->Search(UncertainString()).ok());
+  EXPECT_FALSE(
+      searcher->Search(UncertainString::FromDeterministic("XY")).ok());
+}
+
+TEST(SimilaritySearcherTest, SearchStatsPopulated) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(50, 19);
+  Result<SimilaritySearcher> searcher = SimilaritySearcher::Create(
+      collection, alphabet, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(searcher.ok());
+  EXPECT_GT(searcher->IndexMemoryUsage(), 0u);
+  JoinStats stats;
+  Result<std::vector<SearchHit>> hits =
+      searcher->Search(collection[0], &stats);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_GT(stats.length_compatible_pairs, 0);
+  EXPECT_EQ(stats.result_pairs, static_cast<int64_t>(hits->size()));
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,166 @@
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "index/segment_index.h"
+#include "join/search.h"
+#include "testing/test_util.h"
+
+namespace ujoin {
+namespace {
+
+std::vector<UncertainString> SmallDataset(int size, uint64_t seed) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = size;
+  opt.theta = 0.25;
+  opt.seed = seed;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.max_uncertain_positions = 4;
+  return GenerateDataset(opt).strings;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(IndexSerializationTest, RoundTripPreservesQueries) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(60, 301);
+  InvertedSegmentIndex original(2, 3);
+  for (uint32_t id = 0; id < collection.size(); ++id) {
+    ASSERT_TRUE(original.Insert(id, collection[id]).ok());
+  }
+  BinaryWriter writer;
+  original.Serialize(&writer);
+  BinaryReader reader(writer.buffer());
+  Result<InvertedSegmentIndex> restored =
+      InvertedSegmentIndex::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(restored->num_postings(), original.num_postings());
+  EXPECT_EQ(restored->MemoryUsage(), original.MemoryUsage());
+  // Identical candidates for every probe.
+  for (uint32_t probe = 0; probe < collection.size(); probe += 7) {
+    const UncertainString& r = collection[probe];
+    for (int l = std::max(1, r.length() - 2); l <= r.length() + 2; ++l) {
+      const auto a = original.Query(r, l, 0.1);
+      const auto b = restored->Query(r, l, 0.1);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].id, b[i].id);
+        EXPECT_NEAR(a[i].upper_bound, b[i].upper_bound, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(SearcherPersistenceTest, SaveLoadRoundTripIdenticalResults) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(80, 302);
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.always_verify = true;
+  Result<SimilaritySearcher> original =
+      SimilaritySearcher::Create(collection, alphabet, options);
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("ujoin_searcher.bin");
+  ASSERT_TRUE(original->Save(path).ok());
+
+  Result<SimilaritySearcher> loaded =
+      SimilaritySearcher::Load(path, alphabet);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->collection().size(), collection.size());
+  EXPECT_EQ(loaded->IndexMemoryUsage(), original->IndexMemoryUsage());
+  const std::vector<UncertainString> queries = SmallDataset(15, 303);
+  for (const UncertainString& query : queries) {
+    Result<std::vector<SearchHit>> a = original->Search(query);
+    Result<std::vector<SearchHit>> b = loaded->Search(query);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+      EXPECT_NEAR((*a)[i].probability, (*b)[i].probability, 1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SearcherPersistenceTest, CollectionProbabilitiesSurviveExactly) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(30, 304);
+  Result<SimilaritySearcher> original = SimilaritySearcher::Create(
+      collection, alphabet, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("ujoin_searcher_exact.bin");
+  ASSERT_TRUE(original->Save(path).ok());
+  Result<SimilaritySearcher> loaded =
+      SimilaritySearcher::Load(path, alphabet);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < collection.size(); ++i) {
+    const UncertainString& a = collection[i];
+    const UncertainString& b = loaded->collection()[i];
+    ASSERT_EQ(a.length(), b.length());
+    for (int pos = 0; pos < a.length(); ++pos) {
+      auto aa = a.AlternativesAt(pos);
+      auto bb = b.AlternativesAt(pos);
+      ASSERT_EQ(aa.size(), bb.size());
+      for (size_t alt = 0; alt < aa.size(); ++alt) {
+        EXPECT_EQ(aa[alt].symbol, bb[alt].symbol);
+        // Binary format: bit-exact probabilities (unlike the text format).
+        EXPECT_EQ(aa[alt].prob, bb[alt].prob);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SearcherPersistenceTest, RejectsGarbageAndTruncation) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::string path = TempPath("ujoin_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a searcher file at all";
+  }
+  EXPECT_FALSE(SimilaritySearcher::Load(path, alphabet).ok());
+
+  // A valid file truncated in the middle must fail cleanly, not crash.
+  const std::vector<UncertainString> collection = SmallDataset(20, 305);
+  Result<SimilaritySearcher> original = SimilaritySearcher::Create(
+      collection, alphabet, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(original->Save(path).ok());
+  Result<BinaryReader> full = BinaryReader::FromFile(path);
+  ASSERT_TRUE(full.ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size() / 2));
+  }
+  Result<SimilaritySearcher> truncated =
+      SimilaritySearcher::Load(path, alphabet);
+  EXPECT_FALSE(truncated.ok());
+  std::remove(path.c_str());
+}
+
+TEST(SearcherPersistenceTest, RejectsAlphabetMismatch) {
+  const Alphabet names = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(10, 306);
+  Result<SimilaritySearcher> original =
+      SimilaritySearcher::Create(collection, names, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(original.ok());
+  const std::string path = TempPath("ujoin_searcher_alpha.bin");
+  ASSERT_TRUE(original->Save(path).ok());
+  // DNA alphabet cannot hold lowercase name symbols.
+  Result<SimilaritySearcher> loaded =
+      SimilaritySearcher::Load(path, Alphabet::Dna());
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ujoin

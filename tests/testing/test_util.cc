@@ -1,0 +1,59 @@
+#include "testing/test_util.h"
+
+#include "text/frequency.h"
+
+namespace ujoin::testing {
+
+double BruteForceFreqDistanceProbability(const UncertainString& r,
+                                         const UncertainString& s, int k,
+                                         const Alphabet& alphabet) {
+  double total = 0.0;
+  ForEachWorld(r, [&](const std::string& ri, double pi) {
+    Result<FrequencyVector> fr = MakeFrequencyVector(ri, alphabet);
+    UJOIN_CHECK(fr.ok());
+    ForEachWorld(s, [&](const std::string& sj, double pj) {
+      Result<FrequencyVector> fs = MakeFrequencyVector(sj, alphabet);
+      UJOIN_CHECK(fs.ok());
+      if (FrequencyDistance(fr.value(), fs.value()) <= k) total += pi * pj;
+    });
+  });
+  return total;
+}
+
+int BruteForceMinFreqDistance(const UncertainString& r,
+                              const UncertainString& s,
+                              const Alphabet& alphabet) {
+  int min_fd = INT32_MAX;
+  ForEachWorld(r, [&](const std::string& ri, double) {
+    Result<FrequencyVector> fr = MakeFrequencyVector(ri, alphabet);
+    UJOIN_CHECK(fr.ok());
+    ForEachWorld(s, [&](const std::string& sj, double) {
+      Result<FrequencyVector> fs = MakeFrequencyVector(sj, alphabet);
+      UJOIN_CHECK(fs.ok());
+      min_fd = std::min(min_fd, FrequencyDistance(fr.value(), fs.value()));
+    });
+  });
+  return min_fd;
+}
+
+std::string RandomEdits(const std::string& s, const Alphabet& alphabet,
+                        int max_edits, Rng& rng) {
+  std::string out = s;
+  const int edits = static_cast<int>(rng.UniformInt(0, max_edits));
+  for (int e = 0; e < edits; ++e) {
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0 && !out.empty()) {  // substitution
+      const size_t pos = rng.Uniform(out.size());
+      out[pos] = alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size())));
+    } else if (op == 1 && !out.empty()) {  // deletion
+      out.erase(rng.Uniform(out.size()), 1);
+    } else {  // insertion
+      const size_t pos = rng.Uniform(out.size() + 1);
+      out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
+                 alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size()))));
+    }
+  }
+  return out;
+}
+
+}  // namespace ujoin::testing

@@ -1,0 +1,105 @@
+#ifndef UJOIN_TESTS_TESTING_TEST_UTIL_H_
+#define UJOIN_TESTS_TESTING_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "text/alphabet.h"
+#include "text/edit_distance.h"
+#include "text/possible_worlds.h"
+#include "text/uncertain_string.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ujoin::testing {
+
+/// Knobs for random uncertain-string generation in property tests.
+struct RandomStringOptions {
+  int min_length = 3;
+  int max_length = 10;
+  double theta = 0.3;  ///< probability a position is uncertain
+  int max_alternatives = 3;
+};
+
+/// A random uncertain string over `alphabet`, driven by `rng`.
+inline UncertainString RandomUncertainString(const Alphabet& alphabet,
+                                             const RandomStringOptions& opt,
+                                             Rng& rng) {
+  const int length =
+      static_cast<int>(rng.UniformInt(opt.min_length, opt.max_length));
+  UncertainString::Builder builder;
+  for (int i = 0; i < length; ++i) {
+    if (!rng.Bernoulli(opt.theta)) {
+      builder.AddCertain(
+          alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size()))));
+      continue;
+    }
+    const int num_alts = static_cast<int>(
+        rng.UniformInt(2, std::min(opt.max_alternatives, alphabet.size())));
+    // Pick distinct symbols.
+    std::vector<int> symbols;
+    while (static_cast<int>(symbols.size()) < num_alts) {
+      const int s = static_cast<int>(rng.Uniform(alphabet.size()));
+      bool seen = false;
+      for (int t : symbols) seen = seen || t == s;
+      if (!seen) symbols.push_back(s);
+    }
+    std::vector<CharProb> alts;
+    double remaining = 1.0;
+    for (size_t j = 0; j < symbols.size(); ++j) {
+      double p = (j + 1 == symbols.size())
+                     ? remaining
+                     : remaining * (0.2 + 0.6 * rng.UniformDouble());
+      remaining -= (j + 1 == symbols.size()) ? 0.0 : p;
+      alts.push_back(CharProb{alphabet.SymbolAt(symbols[j]), p});
+    }
+    builder.AddUncertain(std::move(alts));
+  }
+  Result<UncertainString> s = builder.Build();
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+/// Ground-truth Pr(ed(R, S) <= k) by full world enumeration with the plain
+/// (unbanded) edit distance — an independent path from the verifiers.
+inline double BruteForceMatchProbability(const UncertainString& r,
+                                         const UncertainString& s, int k) {
+  double total = 0.0;
+  ForEachWorld(r, [&](const std::string& ri, double pi) {
+    ForEachWorld(s, [&](const std::string& sj, double pj) {
+      if (EditDistance(ri, sj) <= k) total += pi * pj;
+    });
+  });
+  return total;
+}
+
+/// Ground-truth Pr(fd(R, S) <= k) by full world enumeration.
+double BruteForceFreqDistanceProbability(const UncertainString& r,
+                                         const UncertainString& s, int k,
+                                         const Alphabet& alphabet);
+
+/// Minimum frequency distance over all world pairs.
+int BruteForceMinFreqDistance(const UncertainString& r,
+                              const UncertainString& s,
+                              const Alphabet& alphabet);
+
+/// Deterministic random string over `alphabet`.
+inline std::string RandomString(const Alphabet& alphabet, int length,
+                                Rng& rng) {
+  std::string s(static_cast<size_t>(length), alphabet.SymbolAt(0));
+  for (int i = 0; i < length; ++i) {
+    s[static_cast<size_t>(i)] =
+        alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size())));
+  }
+  return s;
+}
+
+/// Applies up to `max_edits` random edits (ins/del/sub) to `s`.
+std::string RandomEdits(const std::string& s, const Alphabet& alphabet,
+                        int max_edits, Rng& rng);
+
+}  // namespace ujoin::testing
+
+#endif  // UJOIN_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,58 @@
+#include "text/alphabet.h"
+
+#include <gtest/gtest.h>
+
+namespace ujoin {
+namespace {
+
+TEST(AlphabetTest, CreateMapsSymbolsToDenseIndices) {
+  Result<Alphabet> a = Alphabet::Create("ACGT");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 4);
+  EXPECT_EQ(a->IndexOf('A'), 0);
+  EXPECT_EQ(a->IndexOf('C'), 1);
+  EXPECT_EQ(a->IndexOf('G'), 2);
+  EXPECT_EQ(a->IndexOf('T'), 3);
+  EXPECT_EQ(a->SymbolAt(2), 'G');
+}
+
+TEST(AlphabetTest, IndexOfUnknownSymbolIsNegative) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_EQ(dna.IndexOf('X'), -1);
+  EXPECT_FALSE(dna.Contains('x'));
+  EXPECT_TRUE(dna.Contains('T'));
+}
+
+TEST(AlphabetTest, RejectsEmptyAlphabet) {
+  Result<Alphabet> a = Alphabet::Create("");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AlphabetTest, RejectsDuplicateSymbols) {
+  Result<Alphabet> a = Alphabet::Create("ABCA");
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AlphabetTest, FactoriesMatchPaperSizes) {
+  EXPECT_EQ(Alphabet::Names().size(), 27);    // dblp: |Σ| = 27
+  EXPECT_EQ(Alphabet::Protein().size(), 22);  // protein: |Σ| = 22
+  EXPECT_EQ(Alphabet::Dna().size(), 4);
+}
+
+TEST(AlphabetTest, NamesIncludesSpace) {
+  EXPECT_TRUE(Alphabet::Names().Contains(' '));
+  EXPECT_TRUE(Alphabet::Names().Contains('a'));
+  EXPECT_FALSE(Alphabet::Names().Contains('A'));
+}
+
+TEST(AlphabetTest, SymbolsRoundTripThroughIndex) {
+  Alphabet p = Alphabet::Protein();
+  for (int i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.IndexOf(p.SymbolAt(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

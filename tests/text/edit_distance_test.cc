@@ -1,0 +1,82 @@
+#include "text/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("intention", "execution"), 5);
+  EXPECT_EQ(EditDistance("abc", "acb"), 2);  // no transposition operation
+}
+
+TEST(EditDistanceTest, SymmetricAndTriangleOnRandomStrings) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string a =
+        testing::RandomString(dna, static_cast<int>(rng.UniformInt(0, 12)), rng);
+    const std::string b =
+        testing::RandomString(dna, static_cast<int>(rng.UniformInt(0, 12)), rng);
+    const std::string c =
+        testing::RandomString(dna, static_cast<int>(rng.UniformInt(0, 12)), rng);
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+    EXPECT_GE(EditDistance(a, b),
+              std::abs(static_cast<int>(a.size()) - static_cast<int>(b.size())));
+  }
+}
+
+TEST(BoundedEditDistanceTest, AgreesWithFullDistanceWithinThreshold) {
+  Alphabet names = Alphabet::Names();
+  Rng rng(17);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = testing::RandomString(
+        names, static_cast<int>(rng.UniformInt(0, 15)), rng);
+    const std::string b = testing::RandomEdits(a, names, 5, rng);
+    const int exact = EditDistance(a, b);
+    for (int k = 0; k <= 6; ++k) {
+      const int bounded = BoundedEditDistance(a, b, k);
+      if (exact <= k) {
+        EXPECT_EQ(bounded, exact) << "a=" << a << " b=" << b << " k=" << k;
+      } else {
+        EXPECT_EQ(bounded, k + 1) << "a=" << a << " b=" << b << " k=" << k;
+      }
+      EXPECT_EQ(WithinEditDistance(a, b, k), exact <= k);
+    }
+  }
+}
+
+TEST(BoundedEditDistanceTest, LengthGapShortCircuits) {
+  EXPECT_EQ(BoundedEditDistance("aaaaaaaa", "a", 3), 4);
+  EXPECT_EQ(BoundedEditDistance("a", "aaaaaaaa", 3), 4);
+}
+
+TEST(BoundedEditDistanceTest, ZeroThreshold) {
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0);
+  EXPECT_EQ(BoundedEditDistance("abc", "abd", 0), 1);
+  EXPECT_TRUE(WithinEditDistance("", "", 0));
+}
+
+TEST(BoundedEditDistanceTest, NegativeThresholdNeverMatches) {
+  EXPECT_FALSE(WithinEditDistance("a", "a", -1));
+}
+
+TEST(BoundedEditDistanceTest, EmptyStrings) {
+  EXPECT_EQ(BoundedEditDistance("", "abc", 5), 3);
+  EXPECT_EQ(BoundedEditDistance("abc", "", 2), 3);
+  EXPECT_EQ(BoundedEditDistance("", "", 4), 0);
+}
+
+}  // namespace
+}  // namespace ujoin

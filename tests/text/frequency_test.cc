@@ -1,0 +1,69 @@
+#include "text/frequency.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/edit_distance.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+TEST(FrequencyVectorTest, CountsSymbols) {
+  Alphabet dna = Alphabet::Dna();
+  Result<FrequencyVector> f = MakeFrequencyVector("ACCGGG", dna);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ((*f)[0], 1);  // A
+  EXPECT_EQ((*f)[1], 2);  // C
+  EXPECT_EQ((*f)[2], 3);  // G
+  EXPECT_EQ((*f)[3], 0);  // T
+}
+
+TEST(FrequencyVectorTest, RejectsForeignSymbols) {
+  Alphabet dna = Alphabet::Dna();
+  EXPECT_FALSE(MakeFrequencyVector("ACX", dna).ok());
+}
+
+TEST(FrequencyDistanceTest, KnownValues) {
+  Alphabet dna = Alphabet::Dna();
+  auto fd = [&](std::string_view a, std::string_view b) {
+    return FrequencyDistance(MakeFrequencyVector(a, dna).value(),
+                             MakeFrequencyVector(b, dna).value());
+  };
+  EXPECT_EQ(fd("ACGT", "ACGT"), 0);
+  EXPECT_EQ(fd("AAAA", "CCCC"), 4);   // pD = 4, nD = 4
+  EXPECT_EQ(fd("AAC", "AC"), 1);      // one surplus A
+  EXPECT_EQ(fd("ACGT", "TGCA"), 0);   // permutation
+}
+
+TEST(FrequencyDistanceTest, LowerBoundsEditDistance) {
+  Alphabet names = Alphabet::Names();
+  Rng rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = testing::RandomString(
+        names, static_cast<int>(rng.UniformInt(0, 12)), rng);
+    const std::string b = testing::RandomEdits(a, names, 4, rng);
+    const int fd = FrequencyDistance(MakeFrequencyVector(a, names).value(),
+                                     MakeFrequencyVector(b, names).value());
+    EXPECT_LE(fd, EditDistance(a, b)) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(FrequencyDistanceTest, SymmetricAndAtLeastLengthGap) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string a = testing::RandomString(
+        dna, static_cast<int>(rng.UniformInt(0, 10)), rng);
+    const std::string b = testing::RandomString(
+        dna, static_cast<int>(rng.UniformInt(0, 10)), rng);
+    const FrequencyVector fa = MakeFrequencyVector(a, dna).value();
+    const FrequencyVector fb = MakeFrequencyVector(b, dna).value();
+    EXPECT_EQ(FrequencyDistance(fa, fb), FrequencyDistance(fb, fa));
+    EXPECT_GE(FrequencyDistance(fa, fb),
+              std::abs(static_cast<int>(a.size()) - static_cast<int>(b.size())));
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,124 @@
+#include "text/possible_worlds.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+TEST(PossibleWorldsTest, DeterministicStringHasOneWorld) {
+  UncertainString s = UncertainString::FromDeterministic("ACGT");
+  Result<std::vector<std::pair<std::string, double>>> worlds = AllWorlds(s);
+  ASSERT_TRUE(worlds.ok());
+  ASSERT_EQ(worlds->size(), 1u);
+  EXPECT_EQ((*worlds)[0].first, "ACGT");
+  EXPECT_DOUBLE_EQ((*worlds)[0].second, 1.0);
+}
+
+TEST(PossibleWorldsTest, EnumeratesAllCombinationsExactlyOnce) {
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> s = UncertainString::Parse(
+      "{(A,0.5),(C,0.5)}G{(A,0.2),(G,0.3),(T,0.5)}", dna);
+  ASSERT_TRUE(s.ok());
+  Result<std::vector<std::pair<std::string, double>>> worlds = AllWorlds(*s);
+  ASSERT_TRUE(worlds.ok());
+  EXPECT_EQ(worlds->size(), 6u);
+  std::map<std::string, double> by_instance;
+  for (const auto& [instance, prob] : *worlds) {
+    EXPECT_TRUE(by_instance.emplace(instance, prob).second)
+        << "duplicate instance " << instance;
+  }
+  EXPECT_DOUBLE_EQ(by_instance.at("AGA"), 0.5 * 0.2);
+  EXPECT_DOUBLE_EQ(by_instance.at("CGT"), 0.5 * 0.5);
+}
+
+TEST(PossibleWorldsTest, ProbabilitiesSumToOne) {
+  Alphabet names = Alphabet::Names();
+  Rng rng(11);
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 8;
+  opt.theta = 0.5;
+  for (int trial = 0; trial < 30; ++trial) {
+    UncertainString s = testing::RandomUncertainString(names, opt, rng);
+    double total = 0.0;
+    int64_t count = 0;
+    ForEachWorld(s, [&](const std::string& instance, double prob) {
+      EXPECT_EQ(static_cast<int>(instance.size()), s.length());
+      total += prob;
+      ++count;
+    });
+    EXPECT_EQ(count, s.WorldCount());
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(PossibleWorldsTest, EmptyStringHasOneEmptyWorld) {
+  UncertainString s;
+  int64_t count = 0;
+  ForEachWorld(s, [&](const std::string& instance, double prob) {
+    EXPECT_TRUE(instance.empty());
+    EXPECT_DOUBLE_EQ(prob, 1.0);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(PossibleWorldsTest, AllWorldsEnforcesCap) {
+  UncertainString::Builder b;
+  for (int i = 0; i < 8; ++i) b.AddUncertain({{'A', 0.5}, {'C', 0.5}});
+  Result<UncertainString> s = b.Build();
+  ASSERT_TRUE(s.ok());
+  Result<std::vector<std::pair<std::string, double>>> capped =
+      AllWorlds(*s, /*max_worlds=*/100);
+  ASSERT_FALSE(capped.ok());
+  EXPECT_EQ(capped.status().code(), StatusCode::kResourceExhausted);
+  Result<std::vector<std::pair<std::string, double>>> ok =
+      AllWorlds(*s, /*max_worlds=*/256);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 256u);
+}
+
+TEST(PossibleWorldsTest, ResetRestartsEnumeration) {
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> s = UncertainString::Parse("{(A,0.5),(C,0.5)}G", dna);
+  ASSERT_TRUE(s.ok());
+  WorldEnumerator worlds(*s);
+  std::string first, again;
+  double prob;
+  ASSERT_TRUE(worlds.Next(&first, &prob));
+  worlds.Reset();
+  ASSERT_TRUE(worlds.Next(&again, &prob));
+  EXPECT_EQ(first, again);
+}
+
+TEST(PossibleWorldsTest, WorldsOfSubstringMatchSubstringsOfWorlds) {
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> s = UncertainString::Parse(
+      "A{(C,0.5),(G,0.5)}T{(A,0.3),(T,0.7)}C", dna);
+  ASSERT_TRUE(s.ok());
+  // Marginal distribution of S[1..3] from full worlds must equal the world
+  // distribution of Substring(1, 3).
+  std::map<std::string, double> marginal;
+  ForEachWorld(*s, [&](const std::string& instance, double prob) {
+    marginal[instance.substr(1, 3)] += prob;
+  });
+  std::map<std::string, double> direct;
+  ForEachWorld(s->Substring(1, 3),
+               [&](const std::string& instance, double prob) {
+                 direct[instance] += prob;
+               });
+  ASSERT_EQ(marginal.size(), direct.size());
+  for (const auto& [instance, prob] : direct) {
+    EXPECT_NEAR(marginal.at(instance), prob, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,166 @@
+#include "text/string_level.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+using Instance = StringLevelUncertainString::Instance;
+
+TEST(StringLevelTest, CreateValidatesAndSortsByProbability) {
+  Result<StringLevelUncertainString> s = StringLevelUncertainString::Create(
+      {{"ACGT", 0.2}, {"ACG", 0.5}, {"ACGTT", 0.3}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_instances(), 3);
+  EXPECT_EQ(s->MostLikelyInstance(), "ACG");
+  EXPECT_EQ(s->instance(0).text, "ACG");
+  EXPECT_EQ(s->instance(1).text, "ACGTT");
+  EXPECT_EQ(s->instance(2).text, "ACGT");
+  EXPECT_EQ(s->min_length(), 3);
+  EXPECT_EQ(s->max_length(), 5);
+}
+
+TEST(StringLevelTest, CreateRejectsBadPdfs) {
+  EXPECT_FALSE(StringLevelUncertainString::Create({}).ok());
+  EXPECT_FALSE(
+      StringLevelUncertainString::Create({{"A", 0.5}, {"A", 0.5}}).ok());
+  EXPECT_FALSE(
+      StringLevelUncertainString::Create({{"A", 0.4}, {"B", 0.4}}).ok());
+  EXPECT_FALSE(
+      StringLevelUncertainString::Create({{"A", -0.5}, {"B", 1.5}}).ok());
+}
+
+TEST(StringLevelTest, FromCharacterLevelEnumeratesWorlds) {
+  Alphabet dna = Alphabet::Dna();
+  Result<UncertainString> cl =
+      UncertainString::Parse("A{(C,0.3),(G,0.7)}T", dna);
+  ASSERT_TRUE(cl.ok());
+  Result<StringLevelUncertainString> sl =
+      StringLevelUncertainString::FromCharacterLevel(*cl);
+  ASSERT_TRUE(sl.ok());
+  ASSERT_EQ(sl->num_instances(), 2);
+  EXPECT_EQ(sl->instance(0).text, "AGT");
+  EXPECT_NEAR(sl->instance(0).prob, 0.7, 1e-12);
+  EXPECT_EQ(sl->instance(1).text, "ACT");
+  EXPECT_NEAR(sl->instance(1).prob, 0.3, 1e-12);
+}
+
+TEST(StringLevelTest, RoundTripThroughCharacterLevel) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(501);
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 7;
+  opt.theta = 0.4;
+  for (int trial = 0; trial < 40; ++trial) {
+    const UncertainString original =
+        testing::RandomUncertainString(dna, opt, rng);
+    Result<StringLevelUncertainString> sl =
+        StringLevelUncertainString::FromCharacterLevel(original);
+    ASSERT_TRUE(sl.ok());
+    Result<UncertainString> back = sl->ToCharacterLevel();
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->length(), original.length());
+    for (int i = 0; i < original.length(); ++i) {
+      auto got = back->AlternativesAt(i);
+      auto want = original.AlternativesAt(i);
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t a = 0; a < got.size(); ++a) {
+        EXPECT_EQ(got[a].symbol, want[a].symbol);
+        EXPECT_NEAR(got[a].prob, want[a].prob, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(StringLevelTest, ToCharacterLevelRejectsCorrelatedPdfs) {
+  // AA and BB each with 0.5: marginals are uniform per position but the
+  // product form would put mass on AB and BA.
+  Result<StringLevelUncertainString> s = StringLevelUncertainString::Create(
+      {{"AA", 0.5}, {"BB", 0.5}});
+  ASSERT_TRUE(s.ok());
+  Result<UncertainString> converted = s->ToCharacterLevel();
+  ASSERT_FALSE(converted.ok());
+  EXPECT_EQ(converted.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(StringLevelTest, ToCharacterLevelRejectsMixedLengths) {
+  Result<StringLevelUncertainString> s = StringLevelUncertainString::Create(
+      {{"AB", 0.5}, {"ABC", 0.5}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->ToCharacterLevel().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StringLevelTest, MatchProbabilityAgreesWithCharacterLevel) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(502);
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 7;
+  opt.theta = 0.4;
+  for (int trial = 0; trial < 60; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    const int k = static_cast<int>(rng.UniformInt(0, 3));
+    Result<StringLevelUncertainString> rl =
+        StringLevelUncertainString::FromCharacterLevel(r);
+    Result<StringLevelUncertainString> sl =
+        StringLevelUncertainString::FromCharacterLevel(s);
+    ASSERT_TRUE(rl.ok() && sl.ok());
+    EXPECT_NEAR(StringLevelMatchProbability(*rl, *sl, k),
+                testing::BruteForceMatchProbability(r, s, k), 1e-9);
+  }
+}
+
+TEST(StringLevelTest, MixedLengthInstancesAreSupported) {
+  // The capability the character-level model lacks (|S| is fixed there).
+  Result<StringLevelUncertainString> a = StringLevelUncertainString::Create(
+      {{"data base", 0.6}, {"database", 0.4}});
+  Result<StringLevelUncertainString> b = StringLevelUncertainString::Create(
+      {{"databse", 0.7}, {"data base", 0.3}});
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Worlds: ("data base","databse") ed 2; ("data base","data base") ed 0;
+  //         ("database","databse") ed 1; ("database","data base") ed 1.
+  EXPECT_NEAR(StringLevelMatchProbability(*a, *b, 1),
+              0.6 * 0.3 + 0.4 * 0.7 + 0.4 * 0.3, 1e-12);
+  EXPECT_NEAR(StringLevelExpectedEditDistance(*a, *b),
+              0.6 * 0.7 * 2 + 0.6 * 0.3 * 0 + 0.4 * 0.7 * 1 + 0.4 * 0.3 * 1,
+              1e-12);
+}
+
+TEST(StringLevelTest, DecideSimilarMatchesExact) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(503);
+  testing::RandomStringOptions opt;
+  opt.min_length = 2;
+  opt.max_length = 7;
+  opt.theta = 0.4;
+  int early = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Result<StringLevelUncertainString> a =
+        StringLevelUncertainString::FromCharacterLevel(
+            testing::RandomUncertainString(dna, opt, rng));
+    Result<StringLevelUncertainString> b =
+        StringLevelUncertainString::FromCharacterLevel(
+            testing::RandomUncertainString(dna, opt, rng));
+    ASSERT_TRUE(a.ok() && b.ok());
+    const int k = static_cast<int>(rng.UniformInt(0, 2));
+    const double tau = rng.UniformDouble();
+    const double exact = StringLevelMatchProbability(*a, *b, k);
+    const StringLevelVerdict verdict =
+        DecideStringLevelSimilar(*a, *b, k, tau);
+    EXPECT_EQ(verdict.similar, exact > tau);
+    EXPECT_LE(verdict.lower, exact + 1e-9);
+    EXPECT_GE(verdict.upper, exact - 1e-9);
+    early += !verdict.exact;
+  }
+  EXPECT_GT(early, 20);
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,67 @@
+#include "util/serde.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace ujoin {
+namespace {
+
+TEST(SerdeTest, RoundTripsScalarsAndStrings) {
+  BinaryWriter writer;
+  writer.WriteU8(0xAB);
+  writer.WriteU32(123456789u);
+  writer.WriteU64(uint64_t{1} << 52);
+  writer.WriteI32(-42);
+  writer.WriteI64(int64_t{-1} << 40);
+  writer.WriteDouble(3.14159);
+  writer.WriteString("hello");
+  writer.WriteString("");
+
+  BinaryReader reader(writer.buffer());
+  EXPECT_EQ(reader.ReadU8().value(), 0xAB);
+  EXPECT_EQ(reader.ReadU32().value(), 123456789u);
+  EXPECT_EQ(reader.ReadU64().value(), uint64_t{1} << 52);
+  EXPECT_EQ(reader.ReadI32().value(), -42);
+  EXPECT_EQ(reader.ReadI64().value(), int64_t{-1} << 40);
+  EXPECT_DOUBLE_EQ(reader.ReadDouble().value(), 3.14159);
+  EXPECT_EQ(reader.ReadString().value(), "hello");
+  EXPECT_EQ(reader.ReadString().value(), "");
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, TruncatedReadsFailGracefully) {
+  BinaryWriter writer;
+  writer.WriteU64(100);  // length prefix promising 100 bytes
+  BinaryReader reader(writer.buffer());
+  Result<std::string> s = reader.ReadString();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+
+  BinaryReader empty("");
+  EXPECT_FALSE(empty.ReadU32().ok());
+  EXPECT_FALSE(empty.ReadDouble().ok());
+}
+
+TEST(SerdeTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ujoin_serde_test.bin";
+  BinaryWriter writer;
+  writer.WriteString("payload");
+  writer.WriteI32(7);
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  Result<BinaryReader> reader = BinaryReader::FromFile(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader->ReadString().value(), "payload");
+  EXPECT_EQ(reader->ReadI32().value(), 7);
+  EXPECT_TRUE(reader->AtEnd());
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFileIsIoError) {
+  Result<BinaryReader> reader = BinaryReader::FromFile("/no/such/file.bin");
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -1,0 +1,145 @@
+#include "verify/verifier.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+UncertainString Parse(const char* text, const Alphabet& alphabet) {
+  Result<UncertainString> s = UncertainString::Parse(text, alphabet);
+  UJOIN_CHECK(s.ok());
+  return std::move(s).value();
+}
+
+TEST(VerifierTest, DeterministicPairsGiveZeroOrOne) {
+  const UncertainString a = UncertainString::FromDeterministic("kitten");
+  const UncertainString b = UncertainString::FromDeterministic("sitting");
+  for (int k = 0; k <= 5; ++k) {
+    Result<double> trie = TrieVerifyProbability(a, b, k);
+    Result<double> naive = NaiveVerifyProbability(a, b, k);
+    ASSERT_TRUE(trie.ok() && naive.ok());
+    const double expected = k >= 3 ? 1.0 : 0.0;  // ed = 3
+    EXPECT_DOUBLE_EQ(*trie, expected) << "k=" << k;
+    EXPECT_DOUBLE_EQ(*naive, expected) << "k=" << k;
+  }
+}
+
+TEST(VerifierTest, HandComputedUncertainPair) {
+  Alphabet dna = Alphabet::Dna();
+  // R = A{(C,0.6),(G,0.4)}, S = AC.  ed = 0 iff R[1]=C (0.6); otherwise 1.
+  const UncertainString r = Parse("A{(C,0.6),(G,0.4)}", dna);
+  const UncertainString s = UncertainString::FromDeterministic("AC");
+  EXPECT_NEAR(TrieVerifyProbability(r, s, 0).value(), 0.6, 1e-12);
+  EXPECT_NEAR(TrieVerifyProbability(r, s, 1).value(), 1.0, 1e-12);
+  EXPECT_NEAR(NaiveVerifyProbability(r, s, 0).value(), 0.6, 1e-12);
+}
+
+// The core exactness property, swept across k: trie == naive == brute force.
+class VerifierEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierEquivalenceTest, TrieEqualsNaiveEqualsBruteForce) {
+  const int k = GetParam();
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(81 + static_cast<uint64_t>(k));
+  testing::RandomStringOptions opt;
+  opt.min_length = 1;
+  opt.max_length = 8;
+  opt.theta = 0.45;
+  for (int trial = 0; trial < 150; ++trial) {
+    const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    Result<double> trie = TrieVerifyProbability(r, s, k);
+    Result<double> naive = NaiveVerifyProbability(r, s, k);
+    ASSERT_TRUE(trie.ok() && naive.ok());
+    const double truth = testing::BruteForceMatchProbability(r, s, k);
+    EXPECT_NEAR(*trie, truth, 1e-9)
+        << "R=" << r.ToString() << " S=" << s.ToString() << " k=" << k;
+    EXPECT_NEAR(*naive, truth, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThresholdSweep, VerifierEquivalenceTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(VerifierTest, ReusableVerifierAcrossCandidates) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(83);
+  testing::RandomStringOptions opt;
+  opt.min_length = 4;
+  opt.max_length = 8;
+  opt.theta = 0.4;
+  const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+  Result<TrieVerifier> verifier = TrieVerifier::Create(r, 2);
+  ASSERT_TRUE(verifier.ok());
+  for (int trial = 0; trial < 30; ++trial) {
+    const UncertainString s = testing::RandomUncertainString(dna, opt, rng);
+    const double truth = testing::BruteForceMatchProbability(r, s, 2);
+    EXPECT_NEAR(verifier->Probability(s), truth, 1e-9);
+  }
+}
+
+TEST(VerifierTest, StatsCountPrunedExploration) {
+  Alphabet dna = Alphabet::Dna();
+  // A candidate with no prefix in common: the on-demand walk must touch far
+  // fewer nodes than S has worlds.
+  UncertainString::Builder rb;
+  for (int i = 0; i < 10; ++i) rb.AddCertain('A');
+  const UncertainString r = rb.Build().value();
+  UncertainString::Builder sb;
+  for (int i = 0; i < 10; ++i) {
+    sb.AddUncertain({{'C', 0.5}, {'G', 0.5}});
+  }
+  const UncertainString s = sb.Build().value();  // 1024 worlds, none similar
+  VerifyStats stats;
+  Result<double> prob = TrieVerifyProbability(r, s, 2, VerifyOptions{}, &stats);
+  ASSERT_TRUE(prob.ok());
+  EXPECT_DOUBLE_EQ(*prob, 0.0);
+  EXPECT_LT(stats.explored_s_nodes, 100);  // prefix pruning cuts the walk
+  EXPECT_EQ(stats.r_trie_nodes, 11);
+}
+
+TEST(VerifierTest, NaiveCapReturnsResourceExhausted) {
+  UncertainString::Builder b;
+  for (int i = 0; i < 16; ++i) b.AddUncertain({{'A', 0.5}, {'C', 0.5}});
+  const UncertainString s = b.Build().value();
+  VerifyOptions options;
+  options.max_world_pairs = 1000;
+  Result<double> out = NaiveVerifyProbability(s, s, 1, options);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VerifierTest, TrieCapReturnsResourceExhausted) {
+  UncertainString::Builder b;
+  for (int i = 0; i < 24; ++i) b.AddUncertain({{'A', 0.5}, {'C', 0.5}});
+  const UncertainString s = b.Build().value();
+  VerifyOptions options;
+  options.max_trie_nodes = 1000;
+  Result<TrieVerifier> verifier = TrieVerifier::Create(s, 1, options);
+  ASSERT_FALSE(verifier.ok());
+  EXPECT_EQ(verifier.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VerifierTest, EmptyStringsMatchTrivially) {
+  EXPECT_DOUBLE_EQ(
+      TrieVerifyProbability(UncertainString(), UncertainString(), 0).value(),
+      1.0);
+  const UncertainString a = UncertainString::FromDeterministic("AC");
+  EXPECT_DOUBLE_EQ(TrieVerifyProbability(a, UncertainString(), 1).value(), 0.0);
+  EXPECT_DOUBLE_EQ(TrieVerifyProbability(a, UncertainString(), 2).value(), 1.0);
+  EXPECT_DOUBLE_EQ(TrieVerifyProbability(UncertainString(), a, 2).value(), 1.0);
+}
+
+TEST(VerifierTest, LengthGapBeyondKIsZero) {
+  const UncertainString a = UncertainString::FromDeterministic("AAAAAAAA");
+  const UncertainString b = UncertainString::FromDeterministic("AAA");
+  EXPECT_DOUBLE_EQ(TrieVerifyProbability(a, b, 3).value(), 0.0);
+  EXPECT_DOUBLE_EQ(NaiveVerifyProbability(a, b, 3).value(), 0.0);
+}
+
+}  // namespace
+}  // namespace ujoin

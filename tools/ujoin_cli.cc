@@ -1,0 +1,343 @@
+// ujoin command-line tool: generate datasets, run similarity joins and
+// searches on files of uncertain strings (one string per line in the
+// paper's `A{(C,0.5),(G,0.5)}A` notation).
+//
+// Usage:
+//   ujoin_cli generate --kind=names|protein --size=N [--theta=0.2]
+//              [--gamma=5] [--seed=42] [--max-uncertain=0] --out=FILE
+//   ujoin_cli join --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
+//              [--q=3] [--variant=QFCT|QCT|QFT|FCT] [--exact]
+//              [--early-stop] [--out=FILE]
+//   ujoin_cli index --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
+//              [--q=3] --out=FILE.idx
+//   ujoin_cli search (--input=FILE | --index=FILE.idx) --kind=names|protein
+//              --query=STRING [--k=2] [--tau=0.1] [--q=3] [--topk=N]
+//   ujoin_cli stats --input=FILE --kind=names|protein
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datagen/datagen.h"
+#include "join/ujoin.h"
+
+namespace {
+
+using namespace ujoin;  // NOLINT: CLI driver
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        error_ = "unexpected argument '" + arg + "'";
+        return;
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string v = GetString(key);
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+  int GetInt(const std::string& key, int fallback) {
+    const std::string v = GetString(key);
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+  bool GetBool(const std::string& key) { return GetString(key) == "true"; }
+
+  // Call after all Get* calls: reports unknown flags.
+  bool Validate() {
+    if (!error_.empty()) {
+      std::fprintf(stderr, "error: %s\n", error_.c_str());
+      return false;
+    }
+    for (const auto& [key, value] : values_) {
+      if (!seen_.count(key)) {
+        std::fprintf(stderr, "error: unknown flag --%s\n", key.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> seen_;
+  std::string error_;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ujoin_cli <generate|join|index|search|stats> [flags]\n"
+               "see the header of tools/ujoin_cli.cc for flag reference\n");
+  return 2;
+}
+
+Result<Alphabet> AlphabetFromKind(const std::string& kind) {
+  if (kind == "names") return Alphabet::Names();
+  if (kind == "protein") return Alphabet::Protein();
+  if (kind == "dna") return Alphabet::Dna();
+  return Status::InvalidArgument("unknown --kind '" + kind +
+                                 "' (names|protein|dna)");
+}
+
+int RunGenerate(Flags& flags) {
+  DatasetOptions opt;
+  const std::string kind = flags.GetString("kind", "names");
+  opt.kind = kind == "protein" ? DatasetOptions::Kind::kProtein
+                               : DatasetOptions::Kind::kNames;
+  opt.size = flags.GetInt("size", 1000);
+  opt.theta = flags.GetDouble("theta", 0.2);
+  opt.gamma = flags.GetInt("gamma", 5);
+  opt.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  opt.max_uncertain_positions = flags.GetInt("max-uncertain", 0);
+  const std::string out = flags.GetString("out");
+  if (!flags.Validate()) return 2;
+  if (kind != "names" && kind != "protein") {
+    std::fprintf(stderr, "error: --kind must be names or protein\n");
+    return 2;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 2;
+  }
+  const Dataset data = GenerateDataset(opt);
+  const Status status = SaveDataset(data, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu strings to %s\n", data.strings.size(), out.c_str());
+  return 0;
+}
+
+Result<std::vector<UncertainString>> LoadInput(Flags& flags,
+                                               const Alphabet& alphabet) {
+  const std::string input = flags.GetString("input");
+  if (input.empty()) {
+    return Status::InvalidArgument("--input is required");
+  }
+  return LoadDataset(input, alphabet);
+}
+
+int RunJoin(Flags& flags) {
+  Result<Alphabet> alphabet =
+      AlphabetFromKind(flags.GetString("kind", "names"));
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "error: %s\n", alphabet.status().ToString().c_str());
+    return 2;
+  }
+  JoinOptions options = JoinOptions::Qfct(flags.GetInt("k", 2),
+                                          flags.GetDouble("tau", 0.1),
+                                          flags.GetInt("q", 3));
+  const std::string variant = flags.GetString("variant", "QFCT");
+  if (variant == "QCT") {
+    options.use_freq_filter = false;
+  } else if (variant == "QFT") {
+    options.use_cdf_filter = false;
+  } else if (variant == "FCT") {
+    options.use_qgram_filter = false;
+  } else if (variant != "QFCT") {
+    std::fprintf(stderr, "error: unknown --variant '%s'\n", variant.c_str());
+    return 2;
+  }
+  options.always_verify = flags.GetBool("exact");
+  options.early_stop_verification = flags.GetBool("early-stop");
+  const std::string out_path = flags.GetString("out");
+  Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
+  if (!flags.Validate()) return 2;
+  if (!input.ok()) {
+    std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  Result<SelfJoinResult> result =
+      SimilaritySelfJoin(*input, *alphabet, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::FILE* out = stdout;
+  if (!out_path.empty()) {
+    out = std::fopen(out_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  for (const JoinPair& pair : result->pairs) {
+    std::fprintf(out, "%u\t%u\t%.6f%s\n", pair.lhs, pair.rhs,
+                 pair.probability, pair.exact ? "" : "\t(lower bound)");
+  }
+  if (out != stdout) std::fclose(out);
+  std::fprintf(stderr, "%zu pairs\n%s\n", result->pairs.size(),
+               result->stats.ToString().c_str());
+  return 0;
+}
+
+int RunIndex(Flags& flags) {
+  Result<Alphabet> alphabet =
+      AlphabetFromKind(flags.GetString("kind", "names"));
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "error: %s\n", alphabet.status().ToString().c_str());
+    return 2;
+  }
+  JoinOptions options = JoinOptions::Qfct(flags.GetInt("k", 2),
+                                          flags.GetDouble("tau", 0.1),
+                                          flags.GetInt("q", 3));
+  options.always_verify = true;
+  const std::string out = flags.GetString("out");
+  Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
+  if (!flags.Validate()) return 2;
+  if (!input.ok()) {
+    std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 2;
+  }
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(std::move(*input), *alphabet, options);
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
+    return 1;
+  }
+  const Status status = searcher->Save(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %zu strings (%.2f MiB of inverted lists) -> %s\n",
+              searcher->collection().size(),
+              static_cast<double>(searcher->IndexMemoryUsage()) /
+                  (1024.0 * 1024.0),
+              out.c_str());
+  return 0;
+}
+
+int RunSearch(Flags& flags) {
+  Result<Alphabet> alphabet =
+      AlphabetFromKind(flags.GetString("kind", "names"));
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "error: %s\n", alphabet.status().ToString().c_str());
+    return 2;
+  }
+  JoinOptions options = JoinOptions::Qfct(flags.GetInt("k", 2),
+                                          flags.GetDouble("tau", 0.1),
+                                          flags.GetInt("q", 3));
+  options.always_verify = true;
+  const std::string query_text = flags.GetString("query");
+  const std::string index_path = flags.GetString("index");
+  const int topk = flags.GetInt("topk", 0);
+
+  Result<SimilaritySearcher> searcher = [&]() -> Result<SimilaritySearcher> {
+    if (!index_path.empty()) {
+      flags.GetString("input");  // accepted but ignored with --index
+      return SimilaritySearcher::Load(index_path, *alphabet);
+    }
+    Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
+    if (!input.ok()) return input.status();
+    return SimilaritySearcher::Create(std::move(*input), *alphabet, options);
+  }();
+  if (!flags.Validate()) return 2;
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
+    return 1;
+  }
+  if (query_text.empty()) {
+    std::fprintf(stderr, "error: --query is required\n");
+    return 2;
+  }
+  Result<UncertainString> query =
+      UncertainString::Parse(query_text, *alphabet);
+  if (!query.ok()) {
+    std::fprintf(stderr, "error: bad query: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<SearchHit>> hits =
+      topk > 0 ? searcher->SearchTopK(*query, topk)
+               : searcher->Search(*query);
+  if (!hits.ok()) {
+    std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
+    return 1;
+  }
+  for (const SearchHit& hit : *hits) {
+    std::printf("%u\t%.6f\t%s\n", hit.id, hit.probability,
+                searcher->collection()[hit.id].ToString().c_str());
+  }
+  std::fprintf(stderr, "%zu hits\n", hits->size());
+  return 0;
+}
+
+int RunStats(Flags& flags) {
+  Result<Alphabet> alphabet =
+      AlphabetFromKind(flags.GetString("kind", "names"));
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "error: %s\n", alphabet.status().ToString().c_str());
+    return 2;
+  }
+  Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
+  if (!flags.Validate()) return 2;
+  if (!input.ok()) {
+    std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  int64_t total_len = 0, uncertain = 0, alternatives = 0;
+  int min_len = INT32_MAX, max_len = 0;
+  for (const UncertainString& s : *input) {
+    total_len += s.length();
+    min_len = std::min(min_len, s.length());
+    max_len = std::max(max_len, s.length());
+    for (int i = 0; i < s.length(); ++i) {
+      if (!s.IsCertain(i)) {
+        ++uncertain;
+        alternatives += s.NumAlternatives(i);
+      }
+    }
+  }
+  const double n = static_cast<double>(input->size());
+  std::printf("strings:            %zu\n", input->size());
+  std::printf("length:             min %d, avg %.1f, max %d\n", min_len,
+              total_len / n, max_len);
+  std::printf("theta (uncertain):  %.3f\n",
+              static_cast<double>(uncertain) / static_cast<double>(total_len));
+  std::printf("gamma (mean alts):  %.2f\n",
+              uncertain > 0 ? static_cast<double>(alternatives) /
+                                  static_cast<double>(uncertain)
+                            : 0.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Flags flags(argc, argv);
+  const std::string command = argv[1];
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "join") return RunJoin(flags);
+  if (command == "index") return RunIndex(flags);
+  if (command == "search") return RunSearch(flags);
+  if (command == "stats") return RunStats(flags);
+  return Usage();
+}
