@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_q.dir/bench_fig7_q.cc.o"
+  "CMakeFiles/bench_fig7_q.dir/bench_fig7_q.cc.o.d"
+  "bench_fig7_q"
+  "bench_fig7_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

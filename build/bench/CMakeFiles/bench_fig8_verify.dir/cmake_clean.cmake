@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_verify.dir/bench_fig8_verify.cc.o"
+  "CMakeFiles/bench_fig8_verify.dir/bench_fig8_verify.cc.o.d"
+  "bench_fig8_verify"
+  "bench_fig8_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

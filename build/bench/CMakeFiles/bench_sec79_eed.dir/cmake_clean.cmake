@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec79_eed.dir/bench_sec79_eed.cc.o"
+  "CMakeFiles/bench_sec79_eed.dir/bench_sec79_eed.cc.o.d"
+  "bench_sec79_eed"
+  "bench_sec79_eed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec79_eed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

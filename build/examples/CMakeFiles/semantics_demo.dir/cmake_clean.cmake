@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_demo.dir/semantics_demo.cpp.o"
+  "CMakeFiles/semantics_demo.dir/semantics_demo.cpp.o.d"
+  "semantics_demo"
+  "semantics_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

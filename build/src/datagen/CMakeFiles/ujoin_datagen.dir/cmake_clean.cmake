@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_datagen.dir/datagen.cc.o"
+  "CMakeFiles/ujoin_datagen.dir/datagen.cc.o.d"
+  "libujoin_datagen.a"
+  "libujoin_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_eed.dir/eed.cc.o"
+  "CMakeFiles/ujoin_eed.dir/eed.cc.o.d"
+  "libujoin_eed.a"
+  "libujoin_eed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_eed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

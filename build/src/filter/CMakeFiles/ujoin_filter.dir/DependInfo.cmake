@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/filter/cdf_filter.cc" "src/filter/CMakeFiles/ujoin_filter.dir/cdf_filter.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/cdf_filter.cc.o.d"
+  "/root/repo/src/filter/event_dp.cc" "src/filter/CMakeFiles/ujoin_filter.dir/event_dp.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/event_dp.cc.o.d"
+  "/root/repo/src/filter/freq_filter.cc" "src/filter/CMakeFiles/ujoin_filter.dir/freq_filter.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/freq_filter.cc.o.d"
+  "/root/repo/src/filter/partition.cc" "src/filter/CMakeFiles/ujoin_filter.dir/partition.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/partition.cc.o.d"
+  "/root/repo/src/filter/probe_set.cc" "src/filter/CMakeFiles/ujoin_filter.dir/probe_set.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/probe_set.cc.o.d"
+  "/root/repo/src/filter/qgram_filter.cc" "src/filter/CMakeFiles/ujoin_filter.dir/qgram_filter.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/qgram_filter.cc.o.d"
+  "/root/repo/src/filter/selection.cc" "src/filter/CMakeFiles/ujoin_filter.dir/selection.cc.o" "gcc" "src/filter/CMakeFiles/ujoin_filter.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/ujoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

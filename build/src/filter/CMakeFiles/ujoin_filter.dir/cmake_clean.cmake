@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_filter.dir/cdf_filter.cc.o"
+  "CMakeFiles/ujoin_filter.dir/cdf_filter.cc.o.d"
+  "CMakeFiles/ujoin_filter.dir/event_dp.cc.o"
+  "CMakeFiles/ujoin_filter.dir/event_dp.cc.o.d"
+  "CMakeFiles/ujoin_filter.dir/freq_filter.cc.o"
+  "CMakeFiles/ujoin_filter.dir/freq_filter.cc.o.d"
+  "CMakeFiles/ujoin_filter.dir/partition.cc.o"
+  "CMakeFiles/ujoin_filter.dir/partition.cc.o.d"
+  "CMakeFiles/ujoin_filter.dir/probe_set.cc.o"
+  "CMakeFiles/ujoin_filter.dir/probe_set.cc.o.d"
+  "CMakeFiles/ujoin_filter.dir/qgram_filter.cc.o"
+  "CMakeFiles/ujoin_filter.dir/qgram_filter.cc.o.d"
+  "CMakeFiles/ujoin_filter.dir/selection.cc.o"
+  "CMakeFiles/ujoin_filter.dir/selection.cc.o.d"
+  "libujoin_filter.a"
+  "libujoin_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_index.dir/segment_index.cc.o"
+  "CMakeFiles/ujoin_index.dir/segment_index.cc.o.d"
+  "libujoin_index.a"
+  "libujoin_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

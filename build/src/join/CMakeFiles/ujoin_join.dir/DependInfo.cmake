@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/join/cross_join.cc" "src/join/CMakeFiles/ujoin_join.dir/cross_join.cc.o" "gcc" "src/join/CMakeFiles/ujoin_join.dir/cross_join.cc.o.d"
+  "/root/repo/src/join/join_stats.cc" "src/join/CMakeFiles/ujoin_join.dir/join_stats.cc.o" "gcc" "src/join/CMakeFiles/ujoin_join.dir/join_stats.cc.o.d"
+  "/root/repo/src/join/search.cc" "src/join/CMakeFiles/ujoin_join.dir/search.cc.o" "gcc" "src/join/CMakeFiles/ujoin_join.dir/search.cc.o.d"
+  "/root/repo/src/join/self_join.cc" "src/join/CMakeFiles/ujoin_join.dir/self_join.cc.o" "gcc" "src/join/CMakeFiles/ujoin_join.dir/self_join.cc.o.d"
+  "/root/repo/src/join/string_level_join.cc" "src/join/CMakeFiles/ujoin_join.dir/string_level_join.cc.o" "gcc" "src/join/CMakeFiles/ujoin_join.dir/string_level_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/index/CMakeFiles/ujoin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ujoin_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/ujoin_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ujoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

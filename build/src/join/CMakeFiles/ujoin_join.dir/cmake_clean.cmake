@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_join.dir/cross_join.cc.o"
+  "CMakeFiles/ujoin_join.dir/cross_join.cc.o.d"
+  "CMakeFiles/ujoin_join.dir/join_stats.cc.o"
+  "CMakeFiles/ujoin_join.dir/join_stats.cc.o.d"
+  "CMakeFiles/ujoin_join.dir/search.cc.o"
+  "CMakeFiles/ujoin_join.dir/search.cc.o.d"
+  "CMakeFiles/ujoin_join.dir/self_join.cc.o"
+  "CMakeFiles/ujoin_join.dir/self_join.cc.o.d"
+  "CMakeFiles/ujoin_join.dir/string_level_join.cc.o"
+  "CMakeFiles/ujoin_join.dir/string_level_join.cc.o.d"
+  "libujoin_join.a"
+  "libujoin_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/alphabet.cc" "src/text/CMakeFiles/ujoin_text.dir/alphabet.cc.o" "gcc" "src/text/CMakeFiles/ujoin_text.dir/alphabet.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/text/CMakeFiles/ujoin_text.dir/edit_distance.cc.o" "gcc" "src/text/CMakeFiles/ujoin_text.dir/edit_distance.cc.o.d"
+  "/root/repo/src/text/frequency.cc" "src/text/CMakeFiles/ujoin_text.dir/frequency.cc.o" "gcc" "src/text/CMakeFiles/ujoin_text.dir/frequency.cc.o.d"
+  "/root/repo/src/text/possible_worlds.cc" "src/text/CMakeFiles/ujoin_text.dir/possible_worlds.cc.o" "gcc" "src/text/CMakeFiles/ujoin_text.dir/possible_worlds.cc.o.d"
+  "/root/repo/src/text/string_level.cc" "src/text/CMakeFiles/ujoin_text.dir/string_level.cc.o" "gcc" "src/text/CMakeFiles/ujoin_text.dir/string_level.cc.o.d"
+  "/root/repo/src/text/uncertain_string.cc" "src/text/CMakeFiles/ujoin_text.dir/uncertain_string.cc.o" "gcc" "src/text/CMakeFiles/ujoin_text.dir/uncertain_string.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

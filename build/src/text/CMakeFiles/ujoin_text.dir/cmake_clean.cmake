@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_text.dir/alphabet.cc.o"
+  "CMakeFiles/ujoin_text.dir/alphabet.cc.o.d"
+  "CMakeFiles/ujoin_text.dir/edit_distance.cc.o"
+  "CMakeFiles/ujoin_text.dir/edit_distance.cc.o.d"
+  "CMakeFiles/ujoin_text.dir/frequency.cc.o"
+  "CMakeFiles/ujoin_text.dir/frequency.cc.o.d"
+  "CMakeFiles/ujoin_text.dir/possible_worlds.cc.o"
+  "CMakeFiles/ujoin_text.dir/possible_worlds.cc.o.d"
+  "CMakeFiles/ujoin_text.dir/string_level.cc.o"
+  "CMakeFiles/ujoin_text.dir/string_level.cc.o.d"
+  "CMakeFiles/ujoin_text.dir/uncertain_string.cc.o"
+  "CMakeFiles/ujoin_text.dir/uncertain_string.cc.o.d"
+  "libujoin_text.a"
+  "libujoin_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_util.dir/serde.cc.o"
+  "CMakeFiles/ujoin_util.dir/serde.cc.o.d"
+  "CMakeFiles/ujoin_util.dir/status.cc.o"
+  "CMakeFiles/ujoin_util.dir/status.cc.o.d"
+  "libujoin_util.a"
+  "libujoin_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/compressed_trie.cc" "src/verify/CMakeFiles/ujoin_verify.dir/compressed_trie.cc.o" "gcc" "src/verify/CMakeFiles/ujoin_verify.dir/compressed_trie.cc.o.d"
+  "/root/repo/src/verify/compressed_verifier.cc" "src/verify/CMakeFiles/ujoin_verify.dir/compressed_verifier.cc.o" "gcc" "src/verify/CMakeFiles/ujoin_verify.dir/compressed_verifier.cc.o.d"
+  "/root/repo/src/verify/instance_trie.cc" "src/verify/CMakeFiles/ujoin_verify.dir/instance_trie.cc.o" "gcc" "src/verify/CMakeFiles/ujoin_verify.dir/instance_trie.cc.o.d"
+  "/root/repo/src/verify/verifier.cc" "src/verify/CMakeFiles/ujoin_verify.dir/verifier.cc.o" "gcc" "src/verify/CMakeFiles/ujoin_verify.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/ujoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

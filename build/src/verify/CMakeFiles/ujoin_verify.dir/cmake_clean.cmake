@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_verify.dir/compressed_trie.cc.o"
+  "CMakeFiles/ujoin_verify.dir/compressed_trie.cc.o.d"
+  "CMakeFiles/ujoin_verify.dir/compressed_verifier.cc.o"
+  "CMakeFiles/ujoin_verify.dir/compressed_verifier.cc.o.d"
+  "CMakeFiles/ujoin_verify.dir/instance_trie.cc.o"
+  "CMakeFiles/ujoin_verify.dir/instance_trie.cc.o.d"
+  "CMakeFiles/ujoin_verify.dir/verifier.cc.o"
+  "CMakeFiles/ujoin_verify.dir/verifier.cc.o.d"
+  "libujoin_verify.a"
+  "libujoin_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdf_filter_test.dir/filter/cdf_filter_test.cc.o"
+  "CMakeFiles/cdf_filter_test.dir/filter/cdf_filter_test.cc.o.d"
+  "cdf_filter_test"
+  "cdf_filter_test.pdb"
+  "cdf_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdf_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

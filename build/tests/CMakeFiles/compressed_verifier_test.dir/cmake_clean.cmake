@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_verifier_test.dir/verify/compressed_verifier_test.cc.o"
+  "CMakeFiles/compressed_verifier_test.dir/verify/compressed_verifier_test.cc.o.d"
+  "compressed_verifier_test"
+  "compressed_verifier_test.pdb"
+  "compressed_verifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_verifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

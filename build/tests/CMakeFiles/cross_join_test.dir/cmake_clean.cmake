@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_join_test.dir/join/cross_join_test.cc.o"
+  "CMakeFiles/cross_join_test.dir/join/cross_join_test.cc.o.d"
+  "cross_join_test"
+  "cross_join_test.pdb"
+  "cross_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/early_stop_test.dir/verify/early_stop_test.cc.o"
+  "CMakeFiles/early_stop_test.dir/verify/early_stop_test.cc.o.d"
+  "early_stop_test"
+  "early_stop_test.pdb"
+  "early_stop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/early_stop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

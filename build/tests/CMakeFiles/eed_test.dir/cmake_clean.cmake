@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eed_test.dir/eed/eed_test.cc.o"
+  "CMakeFiles/eed_test.dir/eed/eed_test.cc.o.d"
+  "eed_test"
+  "eed_test.pdb"
+  "eed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_dp_test.dir/filter/event_dp_test.cc.o"
+  "CMakeFiles/event_dp_test.dir/filter/event_dp_test.cc.o.d"
+  "event_dp_test"
+  "event_dp_test.pdb"
+  "event_dp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_dp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

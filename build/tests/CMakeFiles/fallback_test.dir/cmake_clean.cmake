@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fallback_test.dir/verify/fallback_test.cc.o"
+  "CMakeFiles/fallback_test.dir/verify/fallback_test.cc.o.d"
+  "fallback_test"
+  "fallback_test.pdb"
+  "fallback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/freq_filter_test.dir/filter/freq_filter_test.cc.o"
+  "CMakeFiles/freq_filter_test.dir/filter/freq_filter_test.cc.o.d"
+  "freq_filter_test"
+  "freq_filter_test.pdb"
+  "freq_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/freq_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

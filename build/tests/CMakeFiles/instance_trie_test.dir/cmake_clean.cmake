@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instance_trie_test.dir/verify/instance_trie_test.cc.o"
+  "CMakeFiles/instance_trie_test.dir/verify/instance_trie_test.cc.o.d"
+  "instance_trie_test"
+  "instance_trie_test.pdb"
+  "instance_trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instance_trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_edge_test.dir/join/join_edge_test.cc.o"
+  "CMakeFiles/join_edge_test.dir/join/join_edge_test.cc.o.d"
+  "join_edge_test"
+  "join_edge_test.pdb"
+  "join_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_overlap_test.dir/filter/probe_overlap_test.cc.o"
+  "CMakeFiles/probe_overlap_test.dir/filter/probe_overlap_test.cc.o.d"
+  "probe_overlap_test"
+  "probe_overlap_test.pdb"
+  "probe_overlap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_overlap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

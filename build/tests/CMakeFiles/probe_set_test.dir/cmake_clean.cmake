@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_set_test.dir/filter/probe_set_test.cc.o"
+  "CMakeFiles/probe_set_test.dir/filter/probe_set_test.cc.o.d"
+  "probe_set_test"
+  "probe_set_test.pdb"
+  "probe_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

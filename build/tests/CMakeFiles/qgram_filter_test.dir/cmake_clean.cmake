@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgram_filter_test.dir/filter/qgram_filter_test.cc.o"
+  "CMakeFiles/qgram_filter_test.dir/filter/qgram_filter_test.cc.o.d"
+  "qgram_filter_test"
+  "qgram_filter_test.pdb"
+  "qgram_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgram_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

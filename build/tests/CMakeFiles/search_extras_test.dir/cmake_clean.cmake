@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_extras_test.dir/join/search_extras_test.cc.o"
+  "CMakeFiles/search_extras_test.dir/join/search_extras_test.cc.o.d"
+  "search_extras_test"
+  "search_extras_test.pdb"
+  "search_extras_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

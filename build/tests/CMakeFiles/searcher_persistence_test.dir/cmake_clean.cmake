@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searcher_persistence_test.dir/join/searcher_persistence_test.cc.o"
+  "CMakeFiles/searcher_persistence_test.dir/join/searcher_persistence_test.cc.o.d"
+  "searcher_persistence_test"
+  "searcher_persistence_test.pdb"
+  "searcher_persistence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searcher_persistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/self_join_test.dir/join/self_join_test.cc.o"
+  "CMakeFiles/self_join_test.dir/join/self_join_test.cc.o.d"
+  "self_join_test"
+  "self_join_test.pdb"
+  "self_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/self_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

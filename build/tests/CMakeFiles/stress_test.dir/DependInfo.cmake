@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/stress_test.cc" "tests/CMakeFiles/stress_test.dir/integration/stress_test.cc.o" "gcc" "tests/CMakeFiles/stress_test.dir/integration/stress_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/ujoin_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/join/CMakeFiles/ujoin_join.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/ujoin_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/ujoin_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/ujoin_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/eed/CMakeFiles/ujoin_eed.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/ujoin_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/ujoin_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ujoin_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

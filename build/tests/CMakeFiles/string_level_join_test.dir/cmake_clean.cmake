@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/string_level_join_test.dir/join/string_level_join_test.cc.o"
+  "CMakeFiles/string_level_join_test.dir/join/string_level_join_test.cc.o.d"
+  "string_level_join_test"
+  "string_level_join_test.pdb"
+  "string_level_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/string_level_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_testing.dir/testing/test_util.cc.o"
+  "CMakeFiles/ujoin_testing.dir/testing/test_util.cc.o.d"
+  "libujoin_testing.a"
+  "libujoin_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

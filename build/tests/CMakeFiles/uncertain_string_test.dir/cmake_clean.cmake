@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertain_string_test.dir/text/uncertain_string_test.cc.o"
+  "CMakeFiles/uncertain_string_test.dir/text/uncertain_string_test.cc.o.d"
+  "uncertain_string_test"
+  "uncertain_string_test.pdb"
+  "uncertain_string_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertain_string_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

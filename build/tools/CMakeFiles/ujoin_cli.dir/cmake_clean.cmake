@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ujoin_cli.dir/ujoin_cli.cc.o"
+  "CMakeFiles/ujoin_cli.dir/ujoin_cli.cc.o.d"
+  "ujoin_cli"
+  "ujoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ujoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
