@@ -78,22 +78,25 @@ const std::vector<Posting>* LengthBucketIndex::Find(int x,
 std::vector<IndexCandidate> LengthBucketIndex::QueryCandidates(
     const std::vector<std::vector<ProbeSubstring>>& probe_sets,
     const std::vector<bool>& wildcard_segments, int k, double tau,
-    IndexQueryStats* stats) const {
+    IndexQueryStats* stats, uint32_t id_limit) const {
   const int m = num_segments();
   const int required = m - k;
   UJOIN_CHECK(static_cast<int>(probe_sets.size()) == m);
   UJOIN_CHECK(static_cast<int>(wildcard_segments.size()) == m);
 
   std::vector<IndexCandidate> candidates;
-  if (ids_.empty()) return candidates;
+  if (ids_.empty() || ids_.front() >= id_limit) return candidates;
   if (required <= 0) {
     // Lemma 5 cannot prune and Theorem 2's bound degenerates to 1: every
     // indexed string is a candidate (short strings relative to k).
     candidates.reserve(ids_.size());
-    for (uint32_t id : ids_) candidates.push_back(IndexCandidate{id, m, 1.0});
+    for (uint32_t id : ids_) {
+      if (id >= id_limit) break;  // ids_ is sorted ascending
+      candidates.push_back(IndexCandidate{id, m, 1.0});
+    }
     if (stats != nullptr) {
-      stats->ids_touched += static_cast<int64_t>(ids_.size());
-      stats->candidates += static_cast<int64_t>(ids_.size());
+      stats->ids_touched += static_cast<int64_t>(candidates.size());
+      stats->candidates += static_cast<int64_t>(candidates.size());
     }
     return candidates;
   }
@@ -106,7 +109,10 @@ std::vector<IndexCandidate> LengthBucketIndex::QueryCandidates(
     if (wildcard_segments[static_cast<size_t>(x)]) {
       // Probe-set blow-up on the query side: α_x = 1 for every indexed id.
       out.reserve(ids_.size());
-      for (uint32_t id : ids_) out.push_back(MergedEntry{id, 1.0});
+      for (uint32_t id : ids_) {
+        if (id >= id_limit) break;
+        out.push_back(MergedEntry{id, 1.0});
+      }
       continue;
     }
     // Gather the lists to merge: one per probe substring (weighted by its
@@ -138,6 +144,9 @@ std::vector<IndexCandidate> LengthBucketIndex::QueryCandidates(
         min_id = wildcards[wildcard_pos];
       }
       if (min_id == UINT32_MAX) break;
+      // Lists are id-sorted, so once every head is past the limit no
+      // in-range id remains; stop before touching any out-of-range posting.
+      if (min_id >= id_limit) break;
       double alpha = 0.0;
       for (Cursor& c : cursors) {
         if (c.pos != c.end && c.pos->id == min_id) {
@@ -298,11 +307,15 @@ Status InvertedSegmentIndex::Insert(uint32_t id, const UncertainString& s) {
 }
 
 std::vector<IndexCandidate> InvertedSegmentIndex::Query(
-    const UncertainString& r, int length, double tau,
-    IndexQueryStats* stats) const {
+    const UncertainString& r, int length, double tau, IndexQueryStats* stats,
+    uint32_t id_limit) const {
   auto it = buckets_.find(length);
   if (it == buckets_.end()) return {};
   const LengthBucketIndex& bucket = it->second;
+  // A bucket holding only ids past the limit behaves like an absent bucket
+  // (the sequential scan would not have created it yet): skip the probe-set
+  // construction entirely.
+  if (bucket.ids().empty() || bucket.ids().front() >= id_limit) return {};
   const int m = bucket.num_segments();
   std::vector<std::vector<ProbeSubstring>> probe_sets(
       static_cast<size_t>(m));
@@ -317,7 +330,8 @@ std::vector<IndexCandidate> InvertedSegmentIndex::Query(
       wildcard[static_cast<size_t>(x)] = true;
     }
   }
-  return bucket.QueryCandidates(probe_sets, wildcard, k_, tau, stats);
+  return bucket.QueryCandidates(probe_sets, wildcard, k_, tau, stats,
+                                id_limit);
 }
 
 const LengthBucketIndex* InvertedSegmentIndex::bucket(int length) const {

@@ -39,6 +39,17 @@ struct IndexQueryStats {
   int64_t support_pruned = 0;         ///< dropped by Lemma 5's count check
   int64_t probability_pruned = 0;     ///< dropped by Theorem 2's bound
   int64_t candidates = 0;             ///< survivors returned to the caller
+
+  /// Accumulates another query's counters (used to fold thread-local stats
+  /// into a run total).
+  void Merge(const IndexQueryStats& other) {
+    lists_scanned += other.lists_scanned;
+    postings_scanned += other.postings_scanned;
+    ids_touched += other.ids_touched;
+    support_pruned += other.support_pruned;
+    probability_pruned += other.probability_pruned;
+    candidates += other.candidates;
+  }
 };
 
 /// \brief Inverted index over the x-th segments of all indexed strings of
@@ -74,10 +85,19 @@ class LengthBucketIndex {
   /// bound <= tau are pruned.  `wildcard_segments[x]`, when set, marks a
   /// probe set that could not be built (instance blow-up): that segment
   /// counts as matched with α = 1 for every id.
+  ///
+  /// Only indexed ids < `id_limit` are considered; higher ids are skipped
+  /// before any counter is touched, so results and stats are exactly those
+  /// of an index that stops at `id_limit`.  The wave-parallel self-join uses
+  /// this to probe an index that already contains the probe's own wave.
+  ///
+  /// Thread safety: const and safe to call concurrently from multiple
+  /// threads as long as no Insert runs at the same time.
   std::vector<IndexCandidate> QueryCandidates(
       const std::vector<std::vector<ProbeSubstring>>& probe_sets,
       const std::vector<bool>& wildcard_segments, int k, double tau,
-      IndexQueryStats* stats = nullptr) const;
+      IndexQueryStats* stats = nullptr,
+      uint32_t id_limit = UINT32_MAX) const;
 
   /// Approximate heap footprint of the inverted lists, in bytes.
   size_t MemoryUsage() const;
@@ -109,20 +129,30 @@ class LengthBucketIndex {
 /// Usage in a join: strings are visited in ascending length order; for the
 /// current string R the buckets of length |R|-k .. |R| are queried, then R
 /// is inserted into its own bucket, so every pair is enumerated exactly
-/// once.
+/// once.  The wave-parallel driver instead inserts a whole wave up front and
+/// restricts each probe with `id_limit`, which yields the same pair set.
+///
+/// Thread safety: the query path (Query, bucket, MemoryUsage, Serialize) is
+/// const and touches no mutable state, so any number of threads may query
+/// concurrently provided the index is not being mutated (no concurrent
+/// Insert).  Drivers must freeze the index for the duration of a concurrent
+/// probe phase.
 class InvertedSegmentIndex {
  public:
   InvertedSegmentIndex(int k, int q, ProbeSetOptions probe_options = {});
 
   /// Indexes `s` under `id`; ids must be inserted in increasing order.
+  /// Not thread-safe: must never run concurrently with Query or Insert.
   Status Insert(uint32_t id, const UncertainString& s);
 
   /// Candidates among indexed strings of length `length` for probe string
   /// `r`, pruned with Lemma 5 and Theorem 2 at threshold `tau` (using the
-  /// index's configured k and q).
+  /// index's configured k and q).  Only ids < `id_limit` are considered
+  /// (see LengthBucketIndex::QueryCandidates).
   std::vector<IndexCandidate> Query(const UncertainString& r, int length,
                                     double tau,
-                                    IndexQueryStats* stats = nullptr) const;
+                                    IndexQueryStats* stats = nullptr,
+                                    uint32_t id_limit = UINT32_MAX) const;
 
   const LengthBucketIndex* bucket(int length) const;
 

@@ -9,27 +9,6 @@
 
 namespace ujoin {
 
-namespace {
-
-void MergeStats(const JoinStats& probe_stats, JoinStats* total) {
-  total->length_compatible_pairs += probe_stats.length_compatible_pairs;
-  total->qgram_candidates += probe_stats.qgram_candidates;
-  total->freq_candidates += probe_stats.freq_candidates;
-  total->freq_lower_pruned += probe_stats.freq_lower_pruned;
-  total->freq_upper_pruned += probe_stats.freq_upper_pruned;
-  total->cdf_accepted += probe_stats.cdf_accepted;
-  total->cdf_rejected += probe_stats.cdf_rejected;
-  total->cdf_undecided += probe_stats.cdf_undecided;
-  total->verified_pairs += probe_stats.verified_pairs;
-  total->result_pairs += probe_stats.result_pairs;
-  total->qgram_time += probe_stats.qgram_time;
-  total->freq_time += probe_stats.freq_time;
-  total->cdf_time += probe_stats.cdf_time;
-  total->verify_time += probe_stats.verify_time;
-}
-
-}  // namespace
-
 Result<CrossJoinResult> SimilarityJoin(
     const std::vector<UncertainString>& left,
     const std::vector<UncertainString>& right, const Alphabet& alphabet,
@@ -103,7 +82,7 @@ Result<CrossJoinResult> SimilarityJoin(
           right_indexed ? hit.id : static_cast<uint32_t>(probe_id);
       result.pairs.push_back(JoinPair{lhs, rhs, hit.probability, hit.exact});
     }
-    MergeStats(outcome.stats, &result.stats);
+    result.stats.Merge(outcome.stats);
   }
   result.stats.peak_index_memory = searcher->IndexMemoryUsage();
   std::sort(result.pairs.begin(), result.pairs.end());

@@ -1,8 +1,35 @@
 #include "join/join_stats.h"
 
+#include <algorithm>
 #include <cstdio>
 
 namespace ujoin {
+
+void JoinStats::Merge(const JoinStats& other) {
+  length_compatible_pairs += other.length_compatible_pairs;
+  qgram_candidates += other.qgram_candidates;
+  qgram_support_pruned += other.qgram_support_pruned;
+  qgram_probability_pruned += other.qgram_probability_pruned;
+  freq_candidates += other.freq_candidates;
+  freq_lower_pruned += other.freq_lower_pruned;
+  freq_upper_pruned += other.freq_upper_pruned;
+  cdf_accepted += other.cdf_accepted;
+  cdf_rejected += other.cdf_rejected;
+  cdf_undecided += other.cdf_undecided;
+  verified_pairs += other.verified_pairs;
+  result_pairs += other.result_pairs;
+
+  qgram_time += other.qgram_time;
+  freq_time += other.freq_time;
+  cdf_time += other.cdf_time;
+  verify_time += other.verify_time;
+  index_build_time += other.index_build_time;
+  total_time += other.total_time;
+
+  peak_index_memory = std::max(peak_index_memory, other.peak_index_memory);
+  index_stats.Merge(other.index_stats);
+  verify_stats.Merge(other.verify_stats);
+}
 
 std::string JoinStats::ToString() const {
   char buf[1024];

@@ -52,6 +52,13 @@ struct JoinStats {
     return qgram_time + freq_time + cdf_time + index_build_time;
   }
 
+  /// Accumulates `other` into this: pair-flow counters and per-stage times
+  /// sum, `peak_index_memory` takes the max, and the nested index/verify
+  /// work counters sum.  The parallel join drivers give every worker a
+  /// thread-local JoinStats and fold them into the run total with this, in
+  /// a fixed (wave, rank) order so merged counters are deterministic.
+  void Merge(const JoinStats& other);
+
   /// Multi-line human-readable dump (used by examples and benches).
   std::string ToString() const;
 };

@@ -1,9 +1,11 @@
 #include "join/self_join.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <thread>
 
 #include "filter/cdf_filter.h"
 #include "filter/freq_filter.h"
@@ -37,8 +39,9 @@ Status ValidateCollection(const std::vector<UncertainString>& collection,
   return Status::OK();
 }
 
-// Visiting order: ascending length, ties by original index.  The index is
-// queried before insertion, so each unordered pair is examined exactly once.
+// Visiting order: ascending length, ties by original index.  Each string
+// only pairs with strings of smaller visiting position, so each unordered
+// pair is examined exactly once.
 std::vector<uint32_t> LengthSortedOrder(
     const std::vector<UncertainString>& collection) {
   std::vector<uint32_t> order(collection.size());
@@ -55,8 +58,60 @@ void EmitPair(uint32_t a, uint32_t b, double probability, bool exact,
   pairs->push_back(JoinPair{a, b, probability, exact});
 }
 
+int ResolveThreads(int requested, size_t work_items) {
+  int threads = requested;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  return std::min(threads,
+                  static_cast<int>(std::max<size_t>(work_items, 1)));
+}
+
+// Runs fn(rank) for every rank in [0, count).  Ranks are handed out through
+// an atomic counter, so the assignment of ranks to threads is arbitrary —
+// correctness requires fn(rank) to touch only rank-private state.
+template <typename Fn>
+void RunWaveTasks(int threads, uint32_t count, const Fn& fn) {
+  if (count == 0) return;
+  const int workers = std::min(threads, static_cast<int>(count));
+  if (workers <= 1) {
+    for (uint32_t rank = 0; rank < count; ++rank) fn(rank);
+    return;
+  }
+  std::atomic<uint32_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(workers));
+  for (int t = 0; t < workers; ++t) {
+    pool.emplace_back([&]() {
+      for (;;) {
+        const uint32_t rank = next.fetch_add(1);
+        if (rank >= count) return;
+        fn(rank);
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+}
+
+// Result of one probe task: rank-private, merged in (wave, rank) order so
+// the join output and counters are identical for every thread count.
+struct ProbeOutcome {
+  Status status = Status::OK();
+  std::vector<JoinPair> pairs;
+  JoinStats stats;
+};
+
 }  // namespace
 
+// Wave-parallel driver.  The length-sorted scan is cut into waves; each wave
+// is first inserted into the inverted index sequentially, then every string
+// of the wave probes the now-frozen index concurrently.  A probe at position
+// i passes id_limit = i to the index so it only sees strings of smaller
+// position — exactly the prefix the paper's insert-after-every-string scan
+// would have indexed — which keeps results, filter decisions, and pair-flow
+// counters identical to the sequential semantics for every wave size and
+// thread count (see DESIGN.md, "Parallel self-join").
 Result<SelfJoinResult> SimilaritySelfJoin(
     const std::vector<UncertainString>& collection, const Alphabet& alphabet,
     const JoinOptions& options) {
@@ -69,123 +124,163 @@ Result<SelfJoinResult> SimilaritySelfJoin(
   Timer total_timer;
 
   const std::vector<uint32_t> order = LengthSortedOrder(collection);
-  std::vector<int> visited_lengths;  // ascending; internal id -> length
-  visited_lengths.reserve(order.size());
+  const uint32_t n = static_cast<uint32_t>(order.size());
+  std::vector<int> lengths(n);  // ascending; visiting position -> length
+  for (uint32_t i = 0; i < n; ++i) {
+    lengths[i] = collection[order[i]].length();
+  }
+
+  const int threads = ResolveThreads(options.threads, n);
+  const uint32_t wave_size =
+      options.wave_size > 0
+          ? static_cast<uint32_t>(options.wave_size)
+          : static_cast<uint32_t>(std::max(64, 8 * threads));
 
   InvertedSegmentIndex index(options.k, options.q, options.probe);
-  std::vector<FrequencySummary> freq_summaries;
-  if (options.use_freq_filter) freq_summaries.reserve(order.size());
+  std::vector<FrequencySummary> freq_summaries(
+      options.use_freq_filter ? n : 0);
 
   // The q-gram stage prunes with Theorem 2's bound only when probabilistic
   // pruning is on; otherwise only the exact support condition applies.
   const double qgram_tau =
       options.qgram_probabilistic_pruning ? options.tau : 0.0;
 
-  std::vector<uint32_t> candidates;
-  for (uint32_t i = 0; i < order.size(); ++i) {
-    const UncertainString& r = collection[order[i]];
-    const int len = r.length();
+  for (uint32_t wave_start = 0; wave_start < n; wave_start += wave_size) {
+    const uint32_t wave_end = static_cast<uint32_t>(
+        std::min<uint64_t>(n, static_cast<uint64_t>(wave_start) + wave_size));
+    const uint32_t wave_count = wave_end - wave_start;
 
-    // ---- candidate generation -------------------------------------------
-    // Previously visited strings with length in [len - k, len] (visited
-    // strings are never longer than the current one).
-    const auto window_begin = std::lower_bound(
-        visited_lengths.begin(), visited_lengths.end(), len - options.k);
-    const int64_t in_window =
-        visited_lengths.end() - window_begin;
-    stats.length_compatible_pairs += in_window;
-
-    candidates.clear();
-    if (options.use_qgram_filter) {
-      ScopedTimer timer(&stats.qgram_time);
-      for (int l = std::max(1, len - options.k); l <= len; ++l) {
-        std::vector<IndexCandidate> found =
-            index.Query(r, l, qgram_tau, &stats.index_stats);
-        for (const IndexCandidate& c : found) candidates.push_back(c.id);
-      }
-      stats.qgram_candidates += static_cast<int64_t>(candidates.size());
-    } else {
-      const uint32_t first =
-          static_cast<uint32_t>(window_begin - visited_lengths.begin());
-      for (uint32_t j = first; j < i; ++j) candidates.push_back(j);
-      stats.qgram_candidates += static_cast<int64_t>(candidates.size());
-    }
-
-    // R's own frequency summary must exist before the cascade touches it.
-    if (options.use_freq_filter) {
-      ScopedTimer timer(&stats.freq_time);
-      freq_summaries.push_back(FrequencySummary::Build(r, alphabet));
-    }
-
-    // ---- per-candidate filter cascade ------------------------------------
-    internal::PairVerifier verifier(r, options);
-    for (uint32_t j : candidates) {
-      const UncertainString& s = collection[order[j]];
-
-      if (options.use_freq_filter) {
-        ScopedTimer timer(&stats.freq_time);
-        const FreqFilterOutcome freq = EvaluateFreqFilter(
-            freq_summaries[i], freq_summaries[j], options.k);
-        if (freq.fd_lower_bound > options.k) {
-          ++stats.freq_lower_pruned;
-          continue;
-        }
-        if (freq.upper_bound <= options.tau) {
-          ++stats.freq_upper_pruned;
-          continue;
-        }
-      }
-      ++stats.freq_candidates;
-
-      bool need_verify = true;
-      double accepted_lower_bound = 0.0;
-      if (options.use_cdf_filter) {
-        ScopedTimer timer(&stats.cdf_time);
-        const CdfFilterOutcome cdf =
-            EvaluateCdfFilter(r, s, options.k, options.tau);
-        if (cdf.decision == CdfDecision::kReject) {
-          ++stats.cdf_rejected;
-          continue;
-        }
-        if (cdf.decision == CdfDecision::kAccept) {
-          ++stats.cdf_accepted;
-          if (!options.always_verify) {
-            accepted_lower_bound =
-                cdf.bounds.lower[static_cast<size_t>(options.k)];
-            need_verify = false;
-          }
-        } else {
-          ++stats.cdf_undecided;
-        }
-      }
-
-      if (!need_verify) {
-        ++stats.result_pairs;
-        EmitPair(order[i], order[j], accepted_lower_bound, /*exact=*/false,
-                 &result.pairs);
-        continue;
-      }
-
-      ScopedTimer timer(&stats.verify_time);
-      ++stats.verified_pairs;
-      Result<ThresholdVerdict> verdict =
-          verifier.Decide(s, options.tau, &stats.verify_stats);
-      if (!verdict.ok()) return verdict.status();
-      if (verdict->similar) {
-        ++stats.result_pairs;
-        EmitPair(order[i], order[j], verdict->lower, verdict->exact,
-                 &result.pairs);
-      }
-    }
-
-    // ---- make the current string visible to later probes -----------------
+    // ---- phase 1 (sequential): make the wave visible to its own probes ---
+    // After this the index is frozen until the next wave: the concurrent
+    // probe phases below only use its const query path.
     if (options.use_qgram_filter) {
       ScopedTimer timer(&stats.index_build_time);
-      UJOIN_RETURN_IF_ERROR(index.Insert(i, r));
-      stats.peak_index_memory =
-          std::max(stats.peak_index_memory, index.MemoryUsage());
+      for (uint32_t i = wave_start; i < wave_end; ++i) {
+        UJOIN_RETURN_IF_ERROR(index.Insert(i, collection[order[i]]));
+      }
     }
-    visited_lengths.push_back(len);
+    stats.peak_index_memory =
+        std::max(stats.peak_index_memory, index.MemoryUsage());
+
+    std::vector<ProbeOutcome> outcomes(wave_count);
+
+    // ---- phase 2 (parallel): frequency summaries for the wave -----------
+    // Probes read summaries of every smaller position, including same-wave
+    // ones, so the whole wave's summaries must exist before phase 3.
+    if (options.use_freq_filter) {
+      RunWaveTasks(threads, wave_count, [&](uint32_t rank) {
+        ScopedTimer timer(&outcomes[rank].stats.freq_time);
+        freq_summaries[wave_start + rank] =
+            FrequencySummary::Build(collection[order[wave_start + rank]],
+                                    alphabet);
+      });
+    }
+
+    // ---- phase 3 (parallel): probe the frozen index ----------------------
+    RunWaveTasks(threads, wave_count, [&](uint32_t rank) {
+      const uint32_t i = wave_start + rank;
+      const UncertainString& r = collection[order[i]];
+      const int len = lengths[i];
+      ProbeOutcome& outcome = outcomes[rank];
+      JoinStats& pstats = outcome.stats;
+
+      // ---- candidate generation ----------------------------------------
+      // Strings of smaller visiting position with length in [len - k, len]
+      // (smaller positions are never longer).
+      const auto window_begin =
+          std::lower_bound(lengths.begin(), lengths.begin() + i,
+                           len - options.k);
+      pstats.length_compatible_pairs += (lengths.begin() + i) - window_begin;
+
+      std::vector<uint32_t> candidates;
+      if (options.use_qgram_filter) {
+        ScopedTimer timer(&pstats.qgram_time);
+        for (int l = std::max(1, len - options.k); l <= len; ++l) {
+          std::vector<IndexCandidate> found = index.Query(
+              r, l, qgram_tau, &pstats.index_stats, /*id_limit=*/i);
+          for (const IndexCandidate& c : found) candidates.push_back(c.id);
+        }
+        pstats.qgram_candidates += static_cast<int64_t>(candidates.size());
+      } else {
+        const uint32_t first =
+            static_cast<uint32_t>(window_begin - lengths.begin());
+        for (uint32_t j = first; j < i; ++j) candidates.push_back(j);
+        pstats.qgram_candidates += static_cast<int64_t>(candidates.size());
+      }
+
+      // ---- per-candidate filter cascade ---------------------------------
+      internal::PairVerifier verifier(r, options);
+      for (uint32_t j : candidates) {
+        const UncertainString& s = collection[order[j]];
+
+        if (options.use_freq_filter) {
+          ScopedTimer timer(&pstats.freq_time);
+          const FreqFilterOutcome freq = EvaluateFreqFilter(
+              freq_summaries[i], freq_summaries[j], options.k);
+          if (freq.fd_lower_bound > options.k) {
+            ++pstats.freq_lower_pruned;
+            continue;
+          }
+          if (freq.upper_bound <= options.tau) {
+            ++pstats.freq_upper_pruned;
+            continue;
+          }
+        }
+        ++pstats.freq_candidates;
+
+        bool need_verify = true;
+        double accepted_lower_bound = 0.0;
+        if (options.use_cdf_filter) {
+          ScopedTimer timer(&pstats.cdf_time);
+          const CdfFilterOutcome cdf =
+              EvaluateCdfFilter(r, s, options.k, options.tau);
+          if (cdf.decision == CdfDecision::kReject) {
+            ++pstats.cdf_rejected;
+            continue;
+          }
+          if (cdf.decision == CdfDecision::kAccept) {
+            ++pstats.cdf_accepted;
+            if (!options.always_verify) {
+              accepted_lower_bound =
+                  cdf.bounds.lower[static_cast<size_t>(options.k)];
+              need_verify = false;
+            }
+          } else {
+            ++pstats.cdf_undecided;
+          }
+        }
+
+        if (!need_verify) {
+          ++pstats.result_pairs;
+          EmitPair(order[i], order[j], accepted_lower_bound, /*exact=*/false,
+                   &outcome.pairs);
+          continue;
+        }
+
+        ScopedTimer timer(&pstats.verify_time);
+        ++pstats.verified_pairs;
+        Result<ThresholdVerdict> verdict =
+            verifier.Decide(s, options.tau, &pstats.verify_stats);
+        if (!verdict.ok()) {
+          outcome.status = verdict.status();
+          return;
+        }
+        if (verdict->similar) {
+          ++pstats.result_pairs;
+          EmitPair(order[i], order[j], verdict->lower, verdict->exact,
+                   &outcome.pairs);
+        }
+      }
+    });
+
+    // ---- phase 4 (sequential): merge in rank order -----------------------
+    for (uint32_t rank = 0; rank < wave_count; ++rank) {
+      ProbeOutcome& outcome = outcomes[rank];
+      if (!outcome.status.ok()) return outcome.status;
+      stats.Merge(outcome.stats);
+      result.pairs.insert(result.pairs.end(), outcome.pairs.begin(),
+                          outcome.pairs.end());
+    }
   }
 
   std::sort(result.pairs.begin(), result.pairs.end());

@@ -24,6 +24,15 @@ struct VerifyStats {
   int64_t explored_s_nodes = 0;   ///< on-demand T_S nodes visited
   int64_t active_entries = 0;     ///< Σ active-set sizes over visited nodes
   int64_t world_pairs = 0;        ///< instance pairs compared (naive only)
+
+  /// Accumulates another run's counters (used to fold thread-local stats
+  /// into a run total).
+  void Merge(const VerifyStats& other) {
+    r_trie_nodes += other.r_trie_nodes;
+    explored_s_nodes += other.explored_s_nodes;
+    active_entries += other.active_entries;
+    world_pairs += other.world_pairs;
+  }
 };
 
 /// \brief Outcome of threshold-decided verification (DecideSimilar).

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Repo check driver: tier-1 tests in a plain Release build, then the
+# concurrency-sensitive join tests again under ThreadSanitizer.
+#
+# Usage: tools/check.sh [jobs]
+#   jobs defaults to the machine's core count.
+#
+# Exits non-zero on the first failing step, including any TSan report (TSan
+# makes the offending test fail via halt_on_error).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> [1/4] configure + build (Release)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> [2/4] tier-1 test suite"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> [3/4] configure + build (ThreadSanitizer)"
+cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
+  -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
+TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
+  join_stats_test self_join_test cross_join_test)
+cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
+
+echo "==> [4/4] parallel join tests under TSan"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+for t in "${TSAN_TARGETS[@]}"; do
+  echo "--- $t"
+  "./build-tsan/tests/$t"
+done
+
+echo "all checks passed"

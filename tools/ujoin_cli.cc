@@ -7,7 +7,9 @@
 //              [--gamma=5] [--seed=42] [--max-uncertain=0] --out=FILE
 //   ujoin_cli join --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
 //              [--q=3] [--variant=QFCT|QCT|QFT|FCT] [--exact]
-//              [--early-stop] [--out=FILE]
+//              [--early-stop] [--threads=1] [--wave-size=0] [--out=FILE]
+//              (--threads=0 uses all cores; results are identical for
+//               every thread count and wave size)
 //   ujoin_cli index --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
 //              [--q=3] --out=FILE.idx
 //   ujoin_cli search (--input=FILE | --index=FILE.idx) --kind=names|protein
@@ -162,6 +164,8 @@ int RunJoin(Flags& flags) {
   }
   options.always_verify = flags.GetBool("exact");
   options.early_stop_verification = flags.GetBool("early-stop");
+  options.threads = flags.GetInt("threads", 1);
+  options.wave_size = flags.GetInt("wave-size", 0);
   const std::string out_path = flags.GetString("out");
   Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
   if (!flags.Validate()) return 2;
