@@ -15,11 +15,23 @@ namespace ujoin {
 /// run in O(m²) (one rolling row).
 std::vector<double> EventCountDistribution(std::span<const double> alphas);
 
+/// Runs the same DP into `dist` (resized to m + 1), reusing its capacity so
+/// hot callers can keep a scratch row across calls instead of allocating one
+/// per evaluation.  Arithmetic is identical to EventCountDistribution.
+void EventCountDistributionInto(std::span<const double> alphas,
+                                std::vector<double>* dist);
+
 /// Pr(at least `min_count` of the independent events happen).  This is the
 /// upper bound of Theorems 1 and 2 when called with the segment-match
 /// probabilities α_x and min_count = m - k; for m = k + 1 it coincides with
 /// the closed form 1 - Π(1 - α_x) of Lemmas 3 and 5.
 double ProbAtLeastEvents(std::span<const double> alphas, int min_count);
+
+/// Scratch-buffer variant for the probe path: the DP row lives in `scratch`
+/// (grown as needed, never shrunk), so steady-state calls do not allocate.
+/// Returns bit-identical results to the allocating overload.
+double ProbAtLeastEvents(std::span<const double> alphas, int min_count,
+                         std::vector<double>* scratch);
 
 }  // namespace ujoin
 

@@ -9,6 +9,62 @@
 
 namespace ujoin {
 
+namespace {
+
+// World count of the window r[start .. start+len), saturated exactly like
+// UncertainString::WorldCount so the blow-up check below agrees with the
+// Substring-based path it replaced.
+int64_t WindowWorldCount(const UncertainString& r, int start, int len) {
+  int64_t count = 1;
+  for (int i = 0; i < len; ++i) {
+    count = SaturatingMul(count, r.NumAlternatives(start + i));
+  }
+  return count;
+}
+
+// Enumerates the possible worlds of r[start .. start+len) in place —
+// same odometer order and same probability arithmetic as
+// ForEachWorld(r.Substring(start, len)), without materializing the
+// substring.  fn(instance, prob) receives a view into scratch->instance.
+template <typename Fn>
+void ForEachWindowWorld(const UncertainString& r, int start, int len,
+                        ProbeSetScratch* scratch, const Fn& fn) {
+  scratch->instance.resize(static_cast<size_t>(len));
+  scratch->uncertain_positions.clear();
+  for (int i = 0; i < len; ++i) {
+    const int pos = start + i;
+    scratch->instance[static_cast<size_t>(i)] = r.AlternativesAt(pos)[0].symbol;
+    if (r.NumAlternatives(pos) > 1) scratch->uncertain_positions.push_back(pos);
+  }
+  scratch->choice.assign(scratch->uncertain_positions.size(), 0);
+  for (;;) {
+    double p = 1.0;
+    for (size_t u = 0; u < scratch->uncertain_positions.size(); ++u) {
+      const int pos = scratch->uncertain_positions[u];
+      p *= r.AlternativesAt(pos)[static_cast<size_t>(scratch->choice[u])].prob;
+    }
+    fn(std::string_view(scratch->instance), p);
+    bool advanced = false;
+    for (size_t u = scratch->uncertain_positions.size(); u-- > 0;) {
+      const int pos = scratch->uncertain_positions[u];
+      const size_t at = static_cast<size_t>(pos - start);
+      if (scratch->choice[u] + 1 < r.NumAlternatives(pos)) {
+        ++scratch->choice[u];
+        scratch->instance[at] =
+            r.AlternativesAt(pos)[static_cast<size_t>(scratch->choice[u])]
+                .symbol;
+        advanced = true;
+        break;
+      }
+      scratch->choice[u] = 0;
+      scratch->instance[at] = r.AlternativesAt(pos)[0].symbol;
+    }
+    if (!advanced) break;
+  }
+}
+
+}  // namespace
+
 double GroupedOccurrenceProbability(
     const UncertainString& r, std::string_view w,
     std::span<const ProbeOccurrence> occurrences) {
@@ -83,65 +139,108 @@ Result<double> ExactOccurrenceProbability(const UncertainString& r,
   return ClampProb(p);
 }
 
+Status BuildProbeSetInto(const UncertainString& r, int s_len,
+                         const Segment& seg, int k,
+                         const ProbeSetOptions& options,
+                         ProbeSetScratch* scratch, FlatProbeSets* out) {
+  const size_t entries_mark = out->num_entries();
+  const size_t pool_mark = out->pool_size();
+  const SelectionWindow window =
+      SelectSubstringWindow(r.length(), s_len, seg, k, options.selection);
+  if (window.empty()) {
+    out->FinishSegment(/*wildcard=*/false);
+    return Status::OK();
+  }
+
+  // Enumerate instances per admissible start into the scratch pool (every
+  // instance has length seg.length, so the pool has a fixed stride), then
+  // sort a permutation by (instance text, start) and group equal texts.
+  // Ties sort by start, so each group's occurrence list ends up ordered by
+  // position as the grouping probability requires.
+  const size_t stride = static_cast<size_t>(seg.length);
+  scratch->text_pool.clear();
+  scratch->occurrences.clear();
+  for (int start = window.lo; start <= window.hi; ++start) {
+    if (WindowWorldCount(r, start, seg.length) >
+        options.max_instances_per_window) {
+      out->RollBackTo(entries_mark, pool_mark);
+      out->FinishSegment(/*wildcard=*/true);
+      return Status::ResourceExhausted(
+          "substring window at position " + std::to_string(start) + " has " +
+          std::to_string(WindowWorldCount(r, start, seg.length)) +
+          " instances (cap " +
+          std::to_string(options.max_instances_per_window) + ")");
+    }
+    ForEachWindowWorld(
+        r, start, seg.length, scratch, [&](std::string_view instance,
+                                           double prob) {
+          const uint32_t offset =
+              static_cast<uint32_t>(scratch->text_pool.size());
+          scratch->text_pool.append(instance);
+          scratch->occurrences.push_back(
+              ProbeSetScratch::RawOccurrence{offset, start, prob});
+        });
+  }
+  const auto text_of = [&](const ProbeSetScratch::RawOccurrence& occ) {
+    return std::string_view(scratch->text_pool.data() + occ.text_offset,
+                            stride);
+  };
+  scratch->order.resize(scratch->occurrences.size());
+  for (uint32_t i = 0; i < scratch->order.size(); ++i) scratch->order[i] = i;
+  std::sort(scratch->order.begin(), scratch->order.end(),
+            [&](uint32_t a, uint32_t b) {
+              const ProbeSetScratch::RawOccurrence& oa =
+                  scratch->occurrences[a];
+              const ProbeSetScratch::RawOccurrence& ob =
+                  scratch->occurrences[b];
+              const std::string_view ta = text_of(oa);
+              const std::string_view tb = text_of(ob);
+              if (ta != tb) return ta < tb;
+              return oa.start < ob.start;
+            });
+
+  for (size_t i = 0; i < scratch->order.size();) {
+    const std::string_view text =
+        text_of(scratch->occurrences[scratch->order[i]]);
+    size_t j = i;
+    scratch->group.clear();
+    while (j < scratch->order.size() &&
+           text_of(scratch->occurrences[scratch->order[j]]) == text) {
+      const ProbeSetScratch::RawOccurrence& occ =
+          scratch->occurrences[scratch->order[j]];
+      scratch->group.push_back(ProbeOccurrence{occ.start, occ.prob});
+      ++j;
+    }
+    double prob = -1.0;
+    if (options.exact_union_probability) {
+      scratch->starts.clear();
+      for (const ProbeOccurrence& occ : scratch->group) {
+        scratch->starts.push_back(occ.start);
+      }
+      Result<double> exact = ExactOccurrenceProbability(
+          r, text, scratch->starts, options.max_instances_per_window);
+      if (exact.ok()) prob = exact.value();
+    }
+    if (prob < 0.0) prob = GroupedOccurrenceProbability(r, text, scratch->group);
+    if (prob > 0.0) out->Append(text, prob);
+    i = j;
+  }
+  out->FinishSegment(/*wildcard=*/false);
+  return Status::OK();
+}
+
 Result<std::vector<ProbeSubstring>> BuildProbeSet(
     const UncertainString& r, int s_len, const Segment& seg, int k,
     const ProbeSetOptions& options) {
-  const SelectionWindow window =
-      SelectSubstringWindow(r.length(), s_len, seg, k, options.selection);
+  FlatProbeSets flat;
+  flat.Reset(1);
+  ProbeSetScratch scratch;
+  UJOIN_RETURN_IF_ERROR(
+      BuildProbeSetInto(r, s_len, seg, k, options, &scratch, &flat));
   std::vector<ProbeSubstring> out;
-  if (window.empty()) return out;
-
-  // Enumerate instances per admissible start, then sort-and-group by
-  // instance text (cheaper than a node-based map for the short-lived,
-  // small-entry sets this produces).  Ties sort by start, so each group's
-  // occurrence list ends up ordered by position as the grouping
-  // probability requires.
-  struct Occurrence {
-    std::string text;
-    int start;
-    double prob;
-  };
-  std::vector<Occurrence> occurrences;
-  for (int start = window.lo; start <= window.hi; ++start) {
-    const UncertainString sub = r.Substring(start, seg.length);
-    if (sub.WorldCount() > options.max_instances_per_window) {
-      return Status::ResourceExhausted(
-          "substring window at position " + std::to_string(start) + " has " +
-          std::to_string(sub.WorldCount()) + " instances (cap " +
-          std::to_string(options.max_instances_per_window) + ")");
-    }
-    ForEachWorld(sub, [&](const std::string& instance, double prob) {
-      occurrences.push_back(Occurrence{instance, start, prob});
-    });
-  }
-  std::sort(occurrences.begin(), occurrences.end(),
-            [](const Occurrence& a, const Occurrence& b) {
-              if (a.text != b.text) return a.text < b.text;
-              return a.start < b.start;
-            });
-
-  std::vector<ProbeOccurrence> group;
-  for (size_t i = 0; i < occurrences.size();) {
-    size_t j = i;
-    group.clear();
-    while (j < occurrences.size() && occurrences[j].text == occurrences[i].text) {
-      group.push_back(ProbeOccurrence{occurrences[j].start,
-                                      occurrences[j].prob});
-      ++j;
-    }
-    const std::string& text = occurrences[i].text;
-    double prob = -1.0;
-    if (options.exact_union_probability) {
-      std::vector<int> starts;
-      starts.reserve(group.size());
-      for (const ProbeOccurrence& occ : group) starts.push_back(occ.start);
-      Result<double> exact = ExactOccurrenceProbability(
-          r, text, starts, options.max_instances_per_window);
-      if (exact.ok()) prob = exact.value();
-    }
-    if (prob < 0.0) prob = GroupedOccurrenceProbability(r, text, group);
-    if (prob > 0.0) out.push_back(ProbeSubstring{text, prob});
-    i = j;
+  out.reserve(flat.segment_entries(0).size());
+  for (const FlatProbeSets::Entry& entry : flat.segment_entries(0)) {
+    out.push_back(ProbeSubstring{std::string(flat.text(entry)), entry.prob});
   }
   return out;
 }

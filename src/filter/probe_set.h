@@ -1,6 +1,7 @@
 #ifndef UJOIN_FILTER_PROBE_SET_H_
 #define UJOIN_FILTER_PROBE_SET_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <string_view>
@@ -43,6 +44,100 @@ struct ProbeSetOptions {
   bool exact_union_probability = false;
 };
 
+/// \brief The probe sets q(r, x) of all m segments of one length bucket in
+/// one flat, allocation-free-to-read layout.
+///
+/// Substring texts are appended to a shared character pool; entries carry
+/// (offset, length, prob) and are grouped by segment via `segment_begin`.
+/// All buffers grow but never shrink, so a workspace-owned instance reaches
+/// a steady state after which repeated queries allocate nothing.
+class FlatProbeSets {
+ public:
+  struct Entry {
+    uint32_t offset;  // into pool()
+    uint32_t length;
+    double prob;
+  };
+
+  /// Starts a fresh build for `num_segments` segments; keeps capacity.
+  void Reset(int num_segments) {
+    pool_.clear();
+    entries_.clear();
+    segment_begin_.clear();
+    segment_begin_.push_back(0);
+    wildcard_.assign(static_cast<size_t>(num_segments), 0);
+    num_segments_ = num_segments;
+  }
+
+  /// Appends one probe substring to the segment currently under
+  /// construction (between Reset/FinishSegment calls).
+  void Append(std::string_view text, double prob) {
+    const uint32_t offset = static_cast<uint32_t>(pool_.size());
+    pool_.append(text);
+    entries_.push_back(Entry{offset, static_cast<uint32_t>(text.size()), prob});
+  }
+
+  /// Discards entries appended for the current segment beyond `entries`
+  /// (used to roll back a segment whose construction failed mid-way).
+  void RollBackTo(size_t num_entries, size_t pool_size) {
+    entries_.resize(num_entries);
+    pool_.resize(pool_size);
+  }
+
+  /// Closes the current segment.  A wildcard segment matched every indexed
+  /// id with α = 1 (probe-set construction blew up); its entry range is
+  /// empty.  Must be called exactly num_segments times after Reset.
+  void FinishSegment(bool wildcard) {
+    const int x = static_cast<int>(segment_begin_.size()) - 1;
+    wildcard_[static_cast<size_t>(x)] = wildcard ? 1 : 0;
+    segment_begin_.push_back(static_cast<uint32_t>(entries_.size()));
+  }
+
+  int num_segments() const { return num_segments_; }
+  bool is_wildcard(int x) const {
+    return wildcard_[static_cast<size_t>(x)] != 0;
+  }
+  std::span<const Entry> segment_entries(int x) const {
+    return {entries_.data() + segment_begin_[static_cast<size_t>(x)],
+            entries_.data() + segment_begin_[static_cast<size_t>(x) + 1]};
+  }
+  std::string_view text(const Entry& e) const {
+    return {pool_.data() + e.offset, e.length};
+  }
+  size_t num_entries() const { return entries_.size(); }
+  size_t pool_size() const { return pool_.size(); }
+
+ private:
+  std::string pool_;
+  std::vector<Entry> entries_;
+  std::vector<uint32_t> segment_begin_;  // num_segments() + 1 once built
+  std::vector<uint8_t> wildcard_;
+  int num_segments_ = 0;
+};
+
+/// \brief Grow-only scratch buffers for BuildProbeSetInto.
+///
+/// One instance per worker thread; buffers are reused across calls so
+/// steady-state probe-set construction performs no heap allocation (with
+/// the default options — exact_union_probability still enumerates covering
+/// regions through the allocating path).
+struct ProbeSetScratch {
+  struct RawOccurrence {
+    uint32_t text_offset;  // into text_pool, fixed stride per call
+    int start;
+    double prob;
+  };
+  std::string text_pool;                 // enumerated instance texts
+  std::vector<RawOccurrence> occurrences;
+  std::vector<uint32_t> order;           // sort permutation over occurrences
+  std::vector<ProbeOccurrence> group;    // one text's occurrence run
+  std::vector<int> starts;               // exact-union mode only
+  // Window world enumeration (odometer over uncertain positions).
+  std::vector<int> uncertain_positions;
+  std::vector<int> choice;
+  std::string instance;
+};
+
 /// Union probability that `w` occurs at at least one of `occurrences` in R,
 /// computed with the paper's two-step overlap grouping (Section 3.2):
 /// occurrences are grouped into maximal overlapping runs, each run's
@@ -72,6 +167,17 @@ Result<double> ExactOccurrenceProbability(const UncertainString& r,
 Result<std::vector<ProbeSubstring>> BuildProbeSet(
     const UncertainString& r, int s_len, const Segment& seg, int k,
     const ProbeSetOptions& options = {});
+
+/// Workspace variant of BuildProbeSet: appends the probe set for `seg` as
+/// one finished segment of `out` (callers Reset `out` once per query and
+/// call this for every segment in order).  On blow-up the segment is closed
+/// as a wildcard with no entries and the error is returned; `out` stays
+/// consistent either way.  Produces entries identical to BuildProbeSet —
+/// same texts, same order, bit-identical probabilities.
+Status BuildProbeSetInto(const UncertainString& r, int s_len,
+                         const Segment& seg, int k,
+                         const ProbeSetOptions& options,
+                         ProbeSetScratch* scratch, FlatProbeSets* out);
 
 }  // namespace ujoin
 

@@ -1,0 +1,141 @@
+#include "index/flat_postings.h"
+
+#include <cstring>
+
+namespace ujoin {
+namespace {
+
+// Power-of-2 slot table sizing: grow when load would exceed 7/8.
+constexpr size_t kInitialSlots = 16;
+
+bool NeedsGrow(size_t entries, size_t slots) {
+  return (entries + 1) * 8 > slots * 7;
+}
+
+}  // namespace
+
+uint64_t Fingerprint64(const void* data, size_t len) {
+  // FNV-1a over the bytes, then a splitmix64-style finalizer so that short
+  // keys still spread across the low bits the slot mask consumes.
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+FlatPostings::FlatPostings(int key_length, FingerprintFn fingerprint)
+    : key_length_(key_length),
+      fingerprint_(fingerprint != nullptr ? fingerprint : &Fingerprint64) {}
+
+void FlatPostings::Rehash(size_t slot_count) {
+  slots_.assign(slot_count, 0);
+  const size_t mask = slot_count - 1;
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    size_t slot = entries_[e].fingerprint & mask;
+    while (slots_[slot] != 0) slot = (slot + 1) & mask;
+    slots_[slot] = e + 1;
+  }
+}
+
+void FlatPostings::Add(std::string_view key, Posting posting) {
+  if (slots_.empty()) Rehash(kInitialSlots);
+  const uint64_t fp = fingerprint_(key.data(), key.size());
+  const size_t mask = slots_.size() - 1;
+  size_t slot = fp & mask;
+  uint32_t entry_index;
+  for (;;) {
+    const uint32_t stored = slots_[slot];
+    if (stored == 0) {
+      entry_index = static_cast<uint32_t>(entries_.size());
+      entries_.push_back(Entry{fp});
+      key_arena_.insert(key_arena_.end(), key.begin(), key.end());
+      slots_[slot] = entry_index + 1;
+      // Growing right after the insertion that crossed the load threshold
+      // makes the slot count a pure function of the number of distinct
+      // keys — so MemoryBytes() is identical however the same content was
+      // accumulated (e.g. original build vs. sorted-order deserialization).
+      if (NeedsGrow(entries_.size(), slots_.size())) {
+        Rehash(slots_.size() * 2);
+      }
+      break;
+    }
+    const uint32_t candidate = stored - 1;
+    if (entries_[candidate].fingerprint == fp && KeyAt(candidate) == key) {
+      entry_index = candidate;
+      break;
+    }
+    slot = (slot + 1) & mask;
+  }
+  Entry& entry = entries_[entry_index];
+  if (entry.delta_list < 0) {
+    entry.delta_list = static_cast<int32_t>(delta_lists_.size());
+    delta_lists_.emplace_back();
+  }
+  delta_lists_[static_cast<size_t>(entry.delta_list)].push_back(posting);
+  ++num_postings_;
+  ++delta_postings_;
+}
+
+FlatPostings::ListView FlatPostings::Find(std::string_view key) const {
+  if (slots_.empty() || key.size() != static_cast<size_t>(key_length_)) {
+    return {};
+  }
+  const uint64_t fp = fingerprint_(key.data(), key.size());
+  const size_t mask = slots_.size() - 1;
+  size_t slot = fp & mask;
+  for (;;) {
+    const uint32_t stored = slots_[slot];
+    if (stored == 0) return {};
+    const uint32_t candidate = stored - 1;
+    if (entries_[candidate].fingerprint == fp &&
+        std::memcmp(key_arena_.data() +
+                        candidate * static_cast<size_t>(key_length_),
+                    key.data(), key.size()) == 0) {
+      return ViewOf(entries_[candidate]);
+    }
+    slot = (slot + 1) & mask;
+  }
+}
+
+void FlatPostings::Freeze() {
+  if (delta_postings_ == 0) return;
+  std::vector<uint32_t> order(entries_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return KeyAt(a) < KeyAt(b); });
+  std::vector<Posting> packed;
+  packed.reserve(static_cast<size_t>(num_postings_));
+  for (uint32_t e : order) {
+    Entry& entry = entries_[e];
+    const size_t begin = packed.size();
+    packed.insert(packed.end(), arena_.begin() + entry.arena_begin,
+                  arena_.begin() + entry.arena_begin + entry.arena_count);
+    if (entry.delta_list >= 0) {
+      const std::vector<Posting>& d =
+          delta_lists_[static_cast<size_t>(entry.delta_list)];
+      packed.insert(packed.end(), d.begin(), d.end());
+      entry.delta_list = -1;
+    }
+    entry.arena_begin = static_cast<uint32_t>(begin);
+    entry.arena_count = static_cast<uint32_t>(packed.size() - begin);
+  }
+  arena_ = std::move(packed);
+  delta_lists_.clear();
+  delta_postings_ = 0;
+}
+
+size_t FlatPostings::MemoryBytes() const {
+  return key_arena_.size() + entries_.size() * sizeof(Entry) +
+         slots_.size() * sizeof(uint32_t) +
+         static_cast<size_t>(num_postings_) * sizeof(Posting);
+}
+
+}  // namespace ujoin

@@ -1,6 +1,7 @@
 #include "index/segment_index.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "filter/event_dp.h"
 #include "text/possible_worlds.h"
@@ -11,21 +12,43 @@ namespace ujoin {
 
 namespace {
 
-// Rough per-entry overhead of an unordered_map node with a std::string key;
-// used for the peak-memory accounting of Figure 7.
-constexpr size_t kMapNodeOverhead = 64;
+using MergedEntry = QueryWorkspace::MergedEntry;
+using Cursor = QueryWorkspace::Cursor;
 
-// A merged per-segment list entry: string id and its α_x.
-struct MergedEntry {
-  uint32_t id;
-  double alpha;
-};
+// Binary-heap keys pack (id, list index) into one uint64 so the min-heap
+// pops equal ids in ascending list order — the same order in which the
+// linear min-scan folds their contributions, keeping the two merge
+// strategies bit-identical.
+constexpr uint64_t HeapKey(uint32_t id, uint32_t list) {
+  return (static_cast<uint64_t>(id) << 32) | list;
+}
+constexpr uint32_t HeapId(uint64_t key) {
+  return static_cast<uint32_t>(key >> 32);
+}
+constexpr uint32_t HeapList(uint64_t key) {
+  return static_cast<uint32_t>(key);
+}
+
+void HeapPush(std::vector<uint64_t>* heap, uint64_t key) {
+  heap->push_back(key);
+  std::push_heap(heap->begin(), heap->end(), std::greater<uint64_t>());
+}
+
+uint64_t HeapPop(std::vector<uint64_t>* heap) {
+  std::pop_heap(heap->begin(), heap->end(), std::greater<uint64_t>());
+  const uint64_t key = heap->back();
+  heap->pop_back();
+  return key;
+}
 
 }  // namespace
 
 LengthBucketIndex::LengthBucketIndex(int length, int k, int q)
     : length_(length), segments_(PartitionForJoin(length, k, q)) {
-  lists_.resize(segments_.size());
+  lists_.reserve(segments_.size());
+  for (const Segment& seg : segments_) {
+    lists_.emplace_back(seg.length);
+  }
   wildcard_ids_.resize(segments_.size());
 }
 
@@ -42,7 +65,6 @@ Status LengthBucketIndex::Insert(uint32_t id, const UncertainString& s,
         "ids must be inserted in increasing order to keep lists sorted");
   }
   ids_.push_back(id);
-  memory_bytes_ += sizeof(uint32_t);
   for (size_t x = 0; x < segments_.size(); ++x) {
     const Segment& seg = segments_[x];
     const UncertainString sub = s.Substring(seg.start, seg.length);
@@ -50,29 +72,241 @@ Status LengthBucketIndex::Insert(uint32_t id, const UncertainString& s,
       // Too many instances to enumerate: record a wildcard so queries treat
       // this segment as matched with certainty (conservative, never unsafe).
       wildcard_ids_[x].push_back(id);
-      memory_bytes_ += sizeof(uint32_t);
       continue;
     }
     ForEachWorld(sub, [&](const std::string& instance, double prob) {
-      auto [it, inserted] = lists_[x].try_emplace(instance);
-      if (inserted) {
-        memory_bytes_ += instance.size() + sizeof(std::string) +
-                         sizeof(std::vector<Posting>) + kMapNodeOverhead;
-      }
-      it->second.push_back(Posting{id, prob});
-      memory_bytes_ += sizeof(Posting);
-      ++num_postings_;
+      lists_[x].Add(instance, Posting{id, prob});
     });
   }
   return Status::OK();
 }
 
-const std::vector<Posting>* LengthBucketIndex::Find(int x,
-                                                    std::string_view w) const {
-  const InvertedMap& map = lists_[static_cast<size_t>(x)];
-  auto it = map.find(std::string(w));
-  if (it == map.end()) return nullptr;
-  return &it->second;
+void LengthBucketIndex::Freeze() {
+  for (FlatPostings& list : lists_) list.Freeze();
+}
+
+std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
+    const FlatProbeSets& probes, int k, double tau, QueryWorkspace* ws,
+    IndexQueryStats* stats, uint32_t id_limit) const {
+  const int m = num_segments();
+  const int required = m - k;
+  UJOIN_CHECK(probes.num_segments() == m);
+
+  ws->candidates.clear();
+  if (ids_.empty() || ids_.front() >= id_limit) return {};
+  if (required <= 0) {
+    // Lemma 5 cannot prune and Theorem 2's bound degenerates to 1: every
+    // indexed string is a candidate (short strings relative to k).
+    for (uint32_t id : ids_) {
+      if (id >= id_limit) break;  // ids_ is sorted ascending
+      ws->candidates.push_back(IndexCandidate{id, m, 1.0});
+    }
+    if (stats != nullptr) {
+      stats->ids_touched += static_cast<int64_t>(ws->candidates.size());
+      stats->candidates += static_cast<int64_t>(ws->candidates.size());
+    }
+    return ws->candidates;
+  }
+
+  // Stage 1 (per segment): merge the posting lists of the probe substrings
+  // into one id-sorted list carrying α_x = Σ_w p_r(w) · Pr(w = S^x).  The
+  // per-segment lists are laid out back to back in ws->merged.
+  ws->merged.clear();
+  ws->merged_begin.clear();
+  ws->merged_begin.push_back(0);
+  for (int x = 0; x < m; ++x) {
+    if (probes.is_wildcard(x)) {
+      // Probe-set blow-up on the query side: α_x = 1 for every indexed id.
+      for (uint32_t id : ids_) {
+        if (id >= id_limit) break;
+        ws->merged.push_back(MergedEntry{id, 1.0});
+      }
+      ws->merged_begin.push_back(static_cast<uint32_t>(ws->merged.size()));
+      continue;
+    }
+    // Gather the extents to merge: up to two per probe substring (frozen
+    // arena + delta list, each id-sorted, weighted by the substring's
+    // occurrence probability) plus this segment's wildcard ids at α = 1.
+    ws->cursors.clear();
+    for (const FlatProbeSets::Entry& probe : probes.segment_entries(x)) {
+      const FlatPostings::ListView list = Find(x, probes.text(probe));
+      if (list.empty()) continue;
+      if (!list.base.empty()) {
+        ws->cursors.push_back(Cursor{list.base.data(),
+                                     list.base.data() + list.base.size(),
+                                     probe.prob});
+      }
+      if (!list.delta.empty()) {
+        ws->cursors.push_back(Cursor{list.delta.data(),
+                                     list.delta.data() + list.delta.size(),
+                                     probe.prob});
+      }
+      if (stats != nullptr) ++stats->lists_scanned;
+    }
+    const std::vector<uint32_t>& wildcards =
+        wildcard_ids_[static_cast<size_t>(x)];
+    size_t wildcard_pos = 0;
+    if (static_cast<int>(ws->cursors.size()) <= ws->heap_merge_threshold) {
+      // Parallel scan with "top pointers" (Section 4): repeatedly take the
+      // minimum id across list heads and fold its contributions into α_x.
+      for (;;) {
+        uint32_t min_id = UINT32_MAX;
+        for (const Cursor& c : ws->cursors) {
+          if (c.pos != c.end && c.pos->id < min_id) min_id = c.pos->id;
+        }
+        if (wildcard_pos < wildcards.size() &&
+            wildcards[wildcard_pos] < min_id) {
+          min_id = wildcards[wildcard_pos];
+        }
+        if (min_id == UINT32_MAX) break;
+        // Lists are id-sorted, so once every head is past the limit no
+        // in-range id remains; stop before touching out-of-range postings.
+        if (min_id >= id_limit) break;
+        double alpha = 0.0;
+        for (Cursor& c : ws->cursors) {
+          if (c.pos != c.end && c.pos->id == min_id) {
+            alpha += c.weight * c.pos->prob;
+            ++c.pos;
+            if (stats != nullptr) ++stats->postings_scanned;
+          }
+        }
+        if (wildcard_pos < wildcards.size() &&
+            wildcards[wildcard_pos] == min_id) {
+          alpha = 1.0;
+          ++wildcard_pos;
+        }
+        ws->merged.push_back(MergedEntry{min_id, ClampProb(alpha)});
+      }
+    } else {
+      // Many lists: a binary-heap merge turns the O(#lists) min-scan per id
+      // into O(log #lists) per posting.  Ties pop in cursor order, so the
+      // α fold order — and hence every bit of the result — matches the
+      // linear scan above.
+      ws->heap.clear();
+      for (uint32_t ci = 0; ci < ws->cursors.size(); ++ci) {
+        HeapPush(&ws->heap, HeapKey(ws->cursors[ci].pos->id, ci));
+      }
+      for (;;) {
+        uint32_t min_id =
+            ws->heap.empty() ? UINT32_MAX : HeapId(ws->heap.front());
+        if (wildcard_pos < wildcards.size() &&
+            wildcards[wildcard_pos] < min_id) {
+          min_id = wildcards[wildcard_pos];
+        }
+        if (min_id == UINT32_MAX) break;
+        if (min_id >= id_limit) break;
+        double alpha = 0.0;
+        while (!ws->heap.empty() && HeapId(ws->heap.front()) == min_id) {
+          const uint32_t ci = HeapList(HeapPop(&ws->heap));
+          Cursor& c = ws->cursors[ci];
+          alpha += c.weight * c.pos->prob;
+          ++c.pos;
+          if (stats != nullptr) ++stats->postings_scanned;
+          if (c.pos != c.end) HeapPush(&ws->heap, HeapKey(c.pos->id, ci));
+        }
+        if (wildcard_pos < wildcards.size() &&
+            wildcards[wildcard_pos] == min_id) {
+          alpha = 1.0;
+          ++wildcard_pos;
+        }
+        ws->merged.push_back(MergedEntry{min_id, ClampProb(alpha)});
+      }
+    }
+    ws->merged_begin.push_back(static_cast<uint32_t>(ws->merged.size()));
+  }
+
+  // Stage 2: scan the m merged lists in parallel, counting matched segments
+  // per id (Lemma 5) and bounding Pr(ed <= k) with the event DP (Theorem 2).
+  const auto merged_list = [&](int x) {
+    return std::span<const MergedEntry>(
+        ws->merged.data() + ws->merged_begin[static_cast<size_t>(x)],
+        ws->merged.data() + ws->merged_begin[static_cast<size_t>(x) + 1]);
+  };
+  ws->tops.assign(static_cast<size_t>(m), 0);
+  ws->alphas.assign(static_cast<size_t>(m), 0.0);
+  const std::span<const double> alphas_span(ws->alphas.data(),
+                                            static_cast<size_t>(m));
+  if (m <= ws->heap_merge_threshold) {
+    for (;;) {
+      uint32_t min_id = UINT32_MAX;
+      for (int x = 0; x < m; ++x) {
+        const auto list = merged_list(x);
+        if (ws->tops[static_cast<size_t>(x)] < list.size()) {
+          min_id = std::min(min_id, list[ws->tops[static_cast<size_t>(x)]].id);
+        }
+      }
+      if (min_id == UINT32_MAX) break;
+      int matched = 0;
+      for (int x = 0; x < m; ++x) {
+        const auto list = merged_list(x);
+        size_t& top = ws->tops[static_cast<size_t>(x)];
+        if (top < list.size() && list[top].id == min_id) {
+          ws->alphas[static_cast<size_t>(x)] = list[top].alpha;
+          if (list[top].alpha > 0.0) ++matched;
+          ++top;
+        } else {
+          ws->alphas[static_cast<size_t>(x)] = 0.0;
+        }
+      }
+      if (stats != nullptr) ++stats->ids_touched;
+      if (matched < required) {
+        if (stats != nullptr) ++stats->support_pruned;
+        continue;
+      }
+      const double bound =
+          ProbAtLeastEvents(alphas_span, required, &ws->dp_scratch);
+      if (bound <= tau) {
+        if (stats != nullptr) ++stats->probability_pruned;
+        continue;
+      }
+      ws->candidates.push_back(IndexCandidate{min_id, matched, bound});
+      if (stats != nullptr) ++stats->candidates;
+    }
+  } else {
+    // Heap variant of the same scan.  α entries not owned by the current id
+    // stay 0 (reset via `touched` after each round), so the event DP sees
+    // exactly the α vector the linear scan would have built.
+    ws->heap.clear();
+    for (int x = 0; x < m; ++x) {
+      const auto list = merged_list(x);
+      if (!list.empty()) {
+        HeapPush(&ws->heap, HeapKey(list.front().id, static_cast<uint32_t>(x)));
+      }
+    }
+    while (!ws->heap.empty()) {
+      const uint32_t min_id = HeapId(ws->heap.front());
+      int matched = 0;
+      ws->touched.clear();
+      while (!ws->heap.empty() && HeapId(ws->heap.front()) == min_id) {
+        const int x = static_cast<int>(HeapList(HeapPop(&ws->heap)));
+        const auto list = merged_list(x);
+        size_t& top = ws->tops[static_cast<size_t>(x)];
+        ws->alphas[static_cast<size_t>(x)] = list[top].alpha;
+        ws->touched.push_back(x);
+        if (list[top].alpha > 0.0) ++matched;
+        ++top;
+        if (top < list.size()) {
+          HeapPush(&ws->heap,
+                   HeapKey(list[top].id, static_cast<uint32_t>(x)));
+        }
+      }
+      if (stats != nullptr) ++stats->ids_touched;
+      if (matched >= required) {
+        const double bound =
+            ProbAtLeastEvents(alphas_span, required, &ws->dp_scratch);
+        if (bound > tau) {
+          ws->candidates.push_back(IndexCandidate{min_id, matched, bound});
+          if (stats != nullptr) ++stats->candidates;
+        } else if (stats != nullptr) {
+          ++stats->probability_pruned;
+        }
+      } else if (stats != nullptr) {
+        ++stats->support_pruned;
+      }
+      for (int x : ws->touched) ws->alphas[static_cast<size_t>(x)] = 0.0;
+    }
+  }
+  return ws->candidates;
 }
 
 std::vector<IndexCandidate> LengthBucketIndex::QueryCandidates(
@@ -80,131 +314,37 @@ std::vector<IndexCandidate> LengthBucketIndex::QueryCandidates(
     const std::vector<bool>& wildcard_segments, int k, double tau,
     IndexQueryStats* stats, uint32_t id_limit) const {
   const int m = num_segments();
-  const int required = m - k;
   UJOIN_CHECK(static_cast<int>(probe_sets.size()) == m);
   UJOIN_CHECK(static_cast<int>(wildcard_segments.size()) == m);
-
-  std::vector<IndexCandidate> candidates;
-  if (ids_.empty() || ids_.front() >= id_limit) return candidates;
-  if (required <= 0) {
-    // Lemma 5 cannot prune and Theorem 2's bound degenerates to 1: every
-    // indexed string is a candidate (short strings relative to k).
-    candidates.reserve(ids_.size());
-    for (uint32_t id : ids_) {
-      if (id >= id_limit) break;  // ids_ is sorted ascending
-      candidates.push_back(IndexCandidate{id, m, 1.0});
-    }
-    if (stats != nullptr) {
-      stats->ids_touched += static_cast<int64_t>(candidates.size());
-      stats->candidates += static_cast<int64_t>(candidates.size());
-    }
-    return candidates;
-  }
-
-  // Stage 1 (per segment): merge the posting lists of the probe substrings
-  // into one id-sorted list carrying α_x = Σ_w p_r(w) · Pr(w = S^x).
-  std::vector<std::vector<MergedEntry>> merged(static_cast<size_t>(m));
+  QueryWorkspace ws;
+  ws.probes.Reset(m);
   for (int x = 0; x < m; ++x) {
-    std::vector<MergedEntry>& out = merged[static_cast<size_t>(x)];
-    if (wildcard_segments[static_cast<size_t>(x)]) {
-      // Probe-set blow-up on the query side: α_x = 1 for every indexed id.
-      out.reserve(ids_.size());
-      for (uint32_t id : ids_) {
-        if (id >= id_limit) break;
-        out.push_back(MergedEntry{id, 1.0});
+    if (!wildcard_segments[static_cast<size_t>(x)]) {
+      for (const ProbeSubstring& probe : probe_sets[static_cast<size_t>(x)]) {
+        ws.probes.Append(probe.text, probe.prob);
       }
-      continue;
     }
-    // Gather the lists to merge: one per probe substring (weighted by its
-    // occurrence probability) plus this segment's wildcard ids at α = 1.
-    struct Cursor {
-      const Posting* pos;
-      const Posting* end;
-      double weight;
-    };
-    std::vector<Cursor> cursors;
-    for (const ProbeSubstring& probe : probe_sets[static_cast<size_t>(x)]) {
-      const std::vector<Posting>* list = Find(x, probe.text);
-      if (list == nullptr) continue;
-      cursors.push_back(
-          Cursor{list->data(), list->data() + list->size(), probe.prob});
-      if (stats != nullptr) ++stats->lists_scanned;
-    }
-    const std::vector<uint32_t>& wildcards =
-        wildcard_ids_[static_cast<size_t>(x)];
-    size_t wildcard_pos = 0;
-    // Parallel scan with "top pointers" (Section 4): repeatedly take the
-    // minimum id across list heads and fold its contributions into α_x.
-    for (;;) {
-      uint32_t min_id = UINT32_MAX;
-      for (const Cursor& c : cursors) {
-        if (c.pos != c.end && c.pos->id < min_id) min_id = c.pos->id;
-      }
-      if (wildcard_pos < wildcards.size() && wildcards[wildcard_pos] < min_id) {
-        min_id = wildcards[wildcard_pos];
-      }
-      if (min_id == UINT32_MAX) break;
-      // Lists are id-sorted, so once every head is past the limit no
-      // in-range id remains; stop before touching any out-of-range posting.
-      if (min_id >= id_limit) break;
-      double alpha = 0.0;
-      for (Cursor& c : cursors) {
-        if (c.pos != c.end && c.pos->id == min_id) {
-          alpha += c.weight * c.pos->prob;
-          ++c.pos;
-          if (stats != nullptr) ++stats->postings_scanned;
-        }
-      }
-      if (wildcard_pos < wildcards.size() && wildcards[wildcard_pos] == min_id) {
-        alpha = 1.0;
-        ++wildcard_pos;
-      }
-      out.push_back(MergedEntry{min_id, ClampProb(alpha)});
-    }
+    ws.probes.FinishSegment(wildcard_segments[static_cast<size_t>(x)]);
   }
-
-  // Stage 2: scan the m merged lists in parallel, counting matched segments
-  // per id (Lemma 5) and bounding Pr(ed <= k) with the event DP (Theorem 2).
-  std::vector<size_t> tops(static_cast<size_t>(m), 0);
-  std::vector<double> alphas(static_cast<size_t>(m));
-  for (;;) {
-    uint32_t min_id = UINT32_MAX;
-    for (int x = 0; x < m; ++x) {
-      const auto& list = merged[static_cast<size_t>(x)];
-      if (tops[static_cast<size_t>(x)] < list.size()) {
-        min_id = std::min(min_id, list[tops[static_cast<size_t>(x)]].id);
-      }
-    }
-    if (min_id == UINT32_MAX) break;
-    int matched = 0;
-    for (int x = 0; x < m; ++x) {
-      const auto& list = merged[static_cast<size_t>(x)];
-      size_t& top = tops[static_cast<size_t>(x)];
-      if (top < list.size() && list[top].id == min_id) {
-        alphas[static_cast<size_t>(x)] = list[top].alpha;
-        if (list[top].alpha > 0.0) ++matched;
-        ++top;
-      } else {
-        alphas[static_cast<size_t>(x)] = 0.0;
-      }
-    }
-    if (stats != nullptr) ++stats->ids_touched;
-    if (matched < required) {
-      if (stats != nullptr) ++stats->support_pruned;
-      continue;
-    }
-    const double bound = ProbAtLeastEvents(alphas, required);
-    if (bound <= tau) {
-      if (stats != nullptr) ++stats->probability_pruned;
-      continue;
-    }
-    candidates.push_back(IndexCandidate{min_id, matched, bound});
-    if (stats != nullptr) ++stats->candidates;
-  }
-  return candidates;
+  const std::span<const IndexCandidate> found =
+      QueryCandidates(ws.probes, k, tau, &ws, stats, id_limit);
+  return std::vector<IndexCandidate>(found.begin(), found.end());
 }
 
-size_t LengthBucketIndex::MemoryUsage() const { return memory_bytes_; }
+size_t LengthBucketIndex::MemoryUsage() const {
+  size_t total = ids_.size() * sizeof(uint32_t);
+  for (const FlatPostings& list : lists_) total += list.MemoryBytes();
+  for (const std::vector<uint32_t>& wildcards : wildcard_ids_) {
+    total += wildcards.size() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+int64_t LengthBucketIndex::num_postings() const {
+  int64_t total = 0;
+  for (const FlatPostings& list : lists_) total += list.num_postings();
+  return total;
+}
 
 void LengthBucketIndex::Serialize(BinaryWriter* writer) const {
   writer->WriteI32(length_);
@@ -212,20 +352,21 @@ void LengthBucketIndex::Serialize(BinaryWriter* writer) const {
   for (uint32_t id : ids_) writer->WriteU32(id);
   writer->WriteU64(lists_.size());
   for (size_t x = 0; x < lists_.size(); ++x) {
-    writer->WriteU64(lists_[x].size());
-    for (const auto& [key, postings] : lists_[x]) {
-      writer->WriteString(key);
-      writer->WriteU64(postings.size());
-      for (const Posting& posting : postings) {
-        writer->WriteU32(posting.id);
-        writer->WriteDouble(posting.prob);
-      }
-    }
+    writer->WriteU64(lists_[x].num_keys());
+    // Keys in ascending order: serialized bytes are a pure function of the
+    // indexed content, independent of insertion order and hash layout.
+    lists_[x].ForEachSorted(
+        [&](std::string_view key, FlatPostings::ListView postings) {
+          writer->WriteString(key);
+          writer->WriteU64(postings.size());
+          for (size_t p = 0; p < postings.size(); ++p) {
+            writer->WriteU32(postings[p].id);
+            writer->WriteDouble(postings[p].prob);
+          }
+        });
     writer->WriteU64(wildcard_ids_[x].size());
     for (uint32_t id : wildcard_ids_[x]) writer->WriteU32(id);
   }
-  writer->WriteU64(static_cast<uint64_t>(memory_bytes_));
-  writer->WriteI64(num_postings_);
 }
 
 Result<LengthBucketIndex> LengthBucketIndex::Deserialize(BinaryReader* reader,
@@ -259,16 +400,19 @@ Result<LengthBucketIndex> LengthBucketIndex::Deserialize(BinaryReader* reader,
     for (uint64_t e = 0; e < *num_keys; ++e) {
       Result<std::string> key = reader->ReadString();
       if (!key.ok()) return key.status();
+      if (key->size() !=
+          static_cast<size_t>(bucket.segments_[x].length)) {
+        return Status::InvalidArgument(
+            "corrupt index: key length does not match segment length");
+      }
       Result<uint64_t> num_postings = reader->ReadU64();
       if (!num_postings.ok()) return num_postings.status();
-      std::vector<Posting>& postings = bucket.lists_[x][*key];
-      postings.reserve(*num_postings);
       for (uint64_t p = 0; p < *num_postings; ++p) {
         Result<uint32_t> id = reader->ReadU32();
         if (!id.ok()) return id.status();
         Result<double> prob = reader->ReadDouble();
         if (!prob.ok()) return prob.status();
-        postings.push_back(Posting{*id, *prob});
+        bucket.lists_[x].Add(*key, Posting{*id, *prob});
       }
     }
     Result<uint64_t> num_wildcards = reader->ReadU64();
@@ -279,12 +423,6 @@ Result<LengthBucketIndex> LengthBucketIndex::Deserialize(BinaryReader* reader,
       bucket.wildcard_ids_[x].push_back(*id);
     }
   }
-  Result<uint64_t> memory = reader->ReadU64();
-  if (!memory.ok()) return memory.status();
-  bucket.memory_bytes_ = *memory;
-  Result<int64_t> postings = reader->ReadI64();
-  if (!postings.ok()) return postings.status();
-  bucket.num_postings_ = *postings;
   return bucket;
 }
 
@@ -306,9 +444,13 @@ Status InvertedSegmentIndex::Insert(uint32_t id, const UncertainString& s) {
   return it->second.Insert(id, s, probe_options_.max_instances_per_window);
 }
 
-std::vector<IndexCandidate> InvertedSegmentIndex::Query(
-    const UncertainString& r, int length, double tau, IndexQueryStats* stats,
-    uint32_t id_limit) const {
+void InvertedSegmentIndex::Freeze() {
+  for (auto& [length, bucket] : buckets_) bucket.Freeze();
+}
+
+std::span<const IndexCandidate> InvertedSegmentIndex::Query(
+    const UncertainString& r, int length, double tau, QueryWorkspace* ws,
+    IndexQueryStats* stats, uint32_t id_limit) const {
   auto it = buckets_.find(length);
   if (it == buckets_.end()) return {};
   const LengthBucketIndex& bucket = it->second;
@@ -317,21 +459,24 @@ std::vector<IndexCandidate> InvertedSegmentIndex::Query(
   // construction entirely.
   if (bucket.ids().empty() || bucket.ids().front() >= id_limit) return {};
   const int m = bucket.num_segments();
-  std::vector<std::vector<ProbeSubstring>> probe_sets(
-      static_cast<size_t>(m));
-  std::vector<bool> wildcard(static_cast<size_t>(m), false);
+  ws->probes.Reset(m);
   for (int x = 0; x < m; ++x) {
-    Result<std::vector<ProbeSubstring>> probes = BuildProbeSet(
-        r, length, bucket.segments()[static_cast<size_t>(x)], k_,
-        probe_options_);
-    if (probes.ok()) {
-      probe_sets[static_cast<size_t>(x)] = std::move(probes).value();
-    } else {
-      wildcard[static_cast<size_t>(x)] = true;
-    }
+    // A failed build (instance blow-up) closes the segment as a wildcard;
+    // the error itself carries no extra information for the query path.
+    (void)BuildProbeSetInto(r, length,
+                            bucket.segments()[static_cast<size_t>(x)], k_,
+                            probe_options_, &ws->probe_scratch, &ws->probes);
   }
-  return bucket.QueryCandidates(probe_sets, wildcard, k_, tau, stats,
-                                id_limit);
+  return bucket.QueryCandidates(ws->probes, k_, tau, ws, stats, id_limit);
+}
+
+std::vector<IndexCandidate> InvertedSegmentIndex::Query(
+    const UncertainString& r, int length, double tau, IndexQueryStats* stats,
+    uint32_t id_limit) const {
+  QueryWorkspace ws;
+  const std::span<const IndexCandidate> found =
+      Query(r, length, tau, &ws, stats, id_limit);
+  return std::vector<IndexCandidate>(found.begin(), found.end());
 }
 
 const LengthBucketIndex* InvertedSegmentIndex::bucket(int length) const {

@@ -3,25 +3,19 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "filter/partition.h"
 #include "filter/probe_set.h"
+#include "index/flat_postings.h"
 #include "text/uncertain_string.h"
 #include "util/serde.h"
 #include "util/status.h"
 
 namespace ujoin {
-
-/// \brief One posting of an inverted list L^x_l(w): an uncertain string id
-/// and the probability that its x-th segment equals w.
-struct Posting {
-  uint32_t id;
-  double prob;
-};
 
 /// \brief Candidate produced by an index query: a string id together with
 /// the q-gram filter evidence gathered during the merge scan.
@@ -52,6 +46,52 @@ struct IndexQueryStats {
   }
 };
 
+/// \brief Reusable per-thread scratch for the index query path.
+///
+/// Every buffer the merge scan needs — probe sets, merge cursors, heap,
+/// merged lists, top pointers, α values, the event-DP row, and the output
+/// candidates — lives here and grows to a steady state, after which
+/// repeated queries through the same workspace perform no heap allocation.
+/// Ownership rule: one workspace per worker thread, created by the driver
+/// (self-join, cross join, SearchMany) next to that thread's other private
+/// state; a workspace must never be shared by concurrent queries.  Results
+/// are independent of the workspace's history: querying through a reused
+/// workspace is bit-identical to querying through a fresh one.
+struct QueryWorkspace {
+  /// Merges with more than this many input lists use a binary-heap merge
+  /// instead of the linear min-scan; results are identical either way (the
+  /// heap pops ties in list order, matching the linear fold order).
+  int heap_merge_threshold = 8;
+
+  /// A merged per-segment list entry: string id and its α_x.
+  struct MergedEntry {
+    uint32_t id;
+    double alpha;
+  };
+  /// A scan head into one id-sorted posting extent.
+  struct Cursor {
+    const Posting* pos;
+    const Posting* end;
+    double weight;
+  };
+
+  // Buffers below are owned by the query path; callers should treat them as
+  // opaque except `candidates` (the storage Query's return span points
+  // into) and `candidate_ids` (free driver-level scratch).
+  FlatProbeSets probes;
+  ProbeSetScratch probe_scratch;
+  std::vector<Cursor> cursors;
+  std::vector<uint64_t> heap;            // (id << 32 | list) min-heap keys
+  std::vector<MergedEntry> merged;       // all segments' merged lists, flat
+  std::vector<uint32_t> merged_begin;    // m + 1 offsets into `merged`
+  std::vector<size_t> tops;
+  std::vector<double> alphas;
+  std::vector<int> touched;              // alphas set this round (heap path)
+  std::vector<double> dp_scratch;        // event-DP row
+  std::vector<IndexCandidate> candidates;
+  std::vector<uint32_t> candidate_ids;
+};
+
 /// \brief Inverted index over the x-th segments of all indexed strings of
 /// one length l (the paper's L^x_l lists, Section 4).
 ///
@@ -60,6 +100,9 @@ struct IndexQueryStats {
 /// the instance probability.  A string id appears at most once per list and
 /// lists are sorted by id (ids must be inserted in increasing order, which
 /// the self-join driver guarantees by visiting strings in length order).
+/// Lists live in per-segment FlatPostings (arena + fingerprint hash); see
+/// flat_postings.h for the freeze/delta layout and DESIGN.md for the
+/// layout's rationale.
 class LengthBucketIndex {
  public:
   LengthBucketIndex(int length, int k, int q);
@@ -75,52 +118,68 @@ class LengthBucketIndex {
   const std::vector<Segment>& segments() const { return segments_; }
   const std::vector<uint32_t>& ids() const { return ids_; }
 
-  /// Posting list for instance `w` of segment `x`; nullptr when absent.
-  const std::vector<Posting>* Find(int x, std::string_view w) const;
+  /// Posting list for instance `w` of segment `x`; empty when absent.
+  /// Allocation-free; the view stays valid until the next Insert/Freeze.
+  FlatPostings::ListView Find(int x, std::string_view w) const {
+    return lists_[static_cast<size_t>(x)].Find(w);
+  }
+
+  /// Packs every segment's postings into its contiguous arena (see
+  /// FlatPostings::Freeze).  Queries work before and after freezing;
+  /// read-mostly users (the searcher) freeze once after the build.
+  void Freeze();
 
   /// Runs the paper's two-level merge scan: for every segment x the lists
-  /// L^x_l(w), w ∈ probe_sets[x], are merged by id into (id, α_x) pairs;
-  /// the per-segment merged lists are then scanned in parallel to count
-  /// matched segments (Lemma 5) and evaluate Theorem 2's bound.  Pairs with
-  /// bound <= tau are pruned.  `wildcard_segments[x]`, when set, marks a
-  /// probe set that could not be built (instance blow-up): that segment
-  /// counts as matched with α = 1 for every id.
+  /// L^x_l(w), w ∈ probes' segment x, are merged by id into (id, α_x)
+  /// pairs; the per-segment merged lists are then scanned in parallel to
+  /// count matched segments (Lemma 5) and evaluate Theorem 2's bound.
+  /// Pairs with bound <= tau are pruned.  A wildcard segment of `probes`
+  /// (probe set that could not be built due to instance blow-up) counts as
+  /// matched with α = 1 for every id.
   ///
   /// Only indexed ids < `id_limit` are considered; higher ids are skipped
   /// before any counter is touched, so results and stats are exactly those
   /// of an index that stops at `id_limit`.  The wave-parallel self-join uses
   /// this to probe an index that already contains the probe's own wave.
   ///
-  /// Thread safety: const and safe to call concurrently from multiple
-  /// threads as long as no Insert runs at the same time.
+  /// The returned span points into `workspace->candidates` and is valid
+  /// until the workspace's next use.  Thread safety: const and safe to call
+  /// concurrently from multiple threads with distinct workspaces, as long
+  /// as no Insert/Freeze runs at the same time.
+  std::span<const IndexCandidate> QueryCandidates(
+      const FlatProbeSets& probes, int k, double tau,
+      QueryWorkspace* workspace, IndexQueryStats* stats = nullptr,
+      uint32_t id_limit = UINT32_MAX) const;
+
+  /// Convenience overload taking the probe sets in their materialized form;
+  /// allocates a workspace per call (tests and one-off callers only).
   std::vector<IndexCandidate> QueryCandidates(
       const std::vector<std::vector<ProbeSubstring>>& probe_sets,
       const std::vector<bool>& wildcard_segments, int k, double tau,
       IndexQueryStats* stats = nullptr,
       uint32_t id_limit = UINT32_MAX) const;
 
-  /// Approximate heap footprint of the inverted lists, in bytes.
+  /// Heap footprint of the flat inverted lists, in bytes.  Computed from
+  /// content only, so it is deterministic and survives save/load intact.
   size_t MemoryUsage() const;
 
   /// Total postings across all inverted lists.
-  int64_t num_postings() const { return num_postings_; }
+  int64_t num_postings() const;
 
   /// Appends this bucket to `writer` / restores it (k and q must match the
   /// values the bucket was built with; the partition is recomputed).
+  /// Keys are emitted in sorted order, so serialized bytes are a pure
+  /// function of the indexed content.
   void Serialize(BinaryWriter* writer) const;
   static Result<LengthBucketIndex> Deserialize(BinaryReader* reader, int k,
                                                int q);
 
  private:
-  using InvertedMap = std::unordered_map<std::string, std::vector<Posting>>;
-
   int length_;
   std::vector<Segment> segments_;
-  std::vector<InvertedMap> lists_;                    // one map per segment x
+  std::vector<FlatPostings> lists_;                   // one per segment x
   std::vector<std::vector<uint32_t>> wildcard_ids_;   // per segment, sorted
   std::vector<uint32_t> ids_;                         // all indexed ids
-  size_t memory_bytes_ = 0;
-  int64_t num_postings_ = 0;
 };
 
 /// \brief The full index: one LengthBucketIndex per string length, plus the
@@ -134,9 +193,9 @@ class LengthBucketIndex {
 ///
 /// Thread safety: the query path (Query, bucket, MemoryUsage, Serialize) is
 /// const and touches no mutable state, so any number of threads may query
-/// concurrently provided the index is not being mutated (no concurrent
-/// Insert).  Drivers must freeze the index for the duration of a concurrent
-/// probe phase.
+/// concurrently — each with its own QueryWorkspace — provided the index is
+/// not being mutated (no concurrent Insert/Freeze).  Drivers must freeze
+/// the index for the duration of a concurrent probe phase.
 class InvertedSegmentIndex {
  public:
   InvertedSegmentIndex(int k, int q, ProbeSetOptions probe_options = {});
@@ -145,10 +204,25 @@ class InvertedSegmentIndex {
   /// Not thread-safe: must never run concurrently with Query or Insert.
   Status Insert(uint32_t id, const UncertainString& s);
 
+  /// Packs every bucket's postings into contiguous arenas.  Call once after
+  /// the last Insert when the index will be probed many times (the searcher
+  /// does); the incremental self-join skips this and probes delta lists.
+  void Freeze();
+
   /// Candidates among indexed strings of length `length` for probe string
   /// `r`, pruned with Lemma 5 and Theorem 2 at threshold `tau` (using the
   /// index's configured k and q).  Only ids < `id_limit` are considered
-  /// (see LengthBucketIndex::QueryCandidates).
+  /// (see LengthBucketIndex::QueryCandidates).  The returned span points
+  /// into `workspace->candidates`; with a warmed-up workspace the call
+  /// performs no heap allocation.
+  std::span<const IndexCandidate> Query(const UncertainString& r, int length,
+                                        double tau,
+                                        QueryWorkspace* workspace,
+                                        IndexQueryStats* stats = nullptr,
+                                        uint32_t id_limit = UINT32_MAX) const;
+
+  /// Convenience overload allocating a workspace per call (tests and
+  /// one-off callers only).
   std::vector<IndexCandidate> Query(const UncertainString& r, int length,
                                     double tau,
                                     IndexQueryStats* stats = nullptr,
@@ -166,7 +240,8 @@ class InvertedSegmentIndex {
   int64_t num_postings() const;
 
   /// Serialization of the whole index (k, q and every bucket).  The probe
-  /// options are not persisted — supply them when deserializing.
+  /// options are not persisted — supply them when deserializing.  Output
+  /// bytes depend only on the indexed content (keys are written sorted).
   void Serialize(BinaryWriter* writer) const;
   static Result<InvertedSegmentIndex> Deserialize(
       BinaryReader* reader, ProbeSetOptions probe_options = {});

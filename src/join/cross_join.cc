@@ -41,10 +41,14 @@ Result<CrossJoinResult> SimilarityJoin(
     JoinStats stats;
   };
   std::vector<ProbeOutcome> outcomes(probes.size());
-  auto run_probe = [&](size_t probe_id) {
+  // One query workspace per worker thread: probes reuse its buffers so the
+  // steady-state candidate-generation stage does not allocate.
+  std::vector<QueryWorkspace> workspaces(static_cast<size_t>(threads));
+  auto run_probe = [&](int worker, size_t probe_id) {
     ProbeOutcome& outcome = outcomes[probe_id];
     Result<std::vector<SearchHit>> hits =
-        searcher->Search(probes[probe_id], &outcome.stats);
+        searcher->Search(probes[probe_id], &outcome.stats,
+                         &workspaces[static_cast<size_t>(worker)]);
     if (hits.ok()) {
       outcome.hits = std::move(hits).value();
     } else {
@@ -54,18 +58,18 @@ Result<CrossJoinResult> SimilarityJoin(
 
   if (threads == 1) {
     for (size_t probe_id = 0; probe_id < probes.size(); ++probe_id) {
-      run_probe(probe_id);
+      run_probe(0, probe_id);
     }
   } else {
     std::atomic<size_t> next{0};
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      workers.emplace_back([&]() {
+      workers.emplace_back([&, t]() {
         for (;;) {
           const size_t probe_id = next.fetch_add(1);
           if (probe_id >= probes.size()) return;
-          run_probe(probe_id);
+          run_probe(t, probe_id);
         }
       });
     }

@@ -65,19 +65,26 @@ Result<SimilaritySearcher> SimilaritySearcher::Create(
     }
     searcher.ids_by_length_[static_cast<size_t>(s.length())].push_back(id);
   }
+  // The searcher is read-only from here on: pack the inverted lists into
+  // their contiguous arenas once so every later probe scans flat memory.
+  searcher.index_.Freeze();
   return searcher;
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::Search(
-    const UncertainString& query, JoinStats* stats) const {
-  return SearchImpl(query, stats, /*force_exact=*/false);
+    const UncertainString& query, JoinStats* stats,
+    QueryWorkspace* workspace) const {
+  return SearchImpl(query, stats, /*force_exact=*/false, workspace);
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
-    const UncertainString& query, JoinStats* stats, bool force_exact) const {
+    const UncertainString& query, JoinStats* stats, bool force_exact,
+    QueryWorkspace* workspace) const {
   UJOIN_RETURN_IF_ERROR(ValidateString(query, alphabet_, "query"));
   JoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
+  QueryWorkspace local_workspace;
+  if (workspace == nullptr) workspace = &local_workspace;
   Timer total_timer;
   std::vector<SearchHit> hits;
 
@@ -100,14 +107,16 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   const int lo = std::max(1, query.length() - options_.k);
   const int hi = std::min(max_indexed_length, query.length() + options_.k);
 
-  std::vector<uint32_t> candidates;
+  std::vector<uint32_t>& candidates = workspace->candidate_ids;
+  candidates.clear();
   for (int l = lo; l <= hi; ++l) {
     stats->length_compatible_pairs +=
         static_cast<int64_t>(ids_by_length_[static_cast<size_t>(l)].size());
     if (options_.use_qgram_filter) {
       ScopedTimer timer(&stats->qgram_time);
       for (const IndexCandidate& c :
-           index_.Query(query, l, qgram_tau, &stats->index_stats)) {
+           index_.Query(query, l, qgram_tau, workspace,
+                        &stats->index_stats)) {
         candidates.push_back(c.id);
       }
     } else {
@@ -179,13 +188,14 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
-    const UncertainString& query, int count, JoinStats* stats) const {
+    const UncertainString& query, int count, JoinStats* stats,
+    QueryWorkspace* workspace) const {
   if (count <= 0) {
     return Status::InvalidArgument("count must be positive");
   }
   // Top-k needs comparable (exact) probabilities.
   Result<std::vector<SearchHit>> hits =
-      SearchImpl(query, stats, /*force_exact=*/true);
+      SearchImpl(query, stats, /*force_exact=*/true, workspace);
   if (!hits.ok()) return hits.status();
   std::sort(hits->begin(), hits->end(),
             [](const SearchHit& a, const SearchHit& b) {
@@ -203,7 +213,10 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
 namespace {
 
 constexpr uint32_t kSearcherMagic = 0x554a5358;  // "UJSX"
-constexpr uint32_t kSearcherVersion = 1;
+// Version 2: the index section writes keys in sorted order and no longer
+// persists the derived memory/posting counters (they are recomputed from
+// content), so saved bytes are a pure function of the indexed collection.
+constexpr uint32_t kSearcherVersion = 2;
 
 void SerializeUncertainString(const UncertainString& s, BinaryWriter* writer) {
   writer->WriteI32(s.length());
@@ -341,6 +354,7 @@ Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
           "corrupt searcher: index parameters disagree with options");
     }
     searcher.index_ = std::move(index).value();
+    searcher.index_.Freeze();
   }
   // Rebuild the cheap side structures.
   int max_length = 0;
@@ -360,7 +374,8 @@ Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
 }
 
 Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
-    const std::vector<UncertainString>& queries, int threads) const {
+    const std::vector<UncertainString>& queries, int threads,
+    JoinStats* stats) const {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
@@ -369,20 +384,26 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
       threads, static_cast<int>(std::max<size_t>(queries.size(), 1)));
   std::vector<Result<std::vector<SearchHit>>> results(
       queries.size(), Result<std::vector<SearchHit>>(std::vector<SearchHit>{}));
+  // Per-query stats folded in query order below, so the aggregate is the
+  // same for every thread count and work assignment.
+  std::vector<JoinStats> query_stats(queries.size());
   if (threads == 1) {
+    QueryWorkspace workspace;
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Search(queries[i]);
+      results[i] = Search(queries[i], &query_stats[i], &workspace);
     }
   } else {
+    std::vector<QueryWorkspace> workspaces(static_cast<size_t>(threads));
     std::atomic<size_t> next{0};
     std::vector<std::thread> workers;
     workers.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
-      workers.emplace_back([&]() {
+      workers.emplace_back([&, t]() {
         for (;;) {
           const size_t i = next.fetch_add(1);
           if (i >= queries.size()) return;
-          results[i] = Search(queries[i]);
+          results[i] = Search(queries[i], &query_stats[i],
+                              &workspaces[static_cast<size_t>(t)]);
         }
       });
     }
@@ -390,9 +411,10 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
   }
   std::vector<std::vector<SearchHit>> out;
   out.reserve(queries.size());
-  for (Result<std::vector<SearchHit>>& r : results) {
-    if (!r.ok()) return r.status();
-    out.push_back(std::move(r).value());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (!results[i].ok()) return results[i].status();
+    out.push_back(std::move(results[i]).value());
+    if (stats != nullptr) stats->Merge(query_stats[i]);
   }
   return out;
 }

@@ -46,21 +46,35 @@ class SimilaritySearcher {
       const JoinOptions& options);
 
   /// All ids with Pr(ed(query, S_id) <= k) > τ, sorted by id.
+  ///
+  /// `workspace` is the per-thread scratch for the index probe; callers
+  /// issuing many searches should own one per thread and pass it in so the
+  /// candidate-generation stage stops allocating.  When null, a workspace
+  /// is created for the call.
   Result<std::vector<SearchHit>> Search(const UncertainString& query,
-                                        JoinStats* stats = nullptr) const;
+                                        JoinStats* stats = nullptr,
+                                        QueryWorkspace* workspace =
+                                            nullptr) const;
 
   /// The `count` most probable matches with Pr(ed <= k) > τ, sorted by
   /// descending probability (ties by id).  Forces exact verification so
   /// probabilities are comparable.
   Result<std::vector<SearchHit>> SearchTopK(const UncertainString& query,
                                             int count,
-                                            JoinStats* stats = nullptr) const;
+                                            JoinStats* stats = nullptr,
+                                            QueryWorkspace* workspace =
+                                                nullptr) const;
 
   /// Answers many queries, optionally in parallel (`threads` <= 0 picks the
   /// hardware concurrency).  The searcher is immutable after Create, so
-  /// concurrent Search calls are safe; results arrive in query order.
+  /// concurrent Search calls are safe; each worker thread owns one
+  /// QueryWorkspace.  Results arrive in query order.  When `stats` is
+  /// non-null, every query's JoinStats are folded into it with
+  /// JoinStats::Merge in query order, so the aggregate is identical for
+  /// every thread count.
   Result<std::vector<std::vector<SearchHit>>> SearchMany(
-      const std::vector<UncertainString>& queries, int threads = 1) const;
+      const std::vector<UncertainString>& queries, int threads = 1,
+      JoinStats* stats = nullptr) const;
 
   const std::vector<UncertainString>& collection() const {
     return collection_;
@@ -83,8 +97,8 @@ class SimilaritySearcher {
                      const Alphabet& alphabet, const JoinOptions& options);
 
   Result<std::vector<SearchHit>> SearchImpl(const UncertainString& query,
-                                            JoinStats* stats,
-                                            bool force_exact) const;
+                                            JoinStats* stats, bool force_exact,
+                                            QueryWorkspace* workspace) const;
 
   std::vector<UncertainString> collection_;
   const Alphabet alphabet_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <numeric>
 #include <optional>
+#include <span>
 #include <thread>
 
 #include "filter/cdf_filter.h"
@@ -68,26 +69,28 @@ int ResolveThreads(int requested, size_t work_items) {
                   static_cast<int>(std::max<size_t>(work_items, 1)));
 }
 
-// Runs fn(rank) for every rank in [0, count).  Ranks are handed out through
-// an atomic counter, so the assignment of ranks to threads is arbitrary —
-// correctness requires fn(rank) to touch only rank-private state.
+// Runs fn(worker, rank) for every rank in [0, count).  Ranks are handed out
+// through an atomic counter, so the assignment of ranks to threads is
+// arbitrary — correctness requires fn to touch only rank-private state plus
+// worker-private scratch (each pool thread has a fixed worker id, so
+// worker-indexed buffers like QueryWorkspaces are never shared).
 template <typename Fn>
 void RunWaveTasks(int threads, uint32_t count, const Fn& fn) {
   if (count == 0) return;
   const int workers = std::min(threads, static_cast<int>(count));
   if (workers <= 1) {
-    for (uint32_t rank = 0; rank < count; ++rank) fn(rank);
+    for (uint32_t rank = 0; rank < count; ++rank) fn(0, rank);
     return;
   }
   std::atomic<uint32_t> next{0};
   std::vector<std::thread> pool;
   pool.reserve(static_cast<size_t>(workers));
   for (int t = 0; t < workers; ++t) {
-    pool.emplace_back([&]() {
+    pool.emplace_back([&, t]() {
       for (;;) {
         const uint32_t rank = next.fetch_add(1);
         if (rank >= count) return;
-        fn(rank);
+        fn(t, rank);
       }
     });
   }
@@ -139,6 +142,10 @@ Result<SelfJoinResult> SimilaritySelfJoin(
   InvertedSegmentIndex index(options.k, options.q, options.probe);
   std::vector<FrequencySummary> freq_summaries(
       options.use_freq_filter ? n : 0);
+  // One query workspace per pool worker, reused across waves: once warm,
+  // the whole candidate-generation stage runs without heap allocation.
+  std::vector<QueryWorkspace> workspaces(
+      static_cast<size_t>(std::max(threads, 1)));
 
   // The q-gram stage prunes with Theorem 2's bound only when probabilistic
   // pruning is on; otherwise only the exact support condition applies.
@@ -168,7 +175,7 @@ Result<SelfJoinResult> SimilaritySelfJoin(
     // Probes read summaries of every smaller position, including same-wave
     // ones, so the whole wave's summaries must exist before phase 3.
     if (options.use_freq_filter) {
-      RunWaveTasks(threads, wave_count, [&](uint32_t rank) {
+      RunWaveTasks(threads, wave_count, [&](int /*worker*/, uint32_t rank) {
         ScopedTimer timer(&outcomes[rank].stats.freq_time);
         freq_summaries[wave_start + rank] =
             FrequencySummary::Build(collection[order[wave_start + rank]],
@@ -177,7 +184,8 @@ Result<SelfJoinResult> SimilaritySelfJoin(
     }
 
     // ---- phase 3 (parallel): probe the frozen index ----------------------
-    RunWaveTasks(threads, wave_count, [&](uint32_t rank) {
+    RunWaveTasks(threads, wave_count, [&](int worker, uint32_t rank) {
+      QueryWorkspace& workspace = workspaces[static_cast<size_t>(worker)];
       const uint32_t i = wave_start + rank;
       const UncertainString& r = collection[order[i]];
       const int len = lengths[i];
@@ -192,12 +200,14 @@ Result<SelfJoinResult> SimilaritySelfJoin(
                            len - options.k);
       pstats.length_compatible_pairs += (lengths.begin() + i) - window_begin;
 
-      std::vector<uint32_t> candidates;
+      std::vector<uint32_t>& candidates = workspace.candidate_ids;
+      candidates.clear();
       if (options.use_qgram_filter) {
         ScopedTimer timer(&pstats.qgram_time);
         for (int l = std::max(1, len - options.k); l <= len; ++l) {
-          std::vector<IndexCandidate> found = index.Query(
-              r, l, qgram_tau, &pstats.index_stats, /*id_limit=*/i);
+          const std::span<const IndexCandidate> found = index.Query(
+              r, l, qgram_tau, &workspace, &pstats.index_stats,
+              /*id_limit=*/i);
           for (const IndexCandidate& c : found) candidates.push_back(c.id);
         }
         pstats.qgram_candidates += static_cast<int64_t>(candidates.size());

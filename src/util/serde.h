@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/status.h"
@@ -24,7 +25,7 @@ class BinaryWriter {
   void WriteI32(int32_t v) { Append(&v, sizeof(v)); }
   void WriteI64(int64_t v) { Append(&v, sizeof(v)); }
   void WriteDouble(double v) { Append(&v, sizeof(v)); }
-  void WriteString(const std::string& s) {
+  void WriteString(std::string_view s) {
     WriteU64(s.size());
     Append(s.data(), s.size());
   }

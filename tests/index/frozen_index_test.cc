@@ -1,0 +1,254 @@
+// Tests for the frozen index layout: QueryWorkspace reuse must be
+// invisible in the results, heap and linear merges must agree bit for bit,
+// and the steady-state probe path must not touch the heap allocator.
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "index/segment_index.h"
+#include "testing/test_util.h"
+#include "text/alphabet.h"
+#include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation hook.  Counting is off except inside CountAllocations
+// scopes, so gtest's own bookkeeping does not pollute the counter.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<size_t> g_allocation_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* CountedAllocAligned(std::size_t size, std::size_t alignment) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::aligned_alloc(alignment, ((size + alignment - 1) / alignment) *
+                                              alignment);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAllocAligned(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace ujoin {
+namespace {
+
+class CountAllocations {
+ public:
+  CountAllocations() {
+    g_allocation_count.store(0, std::memory_order_relaxed);
+    g_count_allocations.store(true, std::memory_order_relaxed);
+  }
+  ~CountAllocations() {
+    g_count_allocations.store(false, std::memory_order_relaxed);
+  }
+  size_t count() const {
+    return g_allocation_count.load(std::memory_order_relaxed);
+  }
+};
+
+std::vector<IndexCandidate> Copy(std::span<const IndexCandidate> found) {
+  return std::vector<IndexCandidate>(found.begin(), found.end());
+}
+
+void ExpectSameCandidates(const std::vector<IndexCandidate>& a,
+                          const std::vector<IndexCandidate>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << what << " i=" << i;
+    EXPECT_EQ(a[i].matched_segments, b[i].matched_segments)
+        << what << " i=" << i;
+    // Bit-identical, not merely close: the frozen layout and the workspace
+    // must not perturb the α arithmetic in any way.
+    EXPECT_EQ(a[i].upper_bound, b[i].upper_bound) << what << " i=" << i;
+  }
+}
+
+// Property: a workspace that has served many earlier queries returns exactly
+// what a fresh workspace returns, and both match the legacy allocating
+// Query overload.
+TEST(FrozenIndexTest, WorkspaceReuseMatchesFreshWorkspace) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(2026);
+  for (int round = 0; round < 10; ++round) {
+    const int k = static_cast<int>(rng.UniformInt(1, 2));
+    const int q = static_cast<int>(rng.UniformInt(2, 3));
+    const int length = static_cast<int>(rng.UniformInt(k + 2, 10));
+
+    testing::RandomStringOptions opt;
+    opt.min_length = opt.max_length = length;
+    opt.theta = 0.3;
+    opt.max_alternatives = 2;
+    InvertedSegmentIndex index(k, q);
+    for (uint32_t id = 0; id < 30; ++id) {
+      ASSERT_TRUE(
+          index.Insert(id, testing::RandomUncertainString(dna, opt, rng)).ok());
+    }
+    index.Freeze();
+
+    testing::RandomStringOptions probe_opt = opt;
+    probe_opt.min_length = std::max(1, length - k);
+    probe_opt.max_length = length + k;
+
+    QueryWorkspace reused;
+    for (int query = 0; query < 15; ++query) {
+      const UncertainString r =
+          testing::RandomUncertainString(dna, probe_opt, rng);
+      const double tau = rng.UniformDouble() * 0.4;
+      const uint32_t id_limit = rng.Bernoulli(0.3)
+                                    ? static_cast<uint32_t>(rng.Uniform(30))
+                                    : UINT32_MAX;
+
+      const std::vector<IndexCandidate> with_reuse =
+          Copy(index.Query(r, length, tau, &reused, nullptr, id_limit));
+      QueryWorkspace fresh;
+      const std::vector<IndexCandidate> with_fresh =
+          Copy(index.Query(r, length, tau, &fresh, nullptr, id_limit));
+      ExpectSameCandidates(with_reuse, with_fresh, "reused vs fresh");
+      const std::vector<IndexCandidate> legacy =
+          index.Query(r, length, tau, nullptr, id_limit);
+      ExpectSameCandidates(with_reuse, legacy, "workspace vs legacy");
+    }
+  }
+}
+
+// The heap merge (threshold 0: always heap) and the linear min-scan
+// (huge threshold: never heap) must produce bit-identical candidates.
+TEST(FrozenIndexTest, HeapAndLinearMergesAgree) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(7031);
+  for (int round = 0; round < 10; ++round) {
+    const int k = static_cast<int>(rng.UniformInt(1, 3));
+    const int q = static_cast<int>(rng.UniformInt(2, 3));
+    const int length = static_cast<int>(rng.UniformInt(k + 2, 11));
+
+    testing::RandomStringOptions opt;
+    opt.min_length = opt.max_length = length;
+    opt.theta = 0.4;
+    opt.max_alternatives = 3;
+    InvertedSegmentIndex index(k, q);
+    for (uint32_t id = 0; id < 40; ++id) {
+      ASSERT_TRUE(
+          index.Insert(id, testing::RandomUncertainString(dna, opt, rng)).ok());
+    }
+    // Deliberately not frozen for half the rounds, so the heap also merges
+    // base + delta extent pairs.
+    if (round % 2 == 0) index.Freeze();
+
+    testing::RandomStringOptions probe_opt = opt;
+    probe_opt.min_length = std::max(1, length - k);
+    probe_opt.max_length = length + k;
+    for (int query = 0; query < 10; ++query) {
+      const UncertainString r =
+          testing::RandomUncertainString(dna, probe_opt, rng);
+      const double tau = rng.UniformDouble() * 0.4;
+
+      QueryWorkspace always_heap;
+      always_heap.heap_merge_threshold = 0;
+      QueryWorkspace never_heap;
+      never_heap.heap_merge_threshold = 1 << 20;
+      QueryWorkspace standard;
+
+      const std::vector<IndexCandidate> heap_result =
+          Copy(index.Query(r, length, tau, &always_heap));
+      const std::vector<IndexCandidate> linear_result =
+          Copy(index.Query(r, length, tau, &never_heap));
+      const std::vector<IndexCandidate> default_result =
+          Copy(index.Query(r, length, tau, &standard));
+      ExpectSameCandidates(heap_result, linear_result, "heap vs linear");
+      ExpectSameCandidates(heap_result, default_result, "heap vs default");
+    }
+  }
+}
+
+// Acceptance gate: once the workspace is warm, repeated queries through a
+// frozen index perform zero heap allocations.
+TEST(FrozenIndexTest, SteadyStateQueryDoesNotAllocate) {
+  Alphabet dna = Alphabet::Dna();
+  Rng rng(99);
+  const int k = 1;
+  const int q = 2;
+  const int length = 9;
+
+  testing::RandomStringOptions opt;
+  opt.min_length = opt.max_length = length;
+  opt.theta = 0.3;
+  opt.max_alternatives = 2;
+  InvertedSegmentIndex index(k, q);
+  for (uint32_t id = 0; id < 60; ++id) {
+    ASSERT_TRUE(
+        index.Insert(id, testing::RandomUncertainString(dna, opt, rng)).ok());
+  }
+  index.Freeze();
+
+  const UncertainString r = testing::RandomUncertainString(dna, opt, rng);
+  QueryWorkspace workspace;
+  IndexQueryStats stats;
+  // Warm-up: grows every workspace buffer to its steady-state size.
+  size_t warm_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(index.Query(r, length, 0.01, &workspace, &stats).size(),
+              warm_size);
+  }
+
+  size_t allocations;
+  size_t counted_size;
+  {
+    CountAllocations counter;
+    counted_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+    allocations = counter.count();
+  }
+  EXPECT_EQ(counted_size, warm_size);
+  EXPECT_EQ(allocations, 0u)
+      << "steady-state Query must not allocate; got " << allocations
+      << " allocations";
+
+  // Same property with the heap merges forced on.
+  workspace.heap_merge_threshold = 0;
+  warm_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+  {
+    CountAllocations counter;
+    counted_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+    allocations = counter.count();
+  }
+  EXPECT_EQ(counted_size, warm_size);
+  EXPECT_EQ(allocations, 0u);
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -28,18 +28,17 @@ TEST(LengthBucketIndexTest, PostingListsHoldInstanceProbabilities) {
                   .Insert(0, Parse("AA{(G,0.9),(T,0.1)}G{(C,0.3),(G,0.2),"
                                    "(T,0.5)}C", dna))
                   .ok());
-  const std::vector<Posting>* aa = bucket.Find(0, "AA");
-  ASSERT_NE(aa, nullptr);
-  ASSERT_EQ(aa->size(), 1u);
-  EXPECT_EQ((*aa)[0].id, 0u);
-  EXPECT_DOUBLE_EQ((*aa)[0].prob, 1.0);
-  const std::vector<Posting>* gg = bucket.Find(1, "GG");
-  ASSERT_NE(gg, nullptr);
-  EXPECT_DOUBLE_EQ((*gg)[0].prob, 0.9);
-  const std::vector<Posting>* tc = bucket.Find(2, "TC");
-  ASSERT_NE(tc, nullptr);
-  EXPECT_DOUBLE_EQ((*tc)[0].prob, 0.5);
-  EXPECT_EQ(bucket.Find(2, "AC"), nullptr);
+  const FlatPostings::ListView aa = bucket.Find(0, "AA");
+  ASSERT_EQ(aa.size(), 1u);
+  EXPECT_EQ(aa[0].id, 0u);
+  EXPECT_DOUBLE_EQ(aa[0].prob, 1.0);
+  const FlatPostings::ListView gg = bucket.Find(1, "GG");
+  ASSERT_FALSE(gg.empty());
+  EXPECT_DOUBLE_EQ(gg[0].prob, 0.9);
+  const FlatPostings::ListView tc = bucket.Find(2, "TC");
+  ASSERT_FALSE(tc.empty());
+  EXPECT_DOUBLE_EQ(tc[0].prob, 0.5);
+  EXPECT_TRUE(bucket.Find(2, "AC").empty());
 }
 
 TEST(LengthBucketIndexTest, RejectsWrongLengthAndOutOfOrderIds) {

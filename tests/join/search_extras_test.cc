@@ -115,6 +115,46 @@ TEST(SearchManyTest, MatchesSingleSearches) {
   }
 }
 
+// The aggregated stats are folded in query order, so every count is
+// identical for every thread count (only wall times may differ).
+TEST(SearchManyTest, AggregatedStatsAreThreadCountInvariant) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(70, 206);
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.always_verify = true;
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(collection, alphabet, options);
+  ASSERT_TRUE(searcher.ok());
+  const std::vector<UncertainString> queries = SmallDataset(20, 207);
+
+  JoinStats sequential_stats;
+  JoinStats parallel_stats;
+  ASSERT_TRUE(searcher->SearchMany(queries, 1, &sequential_stats).ok());
+  ASSERT_TRUE(searcher->SearchMany(queries, 4, &parallel_stats).ok());
+
+  EXPECT_GT(sequential_stats.result_pairs, 0);
+  EXPECT_EQ(sequential_stats.length_compatible_pairs,
+            parallel_stats.length_compatible_pairs);
+  EXPECT_EQ(sequential_stats.qgram_candidates,
+            parallel_stats.qgram_candidates);
+  EXPECT_EQ(sequential_stats.qgram_support_pruned,
+            parallel_stats.qgram_support_pruned);
+  EXPECT_EQ(sequential_stats.qgram_probability_pruned,
+            parallel_stats.qgram_probability_pruned);
+  EXPECT_EQ(sequential_stats.freq_candidates, parallel_stats.freq_candidates);
+  EXPECT_EQ(sequential_stats.cdf_accepted, parallel_stats.cdf_accepted);
+  EXPECT_EQ(sequential_stats.cdf_rejected, parallel_stats.cdf_rejected);
+  EXPECT_EQ(sequential_stats.cdf_undecided, parallel_stats.cdf_undecided);
+  EXPECT_EQ(sequential_stats.verified_pairs, parallel_stats.verified_pairs);
+  EXPECT_EQ(sequential_stats.result_pairs, parallel_stats.result_pairs);
+  EXPECT_EQ(sequential_stats.index_stats.lists_scanned,
+            parallel_stats.index_stats.lists_scanned);
+  EXPECT_EQ(sequential_stats.index_stats.postings_scanned,
+            parallel_stats.index_stats.postings_scanned);
+  EXPECT_EQ(sequential_stats.index_stats.ids_touched,
+            parallel_stats.index_stats.ids_touched);
+}
+
 TEST(SearchManyTest, PropagatesQueryErrors) {
   const Alphabet alphabet = Alphabet::Dna();
   Result<SimilaritySearcher> searcher = SimilaritySearcher::Create(

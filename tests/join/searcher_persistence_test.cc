@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -56,6 +57,67 @@ TEST(IndexSerializationTest, RoundTripPreservesQueries) {
       }
     }
   }
+}
+
+// Serialization determinism: the bytes are a pure function of the indexed
+// content.  Serializing, deserializing, and serializing again must produce
+// the same buffer even though the deserialized index accumulated its
+// postings in sorted key order rather than world-enumeration order.
+TEST(IndexSerializationTest, SaveLoadSaveIsByteIdentical) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(60, 307);
+  InvertedSegmentIndex original(2, 3);
+  for (uint32_t id = 0; id < collection.size(); ++id) {
+    ASSERT_TRUE(original.Insert(id, collection[id]).ok());
+  }
+  BinaryWriter first;
+  original.Serialize(&first);
+
+  BinaryReader reader(first.buffer());
+  Result<InvertedSegmentIndex> restored =
+      InvertedSegmentIndex::Deserialize(&reader);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  BinaryWriter second;
+  restored->Serialize(&second);
+  ASSERT_EQ(first.buffer().size(), second.buffer().size());
+  EXPECT_TRUE(std::equal(first.buffer().begin(), first.buffer().end(),
+                         second.buffer().begin()));
+
+  // Freezing rearranges the in-memory arena but must not change the bytes.
+  restored->Freeze();
+  BinaryWriter frozen;
+  restored->Serialize(&frozen);
+  ASSERT_EQ(first.buffer().size(), frozen.buffer().size());
+  EXPECT_TRUE(std::equal(first.buffer().begin(), first.buffer().end(),
+                         frozen.buffer().begin()));
+}
+
+// Same property end to end through the searcher's file format.
+TEST(SearcherPersistenceTest, SaveLoadSaveFilesAreByteIdentical) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> collection = SmallDataset(50, 308);
+  Result<SimilaritySearcher> original = SimilaritySearcher::Create(
+      collection, alphabet, JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(original.ok());
+  const std::string path_a = TempPath("ujoin_searcher_bytes_a.bin");
+  const std::string path_b = TempPath("ujoin_searcher_bytes_b.bin");
+  ASSERT_TRUE(original->Save(path_a).ok());
+  Result<SimilaritySearcher> loaded =
+      SimilaritySearcher::Load(path_a, alphabet);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->Save(path_b).ok());
+
+  const auto read_all = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string bytes_a = read_all(path_a);
+  const std::string bytes_b = read_all(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
 }
 
 TEST(SearcherPersistenceTest, SaveLoadRoundTripIdenticalResults) {

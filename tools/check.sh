@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo check driver: tier-1 tests in a plain Release build, then the
-# concurrency-sensitive join tests again under ThreadSanitizer.
+# Repo check driver: tier-1 tests in a plain Release build, the
+# concurrency-sensitive join tests again under ThreadSanitizer, and a smoke
+# run of the index-probe micro-bench gates (speedup + zero allocations).
 #
 # Usage: tools/check.sh [jobs]
 #   jobs defaults to the machine's core count.
@@ -13,25 +14,30 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/4] configure + build (Release)"
+echo "==> [1/5] configure + build (Release)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "==> [2/4] tier-1 test suite"
+echo "==> [2/5] tier-1 test suite"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/4] configure + build (ThreadSanitizer)"
+echo "==> [3/5] configure + build (ThreadSanitizer)"
 cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
   -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
 TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
   join_stats_test self_join_test cross_join_test)
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
-echo "==> [4/4] parallel join tests under TSan"
+echo "==> [4/5] parallel join tests under TSan"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
 for t in "${TSAN_TARGETS[@]}"; do
   echo "--- $t"
   "./build-tsan/tests/$t"
 done
+
+echo "==> [5/5] index probe micro-bench (speedup + zero-allocation gates)"
+# Tiny scale: this is a smoke run of the gates, not a timing measurement.
+UJOIN_BENCH_SCALE="${UJOIN_BENCH_SCALE:-0.25}" \
+  ./build/bench/bench_index_probe build/BENCH_probe.json
 
 echo "all checks passed"

@@ -13,7 +13,11 @@
 //   ujoin_cli index --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
 //              [--q=3] --out=FILE.idx
 //   ujoin_cli search (--input=FILE | --index=FILE.idx) --kind=names|protein
-//              --query=STRING [--k=2] [--tau=0.1] [--q=3] [--topk=N]
+//              (--query=STRING | --queries=FILE) [--k=2] [--tau=0.1] [--q=3]
+//              [--topk=N] [--threads=1]
+//              (--queries runs the whole file through SearchMany and prints
+//               aggregated filter/verification statistics; the stats are
+//               identical for every --threads value)
 //   ujoin_cli stats --input=FILE --kind=names|protein
 
 #include <cstdio>
@@ -250,8 +254,10 @@ int RunSearch(Flags& flags) {
                                           flags.GetInt("q", 3));
   options.always_verify = true;
   const std::string query_text = flags.GetString("query");
+  const std::string queries_path = flags.GetString("queries");
   const std::string index_path = flags.GetString("index");
   const int topk = flags.GetInt("topk", 0);
+  const int threads = flags.GetInt("threads", 1);
 
   Result<SimilaritySearcher> searcher = [&]() -> Result<SimilaritySearcher> {
     if (!index_path.empty()) {
@@ -267,8 +273,37 @@ int RunSearch(Flags& flags) {
     std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
     return 1;
   }
+  if (!queries_path.empty()) {
+    // Batch mode: run the whole query file through SearchMany and report
+    // the aggregated statistics (folded in query order, so the numbers are
+    // identical for every --threads value).
+    Result<std::vector<UncertainString>> queries =
+        LoadDataset(queries_path, *alphabet);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   queries.status().ToString().c_str());
+      return 1;
+    }
+    JoinStats stats;
+    Result<std::vector<std::vector<SearchHit>>> hits =
+        searcher->SearchMany(*queries, threads, &stats);
+    if (!hits.ok()) {
+      std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
+      return 1;
+    }
+    size_t total_hits = 0;
+    for (size_t q = 0; q < hits->size(); ++q) {
+      for (const SearchHit& hit : (*hits)[q]) {
+        std::printf("%zu\t%u\t%.6f\n", q, hit.id, hit.probability);
+        ++total_hits;
+      }
+    }
+    std::fprintf(stderr, "%zu queries, %zu hits\n%s\n", queries->size(),
+                 total_hits, stats.ToString().c_str());
+    return 0;
+  }
   if (query_text.empty()) {
-    std::fprintf(stderr, "error: --query is required\n");
+    std::fprintf(stderr, "error: --query or --queries is required\n");
     return 2;
   }
   Result<UncertainString> query =
