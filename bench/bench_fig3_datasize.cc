@@ -46,7 +46,8 @@ void BM_Fig3_DataSize(benchmark::State& state) {
   }
   state.SetLabel(std::string(VariantName(variant)) + "/|S|=" +
                  std::to_string(size));
-  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["filter_ms"] =
+      (stats.FilterTime() + stats.index_build_time) * 1e3;
   state.counters["total_ms"] = stats.total_time * 1e3;
   state.counters["verify_ms"] = stats.verify_time * 1e3;
   state.counters["verified"] = static_cast<double>(stats.verified_pairs);

@@ -54,7 +54,8 @@ void RunTheta(benchmark::State& state, bool protein, const char* variant) {
   }
   state.SetLabel(std::string(protein ? "protein/" : "dblp/") + variant +
                  "/theta=" + std::to_string(theta_permille / 1000.0));
-  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["filter_ms"] =
+      (stats.FilterTime() + stats.index_build_time) * 1e3;
   state.counters["verify_ms"] = stats.verify_time * 1e3;
   state.counters["total_ms"] = stats.total_time * 1e3;
   state.counters["results"] = static_cast<double>(stats.result_pairs);

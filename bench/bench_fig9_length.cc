@@ -62,7 +62,8 @@ void RunLength(benchmark::State& state, bool protein, const char* variant) {
   state.SetLabel(std::string(protein ? "protein/" : "dblp/") + variant +
                  "/x" + std::to_string(repeats + 1));
   state.counters["total_ms"] = stats.total_time * 1e3;
-  state.counters["filter_ms"] = stats.FilterTime() * 1e3;
+  state.counters["filter_ms"] =
+      (stats.FilterTime() + stats.index_build_time) * 1e3;
   state.counters["verify_ms"] = stats.verify_time * 1e3;
   state.counters["results"] = static_cast<double>(stats.result_pairs);
 }

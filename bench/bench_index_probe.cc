@@ -22,6 +22,8 @@
 #include "datagen/datagen.h"
 #include "index/flat_postings.h"
 #include "index/segment_index.h"
+#include "obs/json_writer.h"
+#include "obs/report.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -285,29 +287,37 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::FILE* out = std::fopen(out_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot open %s\n", out_path);
+  // Shared machine-readable envelope (DESIGN.md "Observability"): every
+  // BENCH_*.json is a ujoin.run_report whose payload sits in "results".
+  ujoin::obs::JsonWriter results;
+  results.BeginObject();
+  results.Key("collection_size");
+  results.Int(collection_size);
+  results.Key("num_keys");
+  results.UInt(flat.num_keys());
+  results.Key("num_postings");
+  results.Int(num_postings);
+  results.Key("num_probes");
+  results.UInt(probes.count);
+  results.Key("flat_lookups_per_sec");
+  results.Double(flat_rate);
+  results.Key("map_lookups_per_sec");
+  results.Double(map_rate);
+  results.Key("speedup");
+  results.Double(speedup);
+  results.Key("speedup_gate");
+  results.Double(1.5);
+  results.Key("frozen_index_queries_per_sec");
+  results.Double(queries_per_sec);
+  results.Key("steady_state_allocations");
+  results.UInt(steady_state_allocations);
+  results.EndObject();
+  const ujoin::Status write_status = ujoin::obs::WriteRunReport(
+      out_path, "bench_index_probe", {{"results", results.TakeString()}});
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", write_status.ToString().c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"index_probe\",\n"
-               "  \"collection_size\": %d,\n"
-               "  \"num_keys\": %zu,\n"
-               "  \"num_postings\": %lld,\n"
-               "  \"num_probes\": %zu,\n"
-               "  \"flat_lookups_per_sec\": %.0f,\n"
-               "  \"map_lookups_per_sec\": %.0f,\n"
-               "  \"speedup\": %.3f,\n"
-               "  \"speedup_gate\": 1.5,\n"
-               "  \"frozen_index_queries_per_sec\": %.1f,\n"
-               "  \"steady_state_allocations\": %zu\n"
-               "}\n",
-               collection_size, flat.num_keys(),
-               static_cast<long long>(num_postings), probes.count, flat_rate,
-               map_rate, speedup, queries_per_sec, steady_state_allocations);
-  std::fclose(out);
   std::printf("wrote %s\n", out_path);
 
   bool ok = true;

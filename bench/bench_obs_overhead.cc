@@ -1,0 +1,176 @@
+// Overhead gate for the observability subsystem (src/obs/): the same
+// self-join is run with metrics recording off and on, interleaved
+// best-of-N, and the bench fails if recording costs more than the budget
+// (2% by default; override with UJOIN_OBS_OVERHEAD_GATE, a fraction;
+// UJOIN_OBS_OVERHEAD_REPS overrides the repetition count).
+//
+// Recording on means a Recorder attached via JoinOptions::metrics — the
+// histogram/counter path that is wired into every probe.  Trace spans are
+// excluded: span collection allocates by design and is a debugging mode
+// outside the steady-state budget (DESIGN.md "Observability").
+//
+// The bench also proves recording is inert: pairs and merged counters of
+// the instrumented run must equal the uninstrumented run exactly.
+//
+// Usage: bench_obs_overhead [output.json]
+//   Writes BENCH_obs.json (or the given path) in the shared
+//   ujoin.run_report envelope.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/datagen.h"
+#include "join/self_join.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "util/timer.h"
+
+namespace {
+
+using ujoin::Dataset;
+using ujoin::GenerateDataset;
+using ujoin::JoinOptions;
+using ujoin::Result;
+using ujoin::SelfJoinResult;
+using ujoin::SimilaritySelfJoin;
+using ujoin::Timer;
+
+double GateFromEnv() {
+  const char* env = std::getenv("UJOIN_OBS_OVERHEAD_GATE");
+  if (env == nullptr) return 0.02;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 0.02;
+}
+
+int RepsFromEnv() {
+  const char* env = std::getenv("UJOIN_OBS_OVERHEAD_REPS");
+  if (env == nullptr) return 7;
+  const int v = std::atoi(env);
+  return v > 0 ? v : 7;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_obs.json";
+  const double gate = GateFromEnv();
+
+  const Dataset dataset =
+      GenerateDataset(ujoin::bench::DblpConfig::Data(ujoin::bench::Scaled(800)));
+  JoinOptions options = ujoin::bench::DblpConfig::Join();
+  options.threads = 1;  // single-threaded: the cleanest per-probe cost signal
+
+  // Warm-up run (also the baseline result for the identity checks).
+  Result<SelfJoinResult> baseline =
+      SimilaritySelfJoin(dataset.strings, dataset.alphabet, options);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n",
+                 baseline.status().ToString().c_str());
+    return 1;
+  }
+
+  // Interleaved best-of-N: alternating the contestants per repetition
+  // spreads machine noise over both instead of biasing one; the minimum is
+  // the low-noise estimate on a shared/1-CPU box.
+  const int reps = RepsFromEnv();
+  double off_seconds = 1e300;
+  double on_seconds = 1e300;
+  ujoin::obs::Recorder recorder;
+  std::vector<ujoin::JoinPair> instrumented_pairs;
+  ujoin::JoinStats instrumented_stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      Timer timer;
+      Result<SelfJoinResult> off =
+          SimilaritySelfJoin(dataset.strings, dataset.alphabet, options);
+      off_seconds = std::min(off_seconds, timer.ElapsedSeconds());
+      if (!off.ok()) return 1;
+    }
+    {
+      JoinOptions observed = options;
+      recorder.Clear();
+      observed.metrics = &recorder;
+      Timer timer;
+      Result<SelfJoinResult> on =
+          SimilaritySelfJoin(dataset.strings, dataset.alphabet, observed);
+      on_seconds = std::min(on_seconds, timer.ElapsedSeconds());
+      if (!on.ok()) return 1;
+      instrumented_pairs = std::move(on->pairs);
+      instrumented_stats = on->stats;
+    }
+  }
+
+  // Identity: recording must not change a single pair or counter.
+  bool identical = instrumented_pairs.size() == baseline->pairs.size();
+  for (size_t i = 0; identical && i < instrumented_pairs.size(); ++i) {
+    identical = instrumented_pairs[i].lhs == baseline->pairs[i].lhs &&
+                instrumented_pairs[i].rhs == baseline->pairs[i].rhs &&
+                instrumented_pairs[i].probability ==
+                    baseline->pairs[i].probability &&
+                instrumented_pairs[i].exact == baseline->pairs[i].exact;
+  }
+  identical = identical &&
+              instrumented_stats.verified_pairs ==
+                  baseline->stats.verified_pairs &&
+              instrumented_stats.qgram_candidates ==
+                  baseline->stats.qgram_candidates &&
+              instrumented_stats.index_stats.postings_scanned ==
+                  baseline->stats.index_stats.postings_scanned;
+  if (!identical) {
+    std::fprintf(stderr,
+                 "FAIL: instrumented join differs from uninstrumented\n");
+    return 1;
+  }
+
+  const double overhead = on_seconds / off_seconds - 1.0;
+  std::printf("self-join of %zu strings, best of %d:\n",
+              dataset.strings.size(), reps);
+  std::printf("  metrics off: %8.4f s\n", off_seconds);
+  std::printf("  metrics on:  %8.4f s\n", on_seconds);
+  std::printf("  overhead:    %+7.2f%% (gate: < %.1f%%)\n", overhead * 100.0,
+              gate * 100.0);
+  std::printf("  recorded: %lld probes, %lld verify samples\n",
+              static_cast<long long>(
+                  recorder.counter(ujoin::obs::Counter::kProbes)),
+              static_cast<long long>(
+                  recorder.hist(ujoin::obs::Hist::kVerifyLatencyNs).count()));
+
+  ujoin::obs::JsonWriter results;
+  results.BeginObject();
+  results.Key("collection_size");
+  results.Int(static_cast<int64_t>(dataset.strings.size()));
+  results.Key("reps");
+  results.Int(reps);
+  results.Key("metrics_off_seconds");
+  results.Double(off_seconds);
+  results.Key("metrics_on_seconds");
+  results.Double(on_seconds);
+  results.Key("overhead_fraction");
+  results.Double(overhead);
+  results.Key("overhead_gate");
+  results.Double(gate);
+  results.Key("result_pairs");
+  results.Int(static_cast<int64_t>(instrumented_pairs.size()));
+  results.EndObject();
+  const ujoin::Status write_status = ujoin::obs::WriteRunReport(
+      out_path, "bench_obs_overhead",
+      {{"results", results.TakeString()}, {"metrics", recorder.ToJson()}});
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", write_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
+
+  if (overhead >= gate) {
+    std::fprintf(stderr,
+                 "FAIL: metrics overhead %.2f%% exceeds the %.1f%% gate\n",
+                 overhead * 100.0, gate * 100.0);
+    return 1;
+  }
+  return 0;
+}

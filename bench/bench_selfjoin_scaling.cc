@@ -3,8 +3,10 @@
 // single-thread run, and verifies that every configuration returns the
 // identical pair list (ids, probabilities, exactness flags).
 //
-// Usage: bench_selfjoin_scaling [collection_size]
+// Usage: bench_selfjoin_scaling [collection_size] [output.json]
 //   UJOIN_BENCH_SCALE scales the default collection size (see bench_util.h).
+//   Writes BENCH_scaling.json (or the given path) in the shared
+//   ujoin.run_report envelope.
 //
 // Exit code is non-zero if any thread count changes the result — the bench
 // doubles as an end-to-end determinism check at benchmark scale.
@@ -18,6 +20,8 @@
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
+#include "obs/json_writer.h"
+#include "obs/report.h"
 #include "util/timer.h"
 
 namespace {
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
   int size = ujoin::bench::Scaled(3000);
   if (argc > 1) size = std::atoi(argv[1]);
   if (size < 2) size = 2;
+  const char* out_path = argc > 2 ? argv[2] : "BENCH_scaling.json";
 
   const ujoin::DatasetOptions data_options =
       ujoin::bench::DblpConfig::Data(size);
@@ -69,6 +74,10 @@ int main(int argc, char** argv) {
   std::vector<JoinPair> reference;
   double base_seconds = 0.0;
   bool identical = true;
+
+  ujoin::obs::JsonWriter runs;
+  runs.BeginArray();
+  size_t num_pairs = 0;
 
   std::printf("%8s %12s %10s %12s %14s\n", "threads", "time[s]", "speedup",
               "pairs", "identical");
@@ -94,10 +103,43 @@ int main(int argc, char** argv) {
       same = IdenticalPairs(reference, result->pairs);
       identical = identical && same;
     }
+    num_pairs = result->pairs.size();
     std::printf("%8d %12.3f %9.2fx %12zu %14s\n", threads, seconds,
                 base_seconds > 0.0 ? base_seconds / seconds : 1.0,
                 result->pairs.size(), same ? "yes" : "NO");
+    runs.BeginObject();
+    runs.Key("threads");
+    runs.Int(threads);
+    runs.Key("seconds");
+    runs.Double(seconds);
+    runs.Key("speedup");
+    runs.Double(base_seconds > 0.0 ? base_seconds / seconds : 1.0);
+    runs.Key("identical");
+    runs.Bool(same);
+    runs.EndObject();
   }
+  runs.EndArray();
+
+  ujoin::obs::JsonWriter results;
+  results.BeginObject();
+  results.Key("collection_size");
+  results.Int(size);
+  results.Key("hardware_threads");
+  results.UInt(hardware);
+  results.Key("result_pairs");
+  results.UInt(num_pairs);
+  results.Key("all_identical");
+  results.Bool(identical);
+  results.Key("runs");
+  results.RawValue(runs.str());
+  results.EndObject();
+  const ujoin::Status write_status = ujoin::obs::WriteRunReport(
+      out_path, "bench_selfjoin_scaling", {{"results", results.TakeString()}});
+  if (!write_status.ok()) {
+    std::fprintf(stderr, "FAIL: %s\n", write_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path);
 
   if (!identical) {
     std::fprintf(stderr,

@@ -1,9 +1,12 @@
 #include "index/segment_index.h"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "filter/event_dp.h"
+#include "obs/metrics.h"
+#include "obs/obs_macros.h"
 #include "text/possible_worlds.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -100,6 +103,7 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
     for (uint32_t id : ids_) {
       if (id >= id_limit) break;  // ids_ is sorted ascending
       ws->candidates.push_back(IndexCandidate{id, m, 1.0});
+      UJOIN_OBS_HIST(ws->obs, obs::Hist::kCandidateAlphaPpm, 1000000);
     }
     if (stats != nullptr) {
       stats->ids_touched += static_cast<int64_t>(ws->candidates.size());
@@ -215,6 +219,15 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
     ws->merged_begin.push_back(static_cast<uint32_t>(ws->merged.size()));
   }
 
+  if (UJOIN_OBS_ENABLED(ws->obs)) {
+    for (int x = 0; x < m; ++x) {
+      const int64_t list_length =
+          static_cast<int64_t>(ws->merged_begin[static_cast<size_t>(x) + 1]) -
+          static_cast<int64_t>(ws->merged_begin[static_cast<size_t>(x)]);
+      UJOIN_OBS_HIST(ws->obs, obs::Hist::kMergedListLength, list_length);
+    }
+  }
+
   // Stage 2: scan the m merged lists in parallel, counting matched segments
   // per id (Lemma 5) and bounding Pr(ed <= k) with the event DP (Theorem 2).
   const auto merged_list = [&](int x) {
@@ -260,6 +273,8 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
         continue;
       }
       ws->candidates.push_back(IndexCandidate{min_id, matched, bound});
+      UJOIN_OBS_HIST(ws->obs, obs::Hist::kCandidateAlphaPpm,
+                     std::llround(bound * 1e6));
       if (stats != nullptr) ++stats->candidates;
     }
   } else {
@@ -296,6 +311,8 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
             ProbAtLeastEvents(alphas_span, required, &ws->dp_scratch);
         if (bound > tau) {
           ws->candidates.push_back(IndexCandidate{min_id, matched, bound});
+          UJOIN_OBS_HIST(ws->obs, obs::Hist::kCandidateAlphaPpm,
+                         std::llround(bound * 1e6));
           if (stats != nullptr) ++stats->candidates;
         } else if (stats != nullptr) {
           ++stats->probability_pruned;

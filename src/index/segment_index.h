@@ -17,6 +17,10 @@
 
 namespace ujoin {
 
+namespace obs {
+class Recorder;
+}  // namespace obs
+
 /// \brief Candidate produced by an index query: a string id together with
 /// the q-gram filter evidence gathered during the merge scan.
 struct IndexCandidate {
@@ -90,6 +94,14 @@ struct QueryWorkspace {
   std::vector<double> dp_scratch;        // event-DP row
   std::vector<IndexCandidate> candidates;
   std::vector<uint32_t> candidate_ids;
+
+  /// Observability sink for the probe path.  When non-null, QueryCandidates
+  /// records merged-list lengths and candidate α upper bounds into it (see
+  /// obs/metrics.h).  Drivers point this at the current rank's recorder
+  /// before probing; the recorder's storage is fixed-size and inline, so
+  /// recording keeps the steady-state query path allocation-free.  Null
+  /// (the default) disables recording at the cost of one pointer test.
+  obs::Recorder* obs = nullptr;
 };
 
 /// \brief Inverted index over the x-th segments of all indexed strings of

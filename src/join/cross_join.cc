@@ -5,6 +5,9 @@
 #include <thread>
 
 #include "join/search.h"
+#include "obs/metrics.h"
+#include "obs/obs_macros.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace ujoin {
@@ -23,8 +26,18 @@ Result<CrossJoinResult> SimilarityJoin(
       right_indexed ? right : left;
   const std::vector<UncertainString>& probes = right_indexed ? left : right;
 
+  obs::Recorder* const run_metrics = options.metrics;
+  obs::TraceRecorder* const trace = options.trace;
+
+  const int64_t build_span_start = trace != nullptr ? trace->NowNs() : 0;
+  ScopedTimer build_timer(&result.stats.index_build_time);
   Result<SimilaritySearcher> searcher =
       SimilaritySearcher::Create(indexed, alphabet, options);
+  build_timer.StopAndGet();
+  if (trace != nullptr) {
+    trace->AddSpan("index_build", build_span_start,
+                   trace->NowNs() - build_span_start, /*tid=*/0);
+  }
   if (!searcher.ok()) return searcher.status();
 
   int threads = options.threads;
@@ -39,16 +52,30 @@ Result<CrossJoinResult> SimilarityJoin(
     Status status;
     std::vector<SearchHit> hits;
     JoinStats stats;
+    obs::SpanCollector spans;  // probe-private trace spans (empty when off)
   };
   std::vector<ProbeOutcome> outcomes(probes.size());
+  // Probe-private recorders, folded into the run sink in probe order below
+  // — same determinism contract as the stats fold.
+  std::vector<obs::Recorder> probe_metrics(
+      run_metrics != nullptr ? probes.size() : 0);
   // One query workspace per worker thread: probes reuse its buffers so the
   // steady-state candidate-generation stage does not allocate.
   std::vector<QueryWorkspace> workspaces(static_cast<size_t>(threads));
   auto run_probe = [&](int worker, size_t probe_id) {
     ProbeOutcome& outcome = outcomes[probe_id];
+    obs::Recorder* const rec =
+        run_metrics != nullptr ? &probe_metrics[probe_id] : nullptr;
+    obs::SpanCollector* span_sink = nullptr;
+    if (trace != nullptr) {
+      outcome.spans =
+          obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
+      span_sink = &outcome.spans;
+    }
     Result<std::vector<SearchHit>> hits =
         searcher->Search(probes[probe_id], &outcome.stats,
-                         &workspaces[static_cast<size_t>(worker)]);
+                         &workspaces[static_cast<size_t>(worker)], rec,
+                         span_sink);
     if (hits.ok()) {
       outcome.hits = std::move(hits).value();
     } else {
@@ -87,9 +114,22 @@ Result<CrossJoinResult> SimilarityJoin(
       result.pairs.push_back(JoinPair{lhs, rhs, hit.probability, hit.exact});
     }
     result.stats.Merge(outcome.stats);
+    if (run_metrics != nullptr) run_metrics->Merge(probe_metrics[probe_id]);
+    if (trace != nullptr) trace->Append(outcome.spans.events());
   }
   result.stats.peak_index_memory = searcher->IndexMemoryUsage();
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kThreads, threads);
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kCollectionSize,
+                  static_cast<int64_t>(indexed.size() + probes.size()));
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kPeakIndexMemoryBytes,
+                  static_cast<int64_t>(result.stats.peak_index_memory));
   std::sort(result.pairs.begin(), result.pairs.end());
+  if (options.progress_fn != nullptr) {
+    options.progress_fn(
+        JoinProgress{probes.size(), probes.size(), result.pairs.size(),
+                     total_timer.ElapsedSeconds()},
+        options.progress_user);
+  }
   result.stats.total_time = total_timer.ElapsedSeconds();
   return result;
 }

@@ -1,10 +1,25 @@
 #ifndef UJOIN_JOIN_JOIN_OPTIONS_H_
 #define UJOIN_JOIN_JOIN_OPTIONS_H_
 
+#include <cstdint>
+
 #include "filter/probe_set.h"
 #include "verify/verifier.h"
 
 namespace ujoin {
+
+namespace obs {
+class Recorder;
+class TraceRecorder;
+}  // namespace obs
+
+/// \brief Snapshot handed to JoinOptions::progress_fn at wave boundaries.
+struct JoinProgress {
+  uint64_t processed;      ///< strings (or probes/queries) completed so far
+  uint64_t total;          ///< total strings (or probes/queries) in the run
+  uint64_t result_pairs;   ///< result pairs found so far
+  double elapsed_seconds;  ///< wall time since the run started
+};
 
 /// \brief Exact-verification algorithm used on surviving candidates.
 enum class VerifyMethod {
@@ -68,6 +83,30 @@ struct JoinOptions {
   /// result set is identical for every wave size.  <= 0 picks an adaptive
   /// default (max(64, 8 × threads)).
   int wave_size = 0;
+
+  // --- observability (src/obs/; DESIGN.md "Observability") --------------
+  // All sinks are borrowed, never owned: they must outlive every join or
+  // search call that sees this options value, and null (the default) means
+  // recording is off — the instrumentation then costs one pointer test.
+
+  /// Metrics sink.  When set, the drivers give each worker rank a private
+  /// Recorder and fold them into *metrics in the same deterministic
+  /// (wave, rank) order as JoinStats::Merge, so the merged counters and
+  /// work-derived histograms are identical for every thread count.
+  obs::Recorder* metrics = nullptr;
+
+  /// Trace sink.  When set, the drivers emit per-stage spans (index build,
+  /// wave phases, probes, filter/verify stages) for Chrome trace-event
+  /// output.  Span collection allocates; it is a debugging mode and is not
+  /// covered by the steady-state zero-allocation guarantee.
+  obs::TraceRecorder* trace = nullptr;
+
+  /// Progress callback, invoked from the driver thread at wave boundaries
+  /// (self-join) or batch completion points.  A plain function pointer plus
+  /// context pointer — not std::function — so copying JoinOptions never
+  /// allocates.
+  void (*progress_fn)(const JoinProgress&, void* user) = nullptr;
+  void* progress_user = nullptr;
 
   /// Convenience constructors for the paper's named variants.
   static JoinOptions Qfct(int k, double tau, int q = 3) {

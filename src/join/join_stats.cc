@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/json_writer.h"
+
 namespace ujoin {
 
 void JoinStats::Merge(const JoinStats& other) {
@@ -39,8 +41,8 @@ std::string JoinStats::ToString() const {
       "prob-pruned=%lld) freq=%lld (fd-pruned=%lld, cheb-pruned=%lld)\n"
       "cdf: accepted=%lld rejected=%lld undecided=%lld | verified=%lld "
       "results=%lld\n"
-      "time[s]: qgram=%.4f freq=%.4f cdf=%.4f verify=%.4f index=%.4f "
-      "total=%.4f\n"
+      "time[s]: qgram=%.4f freq=%.4f cdf=%.4f verify=%.4f total=%.4f\n"
+      "index-build[s]: %.4f\n"
       "index: peak-memory=%zu bytes",
       static_cast<long long>(length_compatible_pairs),
       static_cast<long long>(qgram_candidates),
@@ -54,8 +56,94 @@ std::string JoinStats::ToString() const {
       static_cast<long long>(cdf_undecided),
       static_cast<long long>(verified_pairs),
       static_cast<long long>(result_pairs), qgram_time, freq_time, cdf_time,
-      verify_time, index_build_time, total_time, peak_index_memory);
+      verify_time, total_time, index_build_time, peak_index_memory);
   return buf;
+}
+
+std::string JoinStats::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version");
+  w.Int(kJoinStatsSchemaVersion);
+
+  w.Key("pairs");
+  w.BeginObject();
+  w.Key("length_compatible");
+  w.Int(length_compatible_pairs);
+  w.Key("qgram_candidates");
+  w.Int(qgram_candidates);
+  w.Key("qgram_support_pruned");
+  w.Int(qgram_support_pruned);
+  w.Key("qgram_probability_pruned");
+  w.Int(qgram_probability_pruned);
+  w.Key("freq_candidates");
+  w.Int(freq_candidates);
+  w.Key("freq_lower_pruned");
+  w.Int(freq_lower_pruned);
+  w.Key("freq_upper_pruned");
+  w.Int(freq_upper_pruned);
+  w.Key("cdf_accepted");
+  w.Int(cdf_accepted);
+  w.Key("cdf_rejected");
+  w.Int(cdf_rejected);
+  w.Key("cdf_undecided");
+  w.Int(cdf_undecided);
+  w.Key("verified");
+  w.Int(verified_pairs);
+  w.Key("results");
+  w.Int(result_pairs);
+  w.EndObject();
+
+  w.Key("time_seconds");
+  w.BeginObject();
+  w.Key("qgram");
+  w.Double(qgram_time);
+  w.Key("freq");
+  w.Double(freq_time);
+  w.Key("cdf");
+  w.Double(cdf_time);
+  w.Key("verify");
+  w.Double(verify_time);
+  w.Key("index_build");
+  w.Double(index_build_time);
+  w.Key("filter");
+  w.Double(FilterTime());
+  w.Key("total");
+  w.Double(total_time);
+  w.EndObject();
+
+  w.Key("index");
+  w.BeginObject();
+  w.Key("peak_memory_bytes");
+  w.UInt(peak_index_memory);
+  w.Key("lists_scanned");
+  w.Int(index_stats.lists_scanned);
+  w.Key("postings_scanned");
+  w.Int(index_stats.postings_scanned);
+  w.Key("ids_touched");
+  w.Int(index_stats.ids_touched);
+  w.Key("support_pruned");
+  w.Int(index_stats.support_pruned);
+  w.Key("probability_pruned");
+  w.Int(index_stats.probability_pruned);
+  w.Key("candidates");
+  w.Int(index_stats.candidates);
+  w.EndObject();
+
+  w.Key("verify");
+  w.BeginObject();
+  w.Key("r_trie_nodes");
+  w.Int(verify_stats.r_trie_nodes);
+  w.Key("explored_s_nodes");
+  w.Int(verify_stats.explored_s_nodes);
+  w.Key("active_entries");
+  w.Int(verify_stats.active_entries);
+  w.Key("world_pairs");
+  w.Int(verify_stats.world_pairs);
+  w.EndObject();
+
+  w.EndObject();
+  return w.TakeString();
 }
 
 }  // namespace ujoin

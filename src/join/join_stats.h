@@ -47,10 +47,12 @@ struct JoinStats {
   IndexQueryStats index_stats;
   VerifyStats verify_stats;
 
-  /// Filtering time = everything except verification.
-  double FilterTime() const {
-    return qgram_time + freq_time + cdf_time + index_build_time;
-  }
+  /// Filtering time proper: the three filter stages, excluding both
+  /// verification and index construction.  Index build is reported
+  /// separately (`index_build_time`); callers reproducing the paper's
+  /// "filtering time" figures, which fold index construction in, add it
+  /// back explicitly.
+  double FilterTime() const { return qgram_time + freq_time + cdf_time; }
 
   /// Accumulates `other` into this: pair-flow counters and per-stage times
   /// sum, `peak_index_memory` takes the max, and the nested index/verify
@@ -61,7 +63,16 @@ struct JoinStats {
 
   /// Multi-line human-readable dump (used by examples and benches).
   std::string ToString() const;
+
+  /// Machine-readable JSON object with a versioned, stable schema
+  /// (`kJoinStatsSchemaVersion`; documented in DESIGN.md "Observability").
+  /// Serialization is deterministic: identical stats produce identical
+  /// bytes, regardless of how the run that produced them was threaded.
+  std::string ToJson() const;
 };
+
+/// Version of the JSON object emitted by JoinStats::ToJson.
+inline constexpr int kJoinStatsSchemaVersion = 1;
 
 }  // namespace ujoin
 

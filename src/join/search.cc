@@ -7,6 +7,9 @@
 
 #include "filter/cdf_filter.h"
 #include "join/pair_verifier.h"
+#include "obs/metrics.h"
+#include "obs/obs_macros.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -72,25 +75,47 @@ Result<SimilaritySearcher> SimilaritySearcher::Create(
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::Search(
-    const UncertainString& query, JoinStats* stats,
-    QueryWorkspace* workspace) const {
-  return SearchImpl(query, stats, /*force_exact=*/false, workspace);
+    const UncertainString& query, JoinStats* stats, QueryWorkspace* workspace,
+    obs::Recorder* metrics, obs::SpanCollector* spans) const {
+  return SearchImpl(query, stats, /*force_exact=*/false, workspace, metrics,
+                    spans);
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     const UncertainString& query, JoinStats* stats, bool force_exact,
-    QueryWorkspace* workspace) const {
+    QueryWorkspace* workspace, obs::Recorder* metrics,
+    obs::SpanCollector* spans) const {
   UJOIN_RETURN_IF_ERROR(ValidateString(query, alphabet_, "query"));
   JoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
   QueryWorkspace local_workspace;
   if (workspace == nullptr) workspace = &local_workspace;
+  obs::SpanCollector local_spans;  // disabled
+  if (spans == nullptr) spans = &local_spans;
+  // The index probe records merged-list lengths and candidate α bounds
+  // through the workspace hook; restore the previous sink on every exit so
+  // a caller-owned workspace is left untouched.
+  obs::Recorder* const saved_ws_obs = workspace->obs;
+  workspace->obs = metrics;
+  struct ObsRestore {
+    QueryWorkspace* ws;
+    obs::Recorder* saved;
+    ~ObsRestore() { ws->obs = saved; }
+  } obs_restore{workspace, saved_ws_obs};
+
   Timer total_timer;
+  const int64_t query_span_start = spans->NowNs();
+  // Sub-millisecond per-pair stages accumulate integer nanoseconds and fold
+  // into the seconds-based stats once per query.
+  int64_t qgram_ns = 0;
+  int64_t freq_ns = 0;
+  int64_t cdf_ns = 0;
+  int64_t verify_ns = 0;
   std::vector<SearchHit> hits;
 
   std::optional<FrequencySummary> query_summary;
   if (options_.use_freq_filter) {
-    ScopedTimer timer(&stats->freq_time);
+    ScopedNanoTimer timer(&freq_ns);
     query_summary.emplace(FrequencySummary::Build(query, alphabet_));
   }
   JoinOptions effective_options = options_;
@@ -109,11 +134,12 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
 
   std::vector<uint32_t>& candidates = workspace->candidate_ids;
   candidates.clear();
+  const int64_t qgram_span_start = spans->NowNs();
   for (int l = lo; l <= hi; ++l) {
     stats->length_compatible_pairs +=
         static_cast<int64_t>(ids_by_length_[static_cast<size_t>(l)].size());
     if (options_.use_qgram_filter) {
-      ScopedTimer timer(&stats->qgram_time);
+      ScopedNanoTimer timer(&qgram_ns);
       for (const IndexCandidate& c :
            index_.Query(query, l, qgram_tau, workspace,
                         &stats->index_stats)) {
@@ -125,12 +151,17 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
       }
     }
   }
+  if (options_.use_qgram_filter) {
+    spans->Span("qgram_probe", qgram_span_start,
+                spans->NowNs() - qgram_span_start);
+  }
   stats->qgram_candidates += static_cast<int64_t>(candidates.size());
 
+  const int64_t cascade_start = spans->NowNs();
   for (uint32_t id : candidates) {
     const UncertainString& s = collection_[id];
     if (options_.use_freq_filter) {
-      ScopedTimer timer(&stats->freq_time);
+      ScopedNanoTimer timer(&freq_ns);
       const FreqFilterOutcome freq =
           EvaluateFreqFilter(*query_summary, freq_summaries_[id], options_.k);
       if (freq.fd_lower_bound > options_.k) {
@@ -147,7 +178,7 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     bool need_verify = true;
     double lower_bound = 0.0;
     if (options_.use_cdf_filter) {
-      ScopedTimer timer(&stats->cdf_time);
+      ScopedNanoTimer timer(&cdf_ns);
       const CdfFilterOutcome cdf =
           EvaluateCdfFilter(query, s, options_.k, options_.tau);
       if (cdf.decision == CdfDecision::kReject) {
@@ -171,15 +202,47 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
       continue;
     }
 
-    ScopedTimer timer(&stats->verify_time);
+    Timer verify_timer;
     ++stats->verified_pairs;
+    const int64_t nodes_before = stats->verify_stats.explored_s_nodes;
     Result<ThresholdVerdict> verdict =
         verifier.Decide(s, options_.tau, &stats->verify_stats);
+    const int64_t pair_verify_ns = verify_timer.ElapsedNanos();
+    verify_ns += pair_verify_ns;
+    UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyLatencyNs, pair_verify_ns);
+    UJOIN_OBS_HIST(metrics, obs::Hist::kExploredTrieNodes,
+                   stats->verify_stats.explored_s_nodes - nodes_before);
     if (!verdict.ok()) return verdict.status();
     if (verdict->similar) {
       ++stats->result_pairs;
       hits.push_back(SearchHit{id, verdict->lower, verdict->exact});
     }
+  }
+
+  stats->qgram_time += 1e-9 * static_cast<double>(qgram_ns);
+  stats->freq_time += 1e-9 * static_cast<double>(freq_ns);
+  stats->cdf_time += 1e-9 * static_cast<double>(cdf_ns);
+  stats->verify_time += 1e-9 * static_cast<double>(verify_ns);
+  UJOIN_OBS_COUNTER(metrics, obs::Counter::kQueries, 1);
+  UJOIN_OBS_COUNTER(metrics, obs::Counter::kProbes, 1);
+  const int64_t query_ns = total_timer.ElapsedNanos();
+  UJOIN_OBS_HIST(metrics, obs::Hist::kProbeLatencyNs, query_ns);
+
+  if (spans->enabled()) {
+    // Aggregate per-pair stage times as back-to-back synthetic spans from
+    // the cascade's start (see DESIGN.md "Observability").
+    int64_t t = cascade_start;
+    if (options_.use_freq_filter) {
+      spans->Span("freq_filter", t, freq_ns);
+      t += freq_ns;
+    }
+    if (options_.use_cdf_filter) {
+      spans->Span("cdf_dp", t, cdf_ns);
+      t += cdf_ns;
+    }
+    if (verify_ns > 0) spans->Span("trie_verify", t, verify_ns);
+    spans->Span("search", query_span_start,
+                spans->NowNs() - query_span_start);
   }
 
   std::sort(hits.begin(), hits.end());
@@ -195,7 +258,8 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
   }
   // Top-k needs comparable (exact) probabilities.
   Result<std::vector<SearchHit>> hits =
-      SearchImpl(query, stats, /*force_exact=*/true, workspace);
+      SearchImpl(query, stats, /*force_exact=*/true, workspace,
+                 /*metrics=*/nullptr, /*spans=*/nullptr);
   if (!hits.ok()) return hits.status();
   std::sort(hits->begin(), hits->end(),
             [](const SearchHit& a, const SearchHit& b) {
@@ -375,7 +439,8 @@ Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
 
 Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     const std::vector<UncertainString>& queries, int threads,
-    JoinStats* stats) const {
+    JoinStats* stats, obs::Recorder* metrics,
+    obs::TraceRecorder* trace_sink) const {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
@@ -385,12 +450,36 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
   std::vector<Result<std::vector<SearchHit>>> results(
       queries.size(), Result<std::vector<SearchHit>>(std::vector<SearchHit>{}));
   // Per-query stats folded in query order below, so the aggregate is the
-  // same for every thread count and work assignment.
+  // same for every thread count and work assignment.  The observability
+  // sinks attached to the Create-time options (if any) follow the same
+  // pattern: each query records into a private recorder / span buffer, and
+  // the fold below runs in query order.
   std::vector<JoinStats> query_stats(queries.size());
+  obs::Recorder* const run_metrics =
+      metrics != nullptr ? metrics : options_.metrics;
+  obs::TraceRecorder* const trace =
+      trace_sink != nullptr ? trace_sink : options_.trace;
+  std::vector<obs::Recorder> query_metrics(
+      run_metrics != nullptr ? queries.size() : 0);
+  std::vector<obs::SpanCollector> query_spans(
+      trace != nullptr ? queries.size() : 0);
+  const auto run_query = [&](int worker, size_t i,
+                             QueryWorkspace* workspace) {
+    obs::Recorder* const rec =
+        run_metrics != nullptr ? &query_metrics[i] : nullptr;
+    obs::SpanCollector* span_sink = nullptr;
+    if (trace != nullptr) {
+      query_spans[i] =
+          obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
+      span_sink = &query_spans[i];
+    }
+    results[i] = Search(queries[i], &query_stats[i], workspace, rec,
+                        span_sink);
+  };
   if (threads == 1) {
     QueryWorkspace workspace;
     for (size_t i = 0; i < queries.size(); ++i) {
-      results[i] = Search(queries[i], &query_stats[i], &workspace);
+      run_query(/*worker=*/0, i, &workspace);
     }
   } else {
     std::vector<QueryWorkspace> workspaces(static_cast<size_t>(threads));
@@ -402,8 +491,7 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
         for (;;) {
           const size_t i = next.fetch_add(1);
           if (i >= queries.size()) return;
-          results[i] = Search(queries[i], &query_stats[i],
-                              &workspaces[static_cast<size_t>(t)]);
+          run_query(t, i, &workspaces[static_cast<size_t>(t)]);
         }
       });
     }
@@ -415,7 +503,14 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     if (!results[i].ok()) return results[i].status();
     out.push_back(std::move(results[i]).value());
     if (stats != nullptr) stats->Merge(query_stats[i]);
+    if (run_metrics != nullptr) run_metrics->Merge(query_metrics[i]);
+    if (trace != nullptr) trace->Append(query_spans[i].events());
   }
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kThreads, threads);
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kCollectionSize,
+                  static_cast<int64_t>(collection_.size()));
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kPeakIndexMemoryBytes,
+                  static_cast<int64_t>(index_.MemoryUsage()));
   return out;
 }
 

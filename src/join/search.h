@@ -14,6 +14,12 @@
 
 namespace ujoin {
 
+namespace obs {
+class Recorder;
+class SpanCollector;
+class TraceRecorder;
+}  // namespace obs
+
 /// \brief One hit of a similarity search: a collection index plus the match
 /// probability (exact when `exact`, else a certified CDF lower bound > τ).
 struct SearchHit {
@@ -51,10 +57,17 @@ class SimilaritySearcher {
   /// issuing many searches should own one per thread and pass it in so the
   /// candidate-generation stage stops allocating.  When null, a workspace
   /// is created for the call.
-  Result<std::vector<SearchHit>> Search(const UncertainString& query,
-                                        JoinStats* stats = nullptr,
-                                        QueryWorkspace* workspace =
-                                            nullptr) const;
+  ///
+  /// `metrics` and `spans` are optional observability sinks for this one
+  /// query (see src/obs/): histograms of verify latency, explored trie
+  /// nodes, merged-list lengths, and candidate α bounds go to `metrics`;
+  /// per-stage trace spans go to `spans`.  Both must be private to the call
+  /// (drivers use one per query and fold in query order).  Recording into
+  /// `metrics` stays allocation-free; span collection may allocate.
+  Result<std::vector<SearchHit>> Search(
+      const UncertainString& query, JoinStats* stats = nullptr,
+      QueryWorkspace* workspace = nullptr, obs::Recorder* metrics = nullptr,
+      obs::SpanCollector* spans = nullptr) const;
 
   /// The `count` most probable matches with Pr(ed <= k) > τ, sorted by
   /// descending probability (ties by id).  Forces exact verification so
@@ -71,10 +84,17 @@ class SimilaritySearcher {
   /// QueryWorkspace.  Results arrive in query order.  When `stats` is
   /// non-null, every query's JoinStats are folded into it with
   /// JoinStats::Merge in query order, so the aggregate is identical for
-  /// every thread count.
+  /// every thread count.  Observability sinks follow the same pattern: each
+  /// query records into a private recorder/span buffer and the driver folds
+  /// them into the sinks in query order — same determinism contract as the
+  /// stats.  `metrics`/`trace` default to the sinks attached to the
+  /// Create-time options (JoinOptions::metrics / JoinOptions::trace); pass
+  /// them explicitly for searchers restored with Load, whose persisted
+  /// options carry no sinks.
   Result<std::vector<std::vector<SearchHit>>> SearchMany(
       const std::vector<UncertainString>& queries, int threads = 1,
-      JoinStats* stats = nullptr) const;
+      JoinStats* stats = nullptr, obs::Recorder* metrics = nullptr,
+      obs::TraceRecorder* trace = nullptr) const;
 
   const std::vector<UncertainString>& collection() const {
     return collection_;
@@ -98,7 +118,9 @@ class SimilaritySearcher {
 
   Result<std::vector<SearchHit>> SearchImpl(const UncertainString& query,
                                             JoinStats* stats, bool force_exact,
-                                            QueryWorkspace* workspace) const;
+                                            QueryWorkspace* workspace,
+                                            obs::Recorder* metrics,
+                                            obs::SpanCollector* spans) const;
 
   std::vector<UncertainString> collection_;
   const Alphabet alphabet_;

@@ -12,6 +12,9 @@
 #include "filter/freq_filter.h"
 #include "index/segment_index.h"
 #include "join/pair_verifier.h"
+#include "obs/metrics.h"
+#include "obs/obs_macros.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -103,6 +106,8 @@ struct ProbeOutcome {
   Status status = Status::OK();
   std::vector<JoinPair> pairs;
   JoinStats stats;
+  int64_t probe_ns = 0;       // wall time of this rank's probe
+  obs::SpanCollector spans;   // rank-private trace spans (empty when off)
 };
 
 }  // namespace
@@ -152,6 +157,15 @@ Result<SelfJoinResult> SimilaritySelfJoin(
   const double qgram_tau =
       options.qgram_probabilistic_pruning ? options.tau : 0.0;
 
+  // Observability sinks (both null unless the caller opted in).  Each rank
+  // records into its own Recorder / SpanCollector; the driver folds them in
+  // (wave, rank) order below, mirroring JoinStats::Merge, so merged metric
+  // counters and work-derived histograms are identical for every thread
+  // count (timing-valued histograms vary run to run by nature).
+  obs::Recorder* const run_metrics = options.metrics;
+  obs::TraceRecorder* const trace = options.trace;
+  std::vector<obs::Recorder> rank_metrics;
+
   for (uint32_t wave_start = 0; wave_start < n; wave_start += wave_size) {
     const uint32_t wave_end = static_cast<uint32_t>(
         std::min<uint64_t>(n, static_cast<uint64_t>(wave_start) + wave_size));
@@ -161,29 +175,44 @@ Result<SelfJoinResult> SimilaritySelfJoin(
     // After this the index is frozen until the next wave: the concurrent
     // probe phases below only use its const query path.
     if (options.use_qgram_filter) {
+      const int64_t span_start = trace != nullptr ? trace->NowNs() : 0;
       ScopedTimer timer(&stats.index_build_time);
       for (uint32_t i = wave_start; i < wave_end; ++i) {
         UJOIN_RETURN_IF_ERROR(index.Insert(i, collection[order[i]]));
+      }
+      timer.StopAndGet();
+      if (trace != nullptr) {
+        trace->AddSpan("index_insert", span_start, trace->NowNs() - span_start,
+                       /*tid=*/0);
       }
     }
     stats.peak_index_memory =
         std::max(stats.peak_index_memory, index.MemoryUsage());
 
     std::vector<ProbeOutcome> outcomes(wave_count);
+    if (run_metrics != nullptr) {
+      rank_metrics.assign(wave_count, obs::Recorder());
+    }
 
     // ---- phase 2 (parallel): frequency summaries for the wave -----------
     // Probes read summaries of every smaller position, including same-wave
     // ones, so the whole wave's summaries must exist before phase 3.
     if (options.use_freq_filter) {
+      const int64_t span_start = trace != nullptr ? trace->NowNs() : 0;
       RunWaveTasks(threads, wave_count, [&](int /*worker*/, uint32_t rank) {
         ScopedTimer timer(&outcomes[rank].stats.freq_time);
         freq_summaries[wave_start + rank] =
             FrequencySummary::Build(collection[order[wave_start + rank]],
                                     alphabet);
       });
+      if (trace != nullptr) {
+        trace->AddSpan("freq_summaries", span_start,
+                       trace->NowNs() - span_start, /*tid=*/0);
+      }
     }
 
     // ---- phase 3 (parallel): probe the frozen index ----------------------
+    const int64_t probe_phase_start = trace != nullptr ? trace->NowNs() : 0;
     RunWaveTasks(threads, wave_count, [&](int worker, uint32_t rank) {
       QueryWorkspace& workspace = workspaces[static_cast<size_t>(worker)];
       const uint32_t i = wave_start + rank;
@@ -191,6 +220,26 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       const int len = lengths[i];
       ProbeOutcome& outcome = outcomes[rank];
       JoinStats& pstats = outcome.stats;
+
+      // Rank-private observability state: the index probe records into
+      // `rec` via the workspace hook; spans buffer locally and are folded
+      // by the driver in (wave, rank) order.
+      obs::Recorder* const rec =
+          run_metrics != nullptr ? &rank_metrics[rank] : nullptr;
+      workspace.obs = rec;
+      if (trace != nullptr) {
+        outcome.spans =
+            obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
+      }
+      obs::SpanCollector& spans = outcome.spans;
+      Timer probe_timer;
+      const int64_t probe_span_start = spans.NowNs();
+      // Sub-millisecond per-pair stages accumulate integer nanoseconds and
+      // fold into the seconds-based JoinStats fields once per rank.
+      int64_t qgram_ns = 0;
+      int64_t freq_ns = 0;
+      int64_t cdf_ns = 0;
+      int64_t verify_ns = 0;
 
       // ---- candidate generation ----------------------------------------
       // Strings of smaller visiting position with length in [len - k, len]
@@ -203,13 +252,16 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       std::vector<uint32_t>& candidates = workspace.candidate_ids;
       candidates.clear();
       if (options.use_qgram_filter) {
-        ScopedTimer timer(&pstats.qgram_time);
+        const int64_t span_start = spans.NowNs();
+        ScopedNanoTimer timer(&qgram_ns);
         for (int l = std::max(1, len - options.k); l <= len; ++l) {
           const std::span<const IndexCandidate> found = index.Query(
               r, l, qgram_tau, &workspace, &pstats.index_stats,
               /*id_limit=*/i);
           for (const IndexCandidate& c : found) candidates.push_back(c.id);
         }
+        timer.StopAndGet();
+        spans.Span("qgram_probe", span_start, spans.NowNs() - span_start);
         pstats.qgram_candidates += static_cast<int64_t>(candidates.size());
       } else {
         const uint32_t first =
@@ -220,11 +272,12 @@ Result<SelfJoinResult> SimilaritySelfJoin(
 
       // ---- per-candidate filter cascade ---------------------------------
       internal::PairVerifier verifier(r, options);
+      const int64_t cascade_start = spans.NowNs();
       for (uint32_t j : candidates) {
         const UncertainString& s = collection[order[j]];
 
         if (options.use_freq_filter) {
-          ScopedTimer timer(&pstats.freq_time);
+          ScopedNanoTimer timer(&freq_ns);
           const FreqFilterOutcome freq = EvaluateFreqFilter(
               freq_summaries[i], freq_summaries[j], options.k);
           if (freq.fd_lower_bound > options.k) {
@@ -241,7 +294,7 @@ Result<SelfJoinResult> SimilaritySelfJoin(
         bool need_verify = true;
         double accepted_lower_bound = 0.0;
         if (options.use_cdf_filter) {
-          ScopedTimer timer(&pstats.cdf_time);
+          ScopedNanoTimer timer(&cdf_ns);
           const CdfFilterOutcome cdf =
               EvaluateCdfFilter(r, s, options.k, options.tau);
           if (cdf.decision == CdfDecision::kReject) {
@@ -267,10 +320,16 @@ Result<SelfJoinResult> SimilaritySelfJoin(
           continue;
         }
 
-        ScopedTimer timer(&pstats.verify_time);
+        Timer verify_timer;
         ++pstats.verified_pairs;
+        const int64_t nodes_before = pstats.verify_stats.explored_s_nodes;
         Result<ThresholdVerdict> verdict =
             verifier.Decide(s, options.tau, &pstats.verify_stats);
+        const int64_t pair_verify_ns = verify_timer.ElapsedNanos();
+        verify_ns += pair_verify_ns;
+        UJOIN_OBS_HIST(rec, obs::Hist::kVerifyLatencyNs, pair_verify_ns);
+        UJOIN_OBS_HIST(rec, obs::Hist::kExploredTrieNodes,
+                       pstats.verify_stats.explored_s_nodes - nodes_before);
         if (!verdict.ok()) {
           outcome.status = verdict.status();
           return;
@@ -281,17 +340,95 @@ Result<SelfJoinResult> SimilaritySelfJoin(
                    &outcome.pairs);
         }
       }
+
+      // Fold the nano accumulators into the seconds-based stats once per
+      // rank (satellite: no per-pair seconds-double round-trips).
+      pstats.qgram_time += 1e-9 * static_cast<double>(qgram_ns);
+      pstats.freq_time += 1e-9 * static_cast<double>(freq_ns);
+      pstats.cdf_time += 1e-9 * static_cast<double>(cdf_ns);
+      pstats.verify_time += 1e-9 * static_cast<double>(verify_ns);
+
+      outcome.probe_ns = probe_timer.ElapsedNanos();
+      UJOIN_OBS_HIST(rec, obs::Hist::kProbeLatencyNs, outcome.probe_ns);
+      workspace.obs = nullptr;
+
+      if (spans.enabled()) {
+        // The per-pair filter/verify stages interleave, so they are emitted
+        // as aggregate spans laid back to back from the cascade's start;
+        // each span's duration is that stage's summed time in this rank
+        // (documented in DESIGN.md "Observability").
+        int64_t t = cascade_start;
+        if (options.use_freq_filter) {
+          spans.Span("freq_filter", t, freq_ns);
+          t += freq_ns;
+        }
+        if (options.use_cdf_filter) {
+          spans.Span("cdf_dp", t, cdf_ns);
+          t += cdf_ns;
+        }
+        if (verify_ns > 0) spans.Span("trie_verify", t, verify_ns);
+        spans.Span("probe", probe_span_start,
+                   spans.NowNs() - probe_span_start);
+      }
     });
 
+    if (trace != nullptr) {
+      trace->AddSpan("wave_probe", probe_phase_start,
+                     trace->NowNs() - probe_phase_start, /*tid=*/0);
+    }
+
     // ---- phase 4 (sequential): merge in rank order -----------------------
+    const int64_t merge_span_start = trace != nullptr ? trace->NowNs() : 0;
     for (uint32_t rank = 0; rank < wave_count; ++rank) {
       ProbeOutcome& outcome = outcomes[rank];
       if (!outcome.status.ok()) return outcome.status;
       stats.Merge(outcome.stats);
       result.pairs.insert(result.pairs.end(), outcome.pairs.begin(),
                           outcome.pairs.end());
+      if (run_metrics != nullptr) run_metrics->Merge(rank_metrics[rank]);
+      if (trace != nullptr) trace->Append(outcome.spans.events());
+    }
+    if (trace != nullptr) {
+      trace->AddSpan("wave_merge", merge_span_start,
+                     trace->NowNs() - merge_span_start, /*tid=*/0);
+    }
+
+    // Wave-level metrics, recorded by the driver after the fold.
+    UJOIN_OBS_COUNTER(run_metrics, obs::Counter::kWaves, 1);
+    UJOIN_OBS_COUNTER(run_metrics, obs::Counter::kProbes, wave_count);
+    if (UJOIN_OBS_ENABLED(run_metrics) && wave_count >= 2) {
+      int64_t max_ns = 0;
+      int64_t sum_ns = 0;
+      for (const ProbeOutcome& outcome : outcomes) {
+        max_ns = std::max(max_ns, outcome.probe_ns);
+        sum_ns += outcome.probe_ns;
+      }
+      if (sum_ns > 0) {
+        const double mean_ns =
+            static_cast<double>(sum_ns) / static_cast<double>(wave_count);
+        UJOIN_OBS_HIST(
+            run_metrics, obs::Hist::kWaveImbalancePermille,
+            static_cast<int64_t>(1000.0 * static_cast<double>(max_ns) /
+                                     mean_ns +
+                                 0.5));
+      }
+    }
+
+    if (options.progress_fn != nullptr) {
+      options.progress_fn(
+          JoinProgress{wave_end, n, result.pairs.size(),
+                       total_timer.ElapsedSeconds()},
+          options.progress_user);
     }
   }
+
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kThreads, threads);
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kWaveSize,
+                  static_cast<int64_t>(wave_size));
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kPeakIndexMemoryBytes,
+                  static_cast<int64_t>(stats.peak_index_memory));
+  UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kCollectionSize,
+                  static_cast<int64_t>(n));
 
   std::sort(result.pairs.begin(), result.pairs.end());
   stats.total_time = total_timer.ElapsedSeconds();

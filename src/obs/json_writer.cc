@@ -1,0 +1,110 @@
+#include "obs/json_writer.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ujoin {
+namespace obs {
+
+void JsonWriter::Key(std::string_view key) {
+  if (!levels_.empty()) {
+    if (levels_.back().has_items) out_ += ',';
+    levels_.back().has_items = true;
+  }
+  AppendEscaped(key);
+  out_ += ':';
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendEscaped(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  out_ += buf;
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  out_ += FormatDouble(value);
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  out_.append(json.data(), json.size());
+}
+
+std::string JsonWriter::FormatDouble(double value) {
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  // %g can print bare exponents or integers; both are valid JSON numbers as
+  // long as there is no "inf"/"nan" (excluded by the isfinite check above).
+  return std::string(buf);
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  out_ += '"';
+  for (char c : s) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (uc < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", uc);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+}  // namespace obs
+}  // namespace ujoin

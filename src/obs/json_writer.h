@@ -1,0 +1,99 @@
+#ifndef UJOIN_OBS_JSON_WRITER_H_
+#define UJOIN_OBS_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ujoin {
+namespace obs {
+
+/// \brief Minimal deterministic JSON emitter.
+///
+/// Every machine-readable artefact in ujoin (run reports, metrics dumps,
+/// Chrome traces, BENCH_*.json) funnels through this writer so that the same
+/// logical content always serializes to the same bytes: keys are emitted in
+/// the order the caller writes them, there is no whitespace, and doubles use
+/// the shortest decimal form that round-trips through strtod (tried at 15,
+/// 16, then 17 significant digits).  That byte-stability is what lets tests
+/// compare whole documents with string equality.
+///
+/// The writer is structural, not schema-aware: callers are responsible for
+/// pairing Begin/End calls and for writing a Key before each value inside an
+/// object.  Misuse is a programming error; the writer keeps enough state to
+/// place commas correctly but does not validate nesting.
+class JsonWriter {
+ public:
+  JsonWriter() { levels_.reserve(8); }
+
+  void BeginObject() {
+    BeforeValue();
+    out_ += '{';
+    levels_.push_back({/*is_object=*/true, /*has_items=*/false});
+  }
+  void EndObject() {
+    out_ += '}';
+    levels_.pop_back();
+  }
+  void BeginArray() {
+    BeforeValue();
+    out_ += '[';
+    levels_.push_back({/*is_object=*/false, /*has_items=*/false});
+  }
+  void EndArray() {
+    out_ += ']';
+    levels_.pop_back();
+  }
+
+  /// Writes an object key; the next value call provides its value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  /// Non-finite doubles have no JSON spelling and are emitted as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  /// Splices a pre-rendered JSON value verbatim (used to assemble run
+  /// reports from sections serialized by different modules).
+  void RawValue(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  /// Shortest decimal form of `value` that round-trips exactly.  Exposed for
+  /// callers that format doubles outside a document (tests, ToString).
+  static std::string FormatDouble(double value);
+
+ private:
+  struct Level {
+    bool is_object;
+    bool has_items;
+  };
+
+  // Emits the separating comma for container members.  A value following a
+  // Key must not add a comma (Key already did).
+  void BeforeValue() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (levels_.empty()) return;
+    if (levels_.back().has_items) out_ += ',';
+    levels_.back().has_items = true;
+  }
+
+  void AppendEscaped(std::string_view s);
+
+  std::string out_;
+  std::vector<Level> levels_;
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace ujoin
+
+#endif  // UJOIN_OBS_JSON_WRITER_H_

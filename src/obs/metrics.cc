@@ -1,0 +1,147 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "obs/json_writer.h"
+
+namespace ujoin {
+namespace obs {
+
+namespace {
+
+constexpr MetricInfo kHistInfo[kNumHists] = {
+    {"verify_latency_ns", "ns", "wall time of one trie verification"},
+    {"explored_trie_nodes", "count",
+     "s-trie nodes explored by one verification"},
+    {"merged_list_length", "count",
+     "length of one per-segment merged posting list"},
+    {"candidate_alpha_ppm", "ppm",
+     "candidate upper bound from the q-gram DP, parts-per-million"},
+    {"wave_imbalance_permille", "permille",
+     "per-wave probe imbalance, 1000*max/mean over ranks"},
+    {"probe_latency_ns", "ns", "wall time of one probe or query"},
+};
+
+constexpr MetricInfo kCounterInfo[kNumCounters] = {
+    {"waves", "count", "waves executed by the self-join driver"},
+    {"probes", "count", "probes executed against the segment index"},
+    {"queries", "count", "similarity-search queries answered"},
+};
+
+constexpr MetricInfo kGaugeInfo[kNumGauges] = {
+    {"threads", "count", "worker threads used"},
+    {"wave_size", "count", "strings per self-join wave"},
+    {"peak_index_memory_bytes", "bytes", "peak segment-index memory"},
+    {"collection_size", "count", "strings in the joined collection"},
+};
+
+void AppendHistogramJson(const Histogram& h, const MetricInfo& info,
+                         JsonWriter* w) {
+  w->BeginObject();
+  w->Key("unit");
+  w->String(info.unit);
+  w->Key("count");
+  w->Int(h.count());
+  w->Key("sum");
+  w->Int(h.sum());
+  if (h.count() > 0) {
+    w->Key("min");
+    w->Int(h.min());
+    w->Key("max");
+    w->Int(h.max());
+    w->Key("p50");
+    w->Int(h.Percentile(0.50));
+    w->Key("p90");
+    w->Int(h.Percentile(0.90));
+    w->Key("p99");
+    w->Int(h.Percentile(0.99));
+  }
+  // Sparse bucket encoding: [inclusive lower bound, count] for non-empty
+  // buckets only, in ascending bound order.
+  w->Key("buckets");
+  w->BeginArray();
+  for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+    if (h.bucket(b) == 0) continue;
+    w->BeginArray();
+    w->Int(Histogram::BucketLowerBound(b));
+    w->Int(h.bucket(b));
+    w->EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+const MetricInfo& HistInfo(Hist h) {
+  return kHistInfo[static_cast<size_t>(h)];
+}
+
+const MetricInfo& CounterInfo(Counter c) {
+  return kCounterInfo[static_cast<size_t>(c)];
+}
+
+const MetricInfo& GaugeInfo(Gauge g) {
+  return kGaugeInfo[static_cast<size_t>(g)];
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double clamped = std::min(std::max(p, 0.0), 1.0);
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(std::ceil(clamped *
+                                                static_cast<double>(count_))));
+  int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= target) {
+      return std::min(std::max(BucketLowerBound(b), min_), max_);
+    }
+  }
+  return max_;
+}
+
+void Recorder::Merge(const Recorder& other) {
+  for (int h = 0; h < kNumHists; ++h) hists_[h].Merge(other.hists_[h]);
+  for (int c = 0; c < kNumCounters; ++c) counters_[c] += other.counters_[c];
+  for (int g = 0; g < kNumGauges; ++g) {
+    gauges_[g] = std::max(gauges_[g], other.gauges_[g]);
+  }
+}
+
+void Recorder::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("schema_version");
+  w->Int(kMetricsSchemaVersion);
+  w->Key("counters");
+  w->BeginObject();
+  for (int c = 0; c < kNumCounters; ++c) {
+    w->Key(kCounterInfo[c].name);
+    w->Int(counters_[c]);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (int g = 0; g < kNumGauges; ++g) {
+    w->Key(kGaugeInfo[g].name);
+    w->Int(gauges_[g]);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (int h = 0; h < kNumHists; ++h) {
+    w->Key(kHistInfo[h].name);
+    AppendHistogramJson(hists_[h], kHistInfo[h], w);
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string Recorder::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.TakeString();
+}
+
+}  // namespace obs
+}  // namespace ujoin

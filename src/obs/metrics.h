@@ -1,0 +1,226 @@
+#ifndef UJOIN_OBS_METRICS_H_
+#define UJOIN_OBS_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace ujoin {
+namespace obs {
+
+class JsonWriter;
+
+// ---------------------------------------------------------------------------
+// Metric registry
+//
+// The registry is a fixed, enum-indexed set of metrics known at compile time:
+// no string lookups on the hot path, no registration order to get wrong, and
+// a Recorder is a flat value type whose size is a compile-time constant.
+// Adding a metric means adding an enumerator here and one metadata row in
+// metrics.cc; the JSON schema picks it up automatically.
+//
+// Naming scheme (documented in DESIGN.md "Observability"): lower_snake_case,
+// with the unit as a suffix when the value is not a plain count
+// (`_ns`, `_bytes`, `_ppm` = parts-per-million, `_permille`).
+// ---------------------------------------------------------------------------
+
+/// Histograms: distributions recorded per event on worker ranks.
+enum class Hist : int {
+  /// Wall time of one trie verification (PairVerifier::Decide), nanoseconds.
+  kVerifyLatencyNs = 0,
+  /// s-trie nodes explored by one verification (Section 6.2 search).
+  kExploredTrieNodes,
+  /// Length of one per-segment merged posting list (stage 1 of
+  /// QueryCandidates), in postings.
+  kMergedListLength,
+  /// Candidate upper bound from Theorem 2's DP, in parts-per-million
+  /// (round(1e6 * P(>= required matches))).
+  kCandidateAlphaPpm,
+  /// Per-wave probe imbalance: round(1000 * max_rank_ns / mean_rank_ns) for
+  /// waves with at least two ranks.  1000 = perfectly balanced.
+  kWaveImbalancePermille,
+  /// Wall time of one whole probe (one rank in a wave, or one query),
+  /// nanoseconds.
+  kProbeLatencyNs,
+};
+inline constexpr int kNumHists = 6;
+
+/// Counters: monotonically increasing event counts.
+enum class Counter : int {
+  /// Waves executed by the self-join driver.
+  kWaves = 0,
+  /// Probes executed (self-join ranks + cross-join probes).
+  kProbes,
+  /// Queries answered by SimilaritySearcher::Search/SearchMany.
+  kQueries,
+};
+inline constexpr int kNumCounters = 3;
+
+/// Gauges: point-in-time values; Merge keeps the maximum so folds are
+/// order-independent.
+enum class Gauge : int {
+  kThreads = 0,
+  kWaveSize,
+  kPeakIndexMemoryBytes,
+  kCollectionSize,
+};
+inline constexpr int kNumGauges = 4;
+
+/// Static metadata for one registry entry.
+struct MetricInfo {
+  const char* name;  ///< JSON key, lower_snake_case with unit suffix.
+  const char* unit;  ///< "ns", "count", "ppm", "permille", "bytes".
+  const char* help;  ///< One-line description.
+};
+
+const MetricInfo& HistInfo(Hist h);
+const MetricInfo& CounterInfo(Counter c);
+const MetricInfo& GaugeInfo(Gauge g);
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// \brief Fixed-bucket log2-scale histogram of non-negative int64 samples.
+///
+/// Bucket 0 holds values <= 0; bucket b (1..63) holds values with bit width
+/// b, i.e. [2^(b-1), 2^b).  All state is int64, so Merge is a plain integer
+/// sum: commutative, associative, and bit-identical under any fold order —
+/// the property the deterministic (wave, rank) folding relies on.  Storage
+/// is a fixed inline array; recording never allocates.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 64;
+
+  void Record(int64_t value) {
+    ++buckets_[BucketIndex(value)];
+    ++count_;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+
+  void Merge(const Histogram& other) {
+    for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  void Clear() { *this = Histogram(); }
+
+  int64_t count() const { return count_; }
+  int64_t sum() const { return sum_; }
+  /// Minimum recorded value; meaningless when count() == 0.
+  int64_t min() const { return min_; }
+  int64_t max() const { return max_; }
+  int64_t bucket(int b) const { return buckets_[static_cast<size_t>(b)]; }
+
+  /// Bucket index for a value: 0 for value <= 0, else its bit width
+  /// (clamped to the last bucket, which is unreachable for int64 inputs).
+  static int BucketIndex(int64_t value) {
+    if (value <= 0) return 0;
+    int width = 0;
+    for (uint64_t v = static_cast<uint64_t>(value); v != 0; v >>= 1) ++width;
+    return width < kNumBuckets ? width : kNumBuckets - 1;
+  }
+
+  /// Inclusive lower bound of bucket b (0 for bucket 0, else 2^(b-1)).
+  static int64_t BucketLowerBound(int b) {
+    return b <= 0 ? 0 : int64_t{1} << (b - 1);
+  }
+
+  /// Estimate of the p-quantile (p in [0, 1]): the lower bound of the bucket
+  /// holding the rank-ceil(p * count) sample, clamped to [min, max].  Exact
+  /// for the distribution of bucket lower bounds; within one power of two of
+  /// the true quantile otherwise.
+  int64_t Percentile(double p) const;
+
+  bool operator==(const Histogram& other) const {
+    return buckets_ == other.buckets_ && count_ == other.count_ &&
+           sum_ == other.sum_ && min_ == other.min_ && max_ == other.max_;
+  }
+
+ private:
+  std::array<int64_t, kNumBuckets> buckets_{};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = std::numeric_limits<int64_t>::max();
+  int64_t max_ = std::numeric_limits<int64_t>::min();
+};
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+/// \brief One rank's (or one run's) metric state: every registry histogram,
+/// counter, and gauge, inline.
+///
+/// A Recorder is a flat value type (~3 KiB) with no heap state: recording is
+/// a few integer ops and never allocates, which is how instrumentation stays
+/// inside the steady-state zero-allocation guarantee of the probe path.
+/// Drivers give each worker rank its own Recorder and fold them with Merge
+/// in the same deterministic (wave, rank) order as JoinStats::Merge; because
+/// all state is int64, the folded totals are bit-identical for every thread
+/// count and fold order.
+///
+/// Recording is disabled by default in the sense that no Recorder is
+/// attached: pipeline hooks take a `Recorder*` that is null unless the
+/// caller opted in (JoinOptions::metrics, QueryWorkspace::obs), and the
+/// UJOIN_OBS_* macros reduce to one null check.
+class Recorder {
+ public:
+  void RecordHist(Hist h, int64_t value) {
+    hists_[static_cast<size_t>(h)].Record(value);
+  }
+  void AddCounter(Counter c, int64_t delta = 1) {
+    counters_[static_cast<size_t>(c)] += delta;
+  }
+  void SetGauge(Gauge g, int64_t value) {
+    gauges_[static_cast<size_t>(g)] =
+        std::max(gauges_[static_cast<size_t>(g)], value);
+  }
+
+  /// Folds `other` into this recorder: histograms and counters add, gauges
+  /// take the max.  Integer-only state makes the result independent of fold
+  /// order.
+  void Merge(const Recorder& other);
+
+  void Clear() { *this = Recorder(); }
+
+  const Histogram& hist(Hist h) const {
+    return hists_[static_cast<size_t>(h)];
+  }
+  int64_t counter(Counter c) const {
+    return counters_[static_cast<size_t>(c)];
+  }
+  int64_t gauge(Gauge g) const { return gauges_[static_cast<size_t>(g)]; }
+
+  bool operator==(const Recorder& other) const {
+    return hists_ == other.hists_ && counters_ == other.counters_ &&
+           gauges_ == other.gauges_;
+  }
+
+  /// Appends the metrics JSON object (schema documented in DESIGN.md
+  /// "Observability"; versioned via kMetricsSchemaVersion) as a value.
+  void AppendJson(JsonWriter* w) const;
+
+  /// Renders AppendJson into a standalone string.
+  std::string ToJson() const;
+
+ private:
+  std::array<Histogram, kNumHists> hists_{};
+  std::array<int64_t, kNumCounters> counters_{};
+  std::array<int64_t, kNumGauges> gauges_{};
+};
+
+/// Version of the "metrics" JSON object emitted by Recorder::AppendJson.
+inline constexpr int kMetricsSchemaVersion = 1;
+
+}  // namespace obs
+}  // namespace ujoin
+
+#endif  // UJOIN_OBS_METRICS_H_

@@ -1,0 +1,63 @@
+#ifndef UJOIN_OBS_OBS_MACROS_H_
+#define UJOIN_OBS_OBS_MACROS_H_
+
+#include "obs/metrics.h"
+
+// UJOIN_OBS macro layer.
+//
+// Instrumentation sites go through these macros instead of calling the
+// Recorder directly, so observability has two independent off switches:
+//
+//  * Run time: every hook takes an `obs::Recorder*` that is null unless the
+//    caller attached one (JoinOptions::metrics, QueryWorkspace::obs).  The
+//    enabled macros reduce to a single pointer test — the only cost paid by
+//    uninstrumented runs.
+//  * Compile time: configuring with -DUJOIN_OBS=OFF defines
+//    UJOIN_OBS_DISABLED on every ujoin_obs dependent, and the macros expand
+//    to nothing (UJOIN_OBS_ENABLED becomes the constant false, so guarded
+//    blocks fold away as dead code).
+//
+// Recording itself performs no heap allocation (Recorder storage is inline),
+// so these macros are safe inside the steady-state zero-allocation probe
+// path.
+
+#if defined(UJOIN_OBS_DISABLED)
+
+#define UJOIN_OBS_ENABLED(recorder) (false)
+#define UJOIN_OBS_HIST(recorder, id, value) \
+  do {                                      \
+  } while (0)
+#define UJOIN_OBS_COUNTER(recorder, id, delta) \
+  do {                                         \
+  } while (0)
+#define UJOIN_OBS_GAUGE(recorder, id, value) \
+  do {                                       \
+  } while (0)
+
+#else  // !defined(UJOIN_OBS_DISABLED)
+
+/// True when `recorder` (an obs::Recorder*) is attached; use to guard
+/// instrumentation-only work such as reading a timer.
+#define UJOIN_OBS_ENABLED(recorder) ((recorder) != nullptr)
+
+/// Records `value` into histogram `id` when a recorder is attached.
+#define UJOIN_OBS_HIST(recorder, id, value)                         \
+  do {                                                              \
+    if ((recorder) != nullptr) (recorder)->RecordHist((id), (value)); \
+  } while (0)
+
+/// Adds `delta` to counter `id` when a recorder is attached.
+#define UJOIN_OBS_COUNTER(recorder, id, delta)                        \
+  do {                                                                \
+    if ((recorder) != nullptr) (recorder)->AddCounter((id), (delta)); \
+  } while (0)
+
+/// Raises gauge `id` to at least `value` when a recorder is attached.
+#define UJOIN_OBS_GAUGE(recorder, id, value)                        \
+  do {                                                              \
+    if ((recorder) != nullptr) (recorder)->SetGauge((id), (value)); \
+  } while (0)
+
+#endif  // defined(UJOIN_OBS_DISABLED)
+
+#endif  // UJOIN_OBS_OBS_MACROS_H_

@@ -1,0 +1,91 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "obs/json_writer.h"
+
+namespace ujoin {
+namespace obs {
+
+std::string TraceRecorder::ToJson() const {
+  // Collect the distinct lanes so each gets a thread_name metadata event;
+  // that is what makes the lanes legible in chrome://tracing/Perfetto.
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events_) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("name");
+  w.String("process_name");
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Int(1);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String("ujoin");
+  w.EndObject();
+  w.EndObject();
+  for (uint32_t tid : tids) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("thread_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(tid);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(tid == 0 ? std::string("driver")
+                      : "worker " + std::to_string(tid - 1));
+    w.EndObject();
+    w.EndObject();
+  }
+  for (const TraceEvent& e : events_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("cat");
+    w.String("ujoin");
+    w.Key("ph");
+    w.String("X");
+    // Trace-event timestamps are microseconds; fractional values are
+    // accepted, so keep nanosecond precision as a decimal fraction.
+    w.Key("ts");
+    w.Double(static_cast<double>(e.ts_ns) / 1e3);
+    w.Key("dur");
+    w.Double(static_cast<double>(e.dur_ns) / 1e3);
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Int(e.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.TakeString();
+}
+
+Status TraceRecorder::WriteFile(const std::string& path) const {
+  const std::string json = ToJson();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ujoin

@@ -1,0 +1,109 @@
+#ifndef UJOIN_OBS_TRACE_H_
+#define UJOIN_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ujoin {
+namespace obs {
+
+/// \brief One completed span on the run's shared steady-clock timeline.
+///
+/// `name` must point at storage outliving the recorder (in practice a string
+/// literal); spans are recorded on hot-ish paths and must not own strings.
+struct TraceEvent {
+  const char* name;
+  int64_t ts_ns;   ///< Start, nanoseconds since the TraceRecorder's origin.
+  int64_t dur_ns;  ///< Duration in nanoseconds.
+  uint32_t tid;    ///< Logical lane: 0 = driver, worker rank + 1 otherwise.
+};
+
+/// \brief Collects spans and writes them as Chrome trace-event JSON.
+///
+/// The recorder owns the run's clock origin: all timestamps are nanoseconds
+/// since construction, taken from the same steady clock as util/Timer, so
+/// spans from different threads share one timeline.  The recorder itself is
+/// single-threaded — only the driver thread calls AddSpan/Append.  Worker
+/// ranks record into their own SpanCollector (below), and the driver folds
+/// those buffers in deterministic (wave, rank) order, mirroring how
+/// JoinStats and metrics merge.
+///
+/// The output is the Chrome trace-event format ("X" complete events plus
+/// thread-name metadata), loadable in chrome://tracing and Perfetto.
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+  /// Nanoseconds since this recorder's origin.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Records one completed span.  `name` must be a string literal (or
+  /// otherwise outlive the recorder).  Driver thread only.
+  void AddSpan(const char* name, int64_t ts_ns, int64_t dur_ns,
+               uint32_t tid) {
+    events_.push_back(TraceEvent{name, ts_ns, dur_ns, tid});
+  }
+
+  /// Appends a rank's collected spans.  Driver thread only; call in
+  /// (wave, rank) order so traces are reproducibly ordered.
+  void Append(const std::vector<TraceEvent>& events) {
+    events_.insert(events_.end(), events.begin(), events.end());
+  }
+
+  size_t num_events() const { return events_.size(); }
+
+  /// Renders the full Chrome trace document:
+  /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+  std::vector<TraceEvent> events_;
+};
+
+/// \brief A worker rank's private span buffer.
+///
+/// Ranks must not touch the shared TraceRecorder concurrently; instead each
+/// rank gets a SpanCollector that shares the recorder's clock (for a common
+/// timeline) but buffers spans locally.  The driver appends the buffers in
+/// (wave, rank) order after the parallel phase.  A default-constructed
+/// collector is disabled: NowNs() returns 0 and Span() is a no-op, so call
+/// sites need no separate tracing flag.
+class SpanCollector {
+ public:
+  SpanCollector() = default;
+  SpanCollector(const TraceRecorder* clock, uint32_t tid)
+      : clock_(clock), tid_(tid) {}
+
+  bool enabled() const { return clock_ != nullptr; }
+
+  int64_t NowNs() const { return clock_ != nullptr ? clock_->NowNs() : 0; }
+
+  void Span(const char* name, int64_t ts_ns, int64_t dur_ns) {
+    if (clock_ == nullptr) return;
+    events_.push_back(TraceEvent{name, ts_ns, dur_ns, tid_});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  const TraceRecorder* clock_ = nullptr;
+  uint32_t tid_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace obs
+}  // namespace ujoin
+
+#endif  // UJOIN_OBS_TRACE_H_

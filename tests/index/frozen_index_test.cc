@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "index/segment_index.h"
+#include "obs/metrics.h"
 #include "testing/test_util.h"
 #include "text/alphabet.h"
 #include "util/rng.h"
@@ -248,6 +249,29 @@ TEST(FrozenIndexTest, SteadyStateQueryDoesNotAllocate) {
   }
   EXPECT_EQ(counted_size, warm_size);
   EXPECT_EQ(allocations, 0u);
+
+  // Same property with metrics recording on: the obs::Recorder is a flat
+  // value type with inline storage, so attaching it to the workspace keeps
+  // the probe path allocation-free — and must not change the candidates.
+  workspace.heap_merge_threshold = QueryWorkspace().heap_merge_threshold;
+  const std::vector<IndexCandidate> unobserved =
+      Copy(index.Query(r, length, 0.01, &workspace, &stats));
+  obs::Recorder recorder;
+  workspace.obs = &recorder;
+  warm_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+  {
+    CountAllocations counter;
+    counted_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+    allocations = counter.count();
+  }
+  EXPECT_EQ(counted_size, warm_size);
+  EXPECT_EQ(allocations, 0u)
+      << "recording into obs::Recorder must not allocate";
+  const std::vector<IndexCandidate> observed =
+      Copy(index.Query(r, length, 0.01, &workspace, &stats));
+  workspace.obs = nullptr;
+  ExpectSameCandidates(unobserved, observed, "recording on vs off");
+  EXPECT_GT(recorder.hist(obs::Hist::kMergedListLength).count(), 0);
 }
 
 }  // namespace

@@ -1,0 +1,233 @@
+// Observability must not perturb the pipeline: an instrumented join returns
+// byte-identical pairs and counters to an uninstrumented one, and the
+// work-derived metrics (merged-list lengths, candidate α bounds, explored
+// trie nodes) merge to bit-identical histograms for every thread count —
+// the (wave, rank)-ordered fold contract of src/obs/.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "join/cross_join.h"
+#include "join/search.h"
+#include "join/self_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ujoin {
+namespace {
+
+std::vector<UncertainString> SeededCollection(int size, uint64_t seed) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = size;
+  opt.theta = 0.25;
+  opt.seed = seed;
+  opt.min_length = 4;
+  opt.max_length = 11;
+  opt.max_uncertain_positions = 4;
+  return GenerateDataset(opt).strings;
+}
+
+void ExpectIdenticalPairs(const std::vector<JoinPair>& a,
+                          const std::vector<JoinPair>& b,
+                          const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lhs, b[i].lhs) << label << " pair " << i;
+    EXPECT_EQ(a[i].rhs, b[i].rhs) << label << " pair " << i;
+    EXPECT_EQ(a[i].probability, b[i].probability) << label << " pair " << i;
+    EXPECT_EQ(a[i].exact, b[i].exact) << label << " pair " << i;
+  }
+}
+
+// The work-derived histograms: values depend only on what the pipeline
+// computed, never on the clock, so the merged result must be bit-identical
+// for every thread count (at a fixed wave size).
+const obs::Hist kDeterministicHists[] = {
+    obs::Hist::kMergedListLength,
+    obs::Hist::kCandidateAlphaPpm,
+    obs::Hist::kExploredTrieNodes,
+};
+
+TEST(JoinObsTest, InstrumentationDoesNotChangeResults) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(90, 11);
+
+  JoinOptions plain = JoinOptions::Qfct(2, 0.1);
+  plain.threads = 2;
+  plain.wave_size = 16;
+  Result<SelfJoinResult> baseline = SimilaritySelfJoin(strings, alphabet,
+                                                       plain);
+  ASSERT_TRUE(baseline.ok());
+
+  obs::Recorder recorder;
+  obs::TraceRecorder trace;
+  JoinOptions instrumented = plain;
+  instrumented.metrics = &recorder;
+  instrumented.trace = &trace;
+  Result<SelfJoinResult> observed =
+      SimilaritySelfJoin(strings, alphabet, instrumented);
+  ASSERT_TRUE(observed.ok());
+
+  ExpectIdenticalPairs(baseline->pairs, observed->pairs, "instrumented");
+  EXPECT_EQ(baseline->stats.verified_pairs, observed->stats.verified_pairs);
+  EXPECT_EQ(baseline->stats.qgram_candidates, observed->stats.qgram_candidates);
+  EXPECT_EQ(baseline->stats.index_stats.postings_scanned,
+            observed->stats.index_stats.postings_scanned);
+
+  // The recorder saw real work...
+  EXPECT_GT(recorder.counter(obs::Counter::kProbes), 0);
+  EXPECT_GT(recorder.counter(obs::Counter::kWaves), 0);
+  EXPECT_EQ(recorder.counter(obs::Counter::kProbes),
+            static_cast<int64_t>(strings.size()));
+  EXPECT_GT(recorder.hist(obs::Hist::kMergedListLength).count(), 0);
+  EXPECT_EQ(recorder.hist(obs::Hist::kVerifyLatencyNs).count(),
+            baseline->stats.verified_pairs);
+  EXPECT_EQ(recorder.gauge(obs::Gauge::kThreads), 2);
+  EXPECT_EQ(recorder.gauge(obs::Gauge::kCollectionSize),
+            static_cast<int64_t>(strings.size()));
+  // ...and the trace captured the wave phases.
+  EXPECT_GT(trace.num_events(), 0u);
+  const std::string trace_json = trace.ToJson();
+  for (const char* span : {"index_insert", "freq_summaries", "wave_probe",
+                           "wave_merge", "probe", "qgram_probe"}) {
+    EXPECT_NE(trace_json.find("\"name\":\"" + std::string(span) + "\""),
+              std::string::npos)
+        << span;
+  }
+}
+
+TEST(JoinObsTest, WorkHistogramsAreBitIdenticalAcrossThreadCounts) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(80, 29);
+
+  std::vector<obs::Recorder> recorders;
+  for (int threads : {1, 2, 4, 8}) {
+    JoinOptions options = JoinOptions::Qfct(2, 0.15);
+    options.threads = threads;
+    options.wave_size = 16;
+    obs::Recorder recorder;
+    options.metrics = &recorder;
+    Result<SelfJoinResult> result =
+        SimilaritySelfJoin(strings, alphabet, options);
+    ASSERT_TRUE(result.ok()) << threads;
+    recorders.push_back(recorder);
+  }
+  for (size_t i = 1; i < recorders.size(); ++i) {
+    for (obs::Hist h : kDeterministicHists) {
+      EXPECT_TRUE(recorders[i].hist(h) == recorders[0].hist(h))
+          << "threads run " << i << " hist " << obs::HistInfo(h).name;
+    }
+    for (int c = 0; c < obs::kNumCounters; ++c) {
+      EXPECT_EQ(recorders[i].counter(static_cast<obs::Counter>(c)),
+                recorders[0].counter(static_cast<obs::Counter>(c)))
+          << "threads run " << i;
+    }
+    EXPECT_EQ(recorders[i].gauge(obs::Gauge::kCollectionSize),
+              recorders[0].gauge(obs::Gauge::kCollectionSize));
+  }
+}
+
+TEST(JoinObsTest, ProgressCallbackSeesMonotoneCompletion) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(60, 3);
+
+  struct Progress {
+    std::vector<JoinProgress> snapshots;
+  } progress;
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.threads = 2;
+  options.wave_size = 16;
+  options.progress_fn = [](const JoinProgress& p, void* user) {
+    static_cast<Progress*>(user)->snapshots.push_back(p);
+  };
+  options.progress_user = &progress;
+  Result<SelfJoinResult> result = SimilaritySelfJoin(strings, alphabet,
+                                                     options);
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_FALSE(progress.snapshots.empty());
+  uint64_t prev_processed = 0;
+  for (const JoinProgress& p : progress.snapshots) {
+    EXPECT_EQ(p.total, strings.size());
+    EXPECT_GE(p.processed, prev_processed);
+    EXPECT_LE(p.processed, p.total);
+    EXPECT_GE(p.elapsed_seconds, 0.0);
+    prev_processed = p.processed;
+  }
+  EXPECT_EQ(progress.snapshots.back().processed, strings.size());
+  EXPECT_EQ(progress.snapshots.back().result_pairs, result->pairs.size());
+}
+
+TEST(JoinObsTest, SearchManyMetricsAreThreadCountInvariant) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(70, 17);
+  const std::vector<UncertainString> queries = SeededCollection(12, 23);
+
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  Result<SimilaritySearcher> searcher =
+      SimilaritySearcher::Create(strings, alphabet, options);
+  ASSERT_TRUE(searcher.ok());
+
+  std::vector<obs::Recorder> recorders;
+  std::vector<std::vector<std::vector<SearchHit>>> all_hits;
+  for (int threads : {1, 2, 4}) {
+    obs::Recorder recorder;
+    JoinStats stats;
+    Result<std::vector<std::vector<SearchHit>>> hits =
+        searcher->SearchMany(queries, threads, &stats, &recorder);
+    ASSERT_TRUE(hits.ok()) << threads;
+    recorders.push_back(recorder);
+    all_hits.push_back(*hits);
+    EXPECT_EQ(recorder.counter(obs::Counter::kQueries),
+              static_cast<int64_t>(queries.size()));
+  }
+  for (size_t i = 1; i < recorders.size(); ++i) {
+    EXPECT_EQ(all_hits[i].size(), all_hits[0].size());
+    for (size_t q = 0; q < all_hits[0].size(); ++q) {
+      EXPECT_EQ(all_hits[i][q].size(), all_hits[0][q].size()) << q;
+    }
+    for (obs::Hist h : kDeterministicHists) {
+      EXPECT_TRUE(recorders[i].hist(h) == recorders[0].hist(h))
+          << obs::HistInfo(h).name;
+    }
+  }
+}
+
+TEST(JoinObsTest, CrossJoinRecordsMetricsAndTrace) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> left = SeededCollection(40, 31);
+  const std::vector<UncertainString> right = SeededCollection(25, 37);
+
+  obs::Recorder recorder;
+  obs::TraceRecorder trace;
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.threads = 2;
+  options.metrics = &recorder;
+  options.trace = &trace;
+  Result<CrossJoinResult> with_obs =
+      SimilarityJoin(left, right, alphabet, options);
+  ASSERT_TRUE(with_obs.ok());
+
+  JoinOptions plain = JoinOptions::Qfct(2, 0.1);
+  plain.threads = 2;
+  Result<CrossJoinResult> baseline =
+      SimilarityJoin(left, right, alphabet, plain);
+  ASSERT_TRUE(baseline.ok());
+  ExpectIdenticalPairs(baseline->pairs, with_obs->pairs, "cross");
+
+  EXPECT_EQ(recorder.counter(obs::Counter::kProbes),
+            static_cast<int64_t>(std::max(left.size(), right.size())));
+  EXPECT_EQ(recorder.gauge(obs::Gauge::kCollectionSize),
+            static_cast<int64_t>(left.size() + right.size()));
+  EXPECT_GT(trace.num_events(), 0u);
+  EXPECT_NE(trace.ToJson().find("\"index_build\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -190,5 +190,70 @@ TEST(JoinStatsMergeTest, MergedThreadLocalStatsEqualSequentialPairFlow) {
   EXPECT_EQ(p.result_pairs, s.result_pairs);
 }
 
+TEST(JoinStatsTest, FilterTimeExcludesIndexBuild) {
+  JoinStats s;
+  s.qgram_time = 1.0;
+  s.freq_time = 2.0;
+  s.cdf_time = 4.0;
+  s.index_build_time = 8.0;
+  EXPECT_DOUBLE_EQ(s.FilterTime(), 7.0);  // filters only, not index build
+}
+
+TEST(JoinStatsTest, ToStringReportsIndexBuildOnItsOwnLine) {
+  JoinStats s;
+  s.index_build_time = 0.125;
+  const std::string text = s.ToString();
+  EXPECT_NE(text.find("index-build[s]: 0.1250"), std::string::npos) << text;
+  // The per-stage time line no longer folds the build time in.
+  EXPECT_EQ(text.find("index=0.1250"), std::string::npos) << text;
+}
+
+// ToJson must be deterministic: the same field values always serialize to
+// the same bytes (fixed key order, shortest round-trip doubles).  This is
+// what lets run reports be compared with string equality.
+TEST(JoinStatsTest, ToJsonIsByteStable) {
+  Rng rng(13);
+  const JoinStats original = RandomStats(rng);
+  const std::string first = original.ToJson();
+  EXPECT_EQ(first, original.ToJson());
+
+  // An independently built JoinStats with identical values serializes to
+  // the identical bytes.
+  JoinStats copy = original;
+  EXPECT_EQ(copy.ToJson(), first);
+
+  // The document carries its schema version and the top-level sections.
+  EXPECT_NE(first.find("\"schema_version\":"), std::string::npos);
+  for (const char* key : {"\"pairs\":", "\"time_seconds\":", "\"index\":",
+                          "\"verify\":"}) {
+    EXPECT_NE(first.find(key), std::string::npos) << key;
+  }
+}
+
+// Invariant on a real sequential run: the wall total covers the measured
+// sub-stages, so total >= filter + verify + index-build (all measured on
+// the same thread with the same clock).
+TEST(JoinStatsTest, TotalTimeCoversFilterVerifyAndBuild) {
+  DatasetOptions data;
+  data.kind = DatasetOptions::Kind::kNames;
+  data.size = 60;
+  data.theta = 0.25;
+  data.seed = 19;
+  data.min_length = 4;
+  data.max_length = 10;
+  data.max_uncertain_positions = 4;
+  const Dataset dataset = GenerateDataset(data);
+
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.threads = 1;
+  Result<SelfJoinResult> result =
+      SimilaritySelfJoin(dataset.strings, dataset.alphabet, options);
+  ASSERT_TRUE(result.ok());
+  const JoinStats& s = result->stats;
+  EXPECT_GT(s.total_time, 0.0);
+  EXPECT_GE(s.total_time + 1e-6,
+            s.FilterTime() + s.verify_time + s.index_build_time);
+}
+
 }  // namespace
 }  // namespace ujoin

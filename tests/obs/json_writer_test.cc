@@ -1,0 +1,126 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ujoin {
+namespace obs {
+namespace {
+
+TEST(JsonWriterTest, NestedContainersAndCommaPlacement) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Int(1);
+  w.Key("b");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.BeginObject();
+  w.Key("c");
+  w.Bool(true);
+  w.EndObject();
+  w.EndArray();
+  w.Key("d");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[1,2,{"c":true}],"d":null})");
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("obj");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("arr");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"obj":{},"arr":[]})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  JsonWriter w;
+  w.BeginArray();
+  w.String("plain");
+  w.String("quote\" backslash\\");
+  w.String("tab\t newline\n return\r");
+  w.String(std::string("nul\x01\x1f", 5));
+  w.EndArray();
+  EXPECT_EQ(w.str(),
+            "[\"plain\",\"quote\\\" backslash\\\\\","
+            "\"tab\\t newline\\n return\\r\",\"nul\\u0001\\u001f\"]");
+}
+
+TEST(JsonWriterTest, IntegersAndBooleans) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(0);
+  w.Int(-42);
+  w.Int(std::numeric_limits<int64_t>::min());
+  w.UInt(std::numeric_limits<uint64_t>::max());
+  w.Bool(false);
+  w.EndArray();
+  EXPECT_EQ(w.str(),
+            "[0,-42,-9223372036854775808,18446744073709551615,false]");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null]");
+}
+
+TEST(JsonWriterTest, RawValueSplicesVerbatim) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("section");
+  w.RawValue(R"({"x":1})");
+  w.Key("next");
+  w.Int(2);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"section":{"x":1},"next":2})");
+}
+
+// The double formatter must round-trip exactly: parsing the emitted text
+// recovers the identical bits.  This is the property the byte-stable
+// reports rely on.
+TEST(JsonWriterTest, FormatDoubleRoundTripsExactly) {
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    // Mix magnitudes: uniform [0,1), scaled, and tiny values.
+    double v = rng.UniformDouble();
+    if (i % 3 == 1) v *= 1e9;
+    if (i % 3 == 2) v *= 1e-9;
+    if (i % 2 == 1) v = -v;
+    const std::string text = JsonWriter::FormatDouble(v);
+    const double parsed = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(parsed, v) << text;
+  }
+  EXPECT_EQ(JsonWriter::FormatDouble(0.0), "0");
+  EXPECT_EQ(std::strtod(JsonWriter::FormatDouble(0.1).c_str(), nullptr), 0.1);
+}
+
+// Determinism: the same value always formats to the same bytes.
+TEST(JsonWriterTest, FormatDoubleIsDeterministic) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const double v = (rng.UniformDouble() - 0.5) * 1e6;
+    EXPECT_EQ(JsonWriter::FormatDouble(v), JsonWriter::FormatDouble(v));
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ujoin

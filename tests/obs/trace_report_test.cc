@@ -1,0 +1,77 @@
+#include "obs/report.h"
+#include "obs/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ujoin {
+namespace obs {
+namespace {
+
+TEST(TraceRecorderTest, EmitsMetadataAndCompleteEvents) {
+  TraceRecorder trace;
+  trace.AddSpan("build", 1000, 2500, /*tid=*/0);
+  SpanCollector worker(&trace, /*tid=*/2);
+  worker.Span("probe", 5000, 1500);
+  worker.Span("verify", 7000, 250);
+  trace.Append(worker.events());
+  EXPECT_EQ(trace.num_events(), 3u);
+
+  const std::string json = trace.ToJson();
+  // Chrome trace-event envelope.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Thread-name metadata for both referenced tids.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"driver\""), std::string::npos);
+  EXPECT_NE(json.find("\"worker 1\""), std::string::npos);  // tid 2 = rank 1
+  // Complete ("X") events with microsecond timestamps (1000 ns = 1 us).
+  EXPECT_NE(json.find("\"name\":\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1,"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.5"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DisabledSpanCollectorRecordsNothing) {
+  SpanCollector disabled;
+  EXPECT_EQ(disabled.NowNs(), 0);
+  disabled.Span("ignored", 0, 10);
+  EXPECT_TRUE(disabled.events().empty());
+}
+
+TEST(TraceRecorderTest, WriteFileProducesParsableDocument) {
+  TraceRecorder trace;
+  trace.AddSpan("stage", 0, 1000, /*tid=*/0);
+  const std::string path = ::testing::TempDir() + "/ujoin_trace_test.json";
+  ASSERT_TRUE(trace.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), trace.ToJson());
+  EXPECT_FALSE(trace.WriteFile("/nonexistent-dir/x/y.json").ok());
+}
+
+TEST(RunReportTest, EnvelopeHasSchemaAndSections) {
+  const std::string report =
+      RenderRunReport("join", {{"options", R"({"k":2})"},
+                               {"stats", R"({"pairs":5})"}});
+  EXPECT_EQ(report,
+            R"({"schema":"ujoin.run_report","schema_version":1,)"
+            R"("command":"join","options":{"k":2},"stats":{"pairs":5}})");
+}
+
+TEST(RunReportTest, WriteRunReportRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/ujoin_report_test.json";
+  ASSERT_TRUE(WriteRunReport(path, "search", {{"metrics", "{}"}}).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), RenderRunReport("search", {{"metrics", "{}"}}));
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ujoin

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repo check driver: tier-1 tests in a plain Release build, the
-# concurrency-sensitive join tests again under ThreadSanitizer, and a smoke
-# run of the index-probe micro-bench gates (speedup + zero allocations).
+# concurrency-sensitive join tests again under ThreadSanitizer, a smoke run
+# of the index-probe micro-bench gates (speedup + zero allocations), and an
+# observability smoke: a CLI join with metrics + tracing whose JSON outputs
+# are schema-validated, plus the allocation gate with recording on.
 #
 # Usage: tools/check.sh [jobs]
 #   jobs defaults to the machine's core count.
@@ -14,30 +16,86 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/5] configure + build (Release)"
+echo "==> [1/7] configure + build (Release)"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "==> [2/5] tier-1 test suite"
+echo "==> [2/7] tier-1 test suite"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/5] configure + build (ThreadSanitizer)"
+echo "==> [3/7] configure + build (ThreadSanitizer)"
 cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
   -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
 TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
-  join_stats_test self_join_test cross_join_test)
+  join_stats_test self_join_test cross_join_test join_obs_test)
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
-echo "==> [4/5] parallel join tests under TSan"
+echo "==> [4/7] parallel join tests under TSan"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
 for t in "${TSAN_TARGETS[@]}"; do
   echo "--- $t"
   "./build-tsan/tests/$t"
 done
 
-echo "==> [5/5] index probe micro-bench (speedup + zero-allocation gates)"
+echo "==> [5/7] index probe micro-bench (speedup + zero-allocation gates)"
 # Tiny scale: this is a smoke run of the gates, not a timing measurement.
 UJOIN_BENCH_SCALE="${UJOIN_BENCH_SCALE:-0.25}" \
   ./build/bench/bench_index_probe build/BENCH_probe.json
+
+echo "==> [6/7] CLI observability smoke (run report + trace schemas)"
+OBS_DIR="build/obs-smoke"
+mkdir -p "$OBS_DIR"
+./build/tools/ujoin_cli generate --kind=names --size=200 --seed=11 \
+  --out="$OBS_DIR/data.txt" >/dev/null
+./build/tools/ujoin_cli join --input="$OBS_DIR/data.txt" --kind=names \
+  --k=2 --tau=0.1 --threads=2 --progress \
+  --out="$OBS_DIR/pairs.txt" \
+  --metrics-out="$OBS_DIR/metrics.json" \
+  --trace-out="$OBS_DIR/trace.json" 2>/dev/null >/dev/null
+python3 - "$OBS_DIR/metrics.json" "$OBS_DIR/trace.json" <<'PYEOF'
+import json, sys
+
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "ujoin.run_report", report.get("schema")
+assert report["schema_version"] == 1
+assert report["command"] == "join"
+for key in ("options", "stats", "metrics"):
+    assert key in report, f"run report missing section '{key}'"
+stats = report["stats"]
+for key in ("pairs", "time_seconds", "index", "verify"):
+    assert key in stats, f"stats missing '{key}'"
+metrics = report["metrics"]
+for key in ("counters", "gauges", "histograms"):
+    assert key in metrics, f"metrics missing '{key}'"
+assert metrics["counters"]["probes"] == 200, metrics["counters"]
+for name in ("verify_latency_ns", "merged_list_length",
+             "candidate_alpha_ppm", "explored_trie_nodes"):
+    hist = metrics["histograms"][name]
+    for key in ("unit", "count", "sum", "buckets"):
+        assert key in hist, f"histogram '{name}' missing '{key}'"
+
+trace = json.load(open(sys.argv[2]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+spans = {e["name"] for e in events if e["ph"] == "X"}
+for name in ("index_insert", "wave_probe", "probe", "wave_merge"):
+    assert name in spans, f"trace missing span '{name}'"
+# Metadata ("M") events carry no timestamp; complete ("X") events must.
+assert all({"ph", "pid"} <= e.keys() for e in events)
+assert all({"ts", "dur", "tid"} <= e.keys()
+           for e in events if e["ph"] == "X")
+print("run report and trace are schema-valid")
+PYEOF
+
+echo "==> [7/7] zero-allocation and overhead gates with recording on"
+./build/tests/frozen_index_test \
+  --gtest_filter='FrozenIndexTest.SteadyStateQueryDoesNotAllocate'
+# Smoke gate only: at this tiny scale a 1-CPU box needs a wide margin and
+# extra reps for a stable minimum.  The authoritative 2% budget is the
+# bench's own default gate at full scale (see DESIGN.md "Observability").
+UJOIN_BENCH_SCALE="${UJOIN_BENCH_SCALE:-0.25}" \
+  UJOIN_OBS_OVERHEAD_GATE="${UJOIN_OBS_OVERHEAD_GATE:-0.15}" \
+  UJOIN_OBS_OVERHEAD_REPS="${UJOIN_OBS_OVERHEAD_REPS:-15}" \
+  ./build/bench/bench_obs_overhead build/BENCH_obs.json
 
 echo "all checks passed"

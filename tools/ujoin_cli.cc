@@ -8,6 +8,7 @@
 //   ujoin_cli join --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
 //              [--q=3] [--variant=QFCT|QCT|QFT|FCT] [--exact]
 //              [--early-stop] [--threads=1] [--wave-size=0] [--out=FILE]
+//              [--metrics-out=FILE] [--trace-out=FILE] [--progress]
 //              (--threads=0 uses all cores; results are identical for
 //               every thread count and wave size)
 //   ujoin_cli index --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
@@ -15,11 +16,21 @@
 //   ujoin_cli search (--input=FILE | --index=FILE.idx) --kind=names|protein
 //              (--query=STRING | --queries=FILE) [--k=2] [--tau=0.1] [--q=3]
 //              [--topk=N] [--threads=1]
+//              [--metrics-out=FILE] [--trace-out=FILE]
 //              (--queries runs the whole file through SearchMany and prints
 //               aggregated filter/verification statistics; the stats are
 //               identical for every --threads value)
 //   ujoin_cli stats --input=FILE --kind=names|protein
+//
+// Observability (DESIGN.md "Observability"):
+//   --metrics-out=FILE  writes a ujoin.run_report JSON document with the
+//                       effective options, the JoinStats, and the merged
+//                       obs metric registry (counters/gauges/histograms).
+//   --trace-out=FILE    writes per-stage spans as Chrome trace-event JSON;
+//                       load it in chrome://tracing or https://ui.perfetto.dev.
+//   --progress          prints wave-boundary progress lines to stderr.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +41,10 @@
 
 #include "datagen/datagen.h"
 #include "join/ujoin.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -96,6 +111,115 @@ int Usage() {
                "usage: ujoin_cli <generate|join|index|search|stats> [flags]\n"
                "see the header of tools/ujoin_cli.cc for flag reference\n");
   return 2;
+}
+
+// --- observability plumbing (--metrics-out / --trace-out / --progress) ----
+
+// Owns the sinks named by the observability flags for one command run.
+struct ObsOutputs {
+  std::string metrics_path;
+  std::string trace_path;
+  bool progress = false;
+  obs::Recorder recorder;
+  obs::TraceRecorder tracer;
+};
+
+// Reads the shared observability flags; call before flags.Validate().
+ObsOutputs ReadObsFlags(Flags& flags, bool with_progress) {
+  ObsOutputs out;
+  out.metrics_path = flags.GetString("metrics-out");
+  out.trace_path = flags.GetString("trace-out");
+  if (with_progress) out.progress = flags.GetBool("progress");
+  return out;
+}
+
+struct ProgressState {
+  uint64_t last_permille = ~uint64_t{0};
+};
+
+// JoinOptions::progress_fn target: one stderr line per permille step.
+void PrintProgress(const JoinProgress& progress, void* user) {
+  auto* state = static_cast<ProgressState*>(user);
+  const uint64_t permille =
+      progress.total == 0 ? 1000 : progress.processed * 1000 / progress.total;
+  if (state != nullptr) {
+    if (permille == state->last_permille &&
+        progress.processed != progress.total) {
+      return;
+    }
+    state->last_permille = permille;
+  }
+  std::fprintf(stderr,
+               "progress: %5.1f%%  %llu/%llu strings  %llu pairs  %.2fs\n",
+               static_cast<double>(permille) / 10.0,
+               static_cast<unsigned long long>(progress.processed),
+               static_cast<unsigned long long>(progress.total),
+               static_cast<unsigned long long>(progress.result_pairs),
+               progress.elapsed_seconds);
+}
+
+// The effective JoinOptions, serialized for the run report's "options"
+// section (deterministic key order; see DESIGN.md "Observability").
+std::string OptionsJson(const JoinOptions& options) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("k");
+  w.Int(options.k);
+  w.Key("tau");
+  w.Double(options.tau);
+  w.Key("q");
+  w.Int(options.q);
+  w.Key("use_qgram_filter");
+  w.Bool(options.use_qgram_filter);
+  w.Key("use_freq_filter");
+  w.Bool(options.use_freq_filter);
+  w.Key("use_cdf_filter");
+  w.Bool(options.use_cdf_filter);
+  w.Key("qgram_probabilistic_pruning");
+  w.Bool(options.qgram_probabilistic_pruning);
+  w.Key("always_verify");
+  w.Bool(options.always_verify);
+  w.Key("early_stop_verification");
+  w.Bool(options.early_stop_verification);
+  w.Key("verify_method");
+  w.String(options.verify_method == VerifyMethod::kTrie
+               ? "trie"
+               : options.verify_method == VerifyMethod::kCompressedTrie
+                     ? "compressed_trie"
+                     : "naive");
+  w.Key("threads");
+  w.Int(options.threads);
+  w.Key("wave_size");
+  w.Int(options.wave_size);
+  w.EndObject();
+  return w.TakeString();
+}
+
+// Writes the run report and/or trace named by the flags; 0 on success.
+int WriteObsOutputs(ObsOutputs& obs_out, const std::string& command,
+                    const JoinOptions& options, const JoinStats& stats) {
+  if (!obs_out.metrics_path.empty()) {
+    const Status status =
+        obs::WriteRunReport(obs_out.metrics_path, command,
+                            {{"options", OptionsJson(options)},
+                             {"stats", stats.ToJson()},
+                             {"metrics", obs_out.recorder.ToJson()}});
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics: wrote %s\n", obs_out.metrics_path.c_str());
+  }
+  if (!obs_out.trace_path.empty()) {
+    const Status status = obs_out.tracer.WriteFile(obs_out.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: wrote %zu spans to %s\n",
+                 obs_out.tracer.num_events(), obs_out.trace_path.c_str());
+  }
+  return 0;
 }
 
 Result<Alphabet> AlphabetFromKind(const std::string& kind) {
@@ -171,11 +295,19 @@ int RunJoin(Flags& flags) {
   options.threads = flags.GetInt("threads", 1);
   options.wave_size = flags.GetInt("wave-size", 0);
   const std::string out_path = flags.GetString("out");
+  ObsOutputs obs_out = ReadObsFlags(flags, /*with_progress=*/true);
   Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
   if (!flags.Validate()) return 2;
   if (!input.ok()) {
     std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
     return 1;
+  }
+  if (!obs_out.metrics_path.empty()) options.metrics = &obs_out.recorder;
+  if (!obs_out.trace_path.empty()) options.trace = &obs_out.tracer;
+  ProgressState progress_state;
+  if (obs_out.progress) {
+    options.progress_fn = &PrintProgress;
+    options.progress_user = &progress_state;
   }
   Result<SelfJoinResult> result =
       SimilaritySelfJoin(*input, *alphabet, options);
@@ -198,7 +330,7 @@ int RunJoin(Flags& flags) {
   if (out != stdout) std::fclose(out);
   std::fprintf(stderr, "%zu pairs\n%s\n", result->pairs.size(),
                result->stats.ToString().c_str());
-  return 0;
+  return WriteObsOutputs(obs_out, "join", options, result->stats);
 }
 
 int RunIndex(Flags& flags) {
@@ -258,6 +390,11 @@ int RunSearch(Flags& flags) {
   const std::string index_path = flags.GetString("index");
   const int topk = flags.GetInt("topk", 0);
   const int threads = flags.GetInt("threads", 1);
+  ObsOutputs obs_out = ReadObsFlags(flags, /*with_progress=*/false);
+  obs::Recorder* const metrics =
+      obs_out.metrics_path.empty() ? nullptr : &obs_out.recorder;
+  obs::TraceRecorder* const trace =
+      obs_out.trace_path.empty() ? nullptr : &obs_out.tracer;
 
   Result<SimilaritySearcher> searcher = [&]() -> Result<SimilaritySearcher> {
     if (!index_path.empty()) {
@@ -286,7 +423,7 @@ int RunSearch(Flags& flags) {
     }
     JoinStats stats;
     Result<std::vector<std::vector<SearchHit>>> hits =
-        searcher->SearchMany(*queries, threads, &stats);
+        searcher->SearchMany(*queries, threads, &stats, metrics, trace);
     if (!hits.ok()) {
       std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
       return 1;
@@ -300,7 +437,7 @@ int RunSearch(Flags& flags) {
     }
     std::fprintf(stderr, "%zu queries, %zu hits\n%s\n", queries->size(),
                  total_hits, stats.ToString().c_str());
-    return 0;
+    return WriteObsOutputs(obs_out, "search", options, stats);
   }
   if (query_text.empty()) {
     std::fprintf(stderr, "error: --query or --queries is required\n");
@@ -313,19 +450,31 @@ int RunSearch(Flags& flags) {
                  query.status().ToString().c_str());
     return 1;
   }
+  JoinStats stats;
+  // Per-query span buffer, appended to the tracer after the call (the
+  // same collect-then-fold pattern the batch drivers use).
+  obs::SpanCollector spans;
+  obs::SpanCollector* span_sink = nullptr;
+  if (trace != nullptr) {
+    spans = obs::SpanCollector(trace, /*tid=*/1);
+    span_sink = &spans;
+  }
+  // SearchTopK has no metric hooks: a --topk report carries stats only.
   Result<std::vector<SearchHit>> hits =
-      topk > 0 ? searcher->SearchTopK(*query, topk)
-               : searcher->Search(*query);
+      topk > 0 ? searcher->SearchTopK(*query, topk, &stats)
+               : searcher->Search(*query, &stats, /*workspace=*/nullptr,
+                                  metrics, span_sink);
   if (!hits.ok()) {
     std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
     return 1;
   }
+  if (trace != nullptr) trace->Append(spans.events());
   for (const SearchHit& hit : *hits) {
     std::printf("%u\t%.6f\t%s\n", hit.id, hit.probability,
                 searcher->collection()[hit.id].ToString().c_str());
   }
   std::fprintf(stderr, "%zu hits\n", hits->size());
-  return 0;
+  return WriteObsOutputs(obs_out, "search", options, stats);
 }
 
 int RunStats(Flags& flags) {
