@@ -41,7 +41,7 @@ const Dataset& CachedDataset(bool protein) {
 
 void BM_Fig5_Tau(benchmark::State& state) {
   const bool protein = state.range(0) != 0;
-  const double tau = state.range(1) / 1000.0;
+  const double tau = static_cast<double>(state.range(1)) / 1000.0;
   const Dataset& data = CachedDataset(protein);
   JoinOptions options = protein ? ProteinConfig::Join() : DblpConfig::Join();
   options.tau = tau;

@@ -42,11 +42,11 @@ class BandRow {
   // offset is outside the band.
   double* at(int d) {
     if (d < 0 || d > 2 * k_) return nullptr;
-    return values_.data() + static_cast<size_t>(d) * (k_ + 1);
+    return values_.data() + static_cast<size_t>(d) * static_cast<size_t>(k_ + 1);
   }
   const double* at(int d) const {
     if (d < 0 || d > 2 * k_) return nullptr;
-    return values_.data() + static_cast<size_t>(d) * (k_ + 1);
+    return values_.data() + static_cast<size_t>(d) * static_cast<size_t>(k_ + 1);
   }
 
   void Clear() { std::fill(values_.begin(), values_.end(), 0.0); }

@@ -93,7 +93,7 @@ int64_t Histogram::Percentile(double p) const {
                                                 static_cast<double>(count_))));
   int64_t cumulative = 0;
   for (int b = 0; b < kNumBuckets; ++b) {
-    cumulative += buckets_[b];
+    cumulative += buckets_[static_cast<size_t>(b)];
     if (cumulative >= target) {
       return std::min(std::max(BucketLowerBound(b), min_), max_);
     }
@@ -102,9 +102,11 @@ int64_t Histogram::Percentile(double p) const {
 }
 
 void Recorder::Merge(const Recorder& other) {
-  for (int h = 0; h < kNumHists; ++h) hists_[h].Merge(other.hists_[h]);
-  for (int c = 0; c < kNumCounters; ++c) counters_[c] += other.counters_[c];
-  for (int g = 0; g < kNumGauges; ++g) {
+  for (size_t h = 0; h < hists_.size(); ++h) hists_[h].Merge(other.hists_[h]);
+  for (size_t c = 0; c < counters_.size(); ++c) {
+    counters_[c] += other.counters_[c];
+  }
+  for (size_t g = 0; g < gauges_.size(); ++g) {
     gauges_[g] = std::max(gauges_[g], other.gauges_[g]);
   }
 }
@@ -115,21 +117,21 @@ void Recorder::AppendJson(JsonWriter* w) const {
   w->Int(kMetricsSchemaVersion);
   w->Key("counters");
   w->BeginObject();
-  for (int c = 0; c < kNumCounters; ++c) {
+  for (size_t c = 0; c < counters_.size(); ++c) {
     w->Key(kCounterInfo[c].name);
     w->Int(counters_[c]);
   }
   w->EndObject();
   w->Key("gauges");
   w->BeginObject();
-  for (int g = 0; g < kNumGauges; ++g) {
+  for (size_t g = 0; g < gauges_.size(); ++g) {
     w->Key(kGaugeInfo[g].name);
     w->Int(gauges_[g]);
   }
   w->EndObject();
   w->Key("histograms");
   w->BeginObject();
-  for (int h = 0; h < kNumHists; ++h) {
+  for (size_t h = 0; h < hists_.size(); ++h) {
     w->Key(kHistInfo[h].name);
     AppendHistogramJson(hists_[h], kHistInfo[h], w);
   }

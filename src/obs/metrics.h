@@ -95,7 +95,7 @@ class Histogram {
   static constexpr int kNumBuckets = 64;
 
   void Record(int64_t value) {
-    ++buckets_[BucketIndex(value)];
+    ++buckets_[static_cast<size_t>(BucketIndex(value))];
     ++count_;
     sum_ += value;
     min_ = std::min(min_, value);
@@ -103,7 +103,7 @@ class Histogram {
   }
 
   void Merge(const Histogram& other) {
-    for (int b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+    for (size_t b = 0; b < buckets_.size(); ++b) buckets_[b] += other.buckets_[b];
     count_ += other.count_;
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);

@@ -23,15 +23,21 @@
 
 #if defined(UJOIN_OBS_DISABLED)
 
-#define UJOIN_OBS_ENABLED(recorder) (false)
-#define UJOIN_OBS_HIST(recorder, id, value) \
-  do {                                      \
+// sizeof keeps the arguments un-evaluated (no codegen, no side effects)
+// while still "using" them, so values computed only for recording do not
+// trip -Wunused under -DUJOIN_OBS=OFF.
+#define UJOIN_OBS_ENABLED(recorder) ((void)sizeof(recorder), false)
+#define UJOIN_OBS_HIST(recorder, id, value)                            \
+  do {                                                                 \
+    (void)sizeof(recorder), (void)sizeof(id), (void)sizeof((value));   \
   } while (0)
-#define UJOIN_OBS_COUNTER(recorder, id, delta) \
-  do {                                         \
+#define UJOIN_OBS_COUNTER(recorder, id, delta)                         \
+  do {                                                                 \
+    (void)sizeof(recorder), (void)sizeof(id), (void)sizeof((delta));   \
   } while (0)
-#define UJOIN_OBS_GAUGE(recorder, id, value) \
-  do {                                       \
+#define UJOIN_OBS_GAUGE(recorder, id, value)                           \
+  do {                                                                 \
+    (void)sizeof(recorder), (void)sizeof(id), (void)sizeof((value));   \
   } while (0)
 
 #else  // !defined(UJOIN_OBS_DISABLED)

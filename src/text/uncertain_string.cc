@@ -70,12 +70,13 @@ int64_t UncertainString::WorldCount() const {
 UncertainString UncertainString::Substring(int pos, int len) const {
   UJOIN_CHECK(pos >= 0 && len >= 0 && pos + len <= length());
   UncertainString out;
+  const size_t upos = static_cast<size_t>(pos);
   out.offsets_.reserve(static_cast<size_t>(len) + 1);
-  out.entries_.assign(entries_.begin() + offsets_[pos],
-                      entries_.begin() + offsets_[pos + len]);
-  const uint32_t base = offsets_[pos];
+  out.entries_.assign(entries_.begin() + offsets_[upos],
+                      entries_.begin() + offsets_[upos + static_cast<size_t>(len)]);
+  const uint32_t base = offsets_[upos];
   for (int i = 1; i <= len; ++i) {
-    out.offsets_.push_back(offsets_[pos + i] - base);
+    out.offsets_.push_back(offsets_[upos + static_cast<size_t>(i)] - base);
     if (NumAlternatives(pos + i - 1) > 1) ++out.num_uncertain_;
   }
   return out;

@@ -59,12 +59,15 @@ class UncertainString {
 
   /// Number of alternatives at position i.
   int NumAlternatives(int i) const {
-    return static_cast<int>(offsets_[i + 1] - offsets_[i]);
+    const size_t pos = static_cast<size_t>(i);
+    return static_cast<int>(offsets_[pos + 1] - offsets_[pos]);
   }
 
   /// Alternatives at position i, sorted by symbol.
   std::span<const CharProb> AlternativesAt(int i) const {
-    return {entries_.data() + offsets_[i], entries_.data() + offsets_[i + 1]};
+    const size_t pos = static_cast<size_t>(i);
+    return {entries_.data() + offsets_[pos],
+            entries_.data() + offsets_[pos + 1]};
   }
 
   /// True when position i is deterministic.

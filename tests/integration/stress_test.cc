@@ -96,8 +96,10 @@ std::vector<StressCase> MakeCases() {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineStressTest,
                          ::testing::ValuesIn(MakeCases()),
-                         [](const ::testing::TestParamInfo<StressCase>& info) {
-                           return "seed" + std::to_string(info.param.seed);
+                         [](const ::testing::TestParamInfo<StressCase>&
+                                param_info) {
+                           return "seed" +
+                                  std::to_string(param_info.param.seed);
                          });
 
 }  // namespace

@@ -107,7 +107,8 @@ TEST(JoinEdgeTest, WidelyVaryingLengthsPruneByLengthWindow) {
   std::vector<UncertainString> collection;
   for (int len = 1; len <= 30; len += 4) {
     collection.push_back(
-        UncertainString::FromDeterministic(std::string(len, 'A')));
+        UncertainString::FromDeterministic(
+            std::string(static_cast<size_t>(len), 'A')));
   }
   Result<SelfJoinResult> out =
       SimilaritySelfJoin(collection, dna, JoinOptions::Qfct(2, 0.1));

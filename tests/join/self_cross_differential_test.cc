@@ -115,8 +115,8 @@ INSTANTIATE_TEST_SUITE_P(
                       VariantCase{"QCT", JoinOptions::Qct(2, 0.1)},
                       VariantCase{"QFT", JoinOptions::Qft(2, 0.1)},
                       VariantCase{"FCT", JoinOptions::Fct(2, 0.1)}),
-    [](const ::testing::TestParamInfo<VariantCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<VariantCase>& param_info) {
+      return param_info.param.name;
     });
 
 }  // namespace

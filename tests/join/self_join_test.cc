@@ -80,8 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
                       VariantCase{"QFCT_k3", JoinOptions::Qfct(3, 0.2)},
                       VariantCase{"QFCT_q2", JoinOptions::Qfct(2, 0.1, 2)},
                       VariantCase{"QFCT_q4", JoinOptions::Qfct(2, 0.1, 4)}),
-    [](const ::testing::TestParamInfo<VariantCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<VariantCase>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(SelfJoinTest, CdfAcceptedPairsCarryCertifiedLowerBounds) {

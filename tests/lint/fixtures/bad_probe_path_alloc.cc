@@ -1,0 +1,34 @@
+// ujoin-lint-fixture: as=src/index/flat_postings.cc rule=probe-path-alloc expect=4
+//
+// Seeded violations: allocations inside probe-path functions that are NOT
+// on the build/freeze whitelist.  Find() runs once per posting-list lookup;
+// any of these would break the steady-state zero-allocation guarantee the
+// operator-new hook tests enforce at runtime.
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ujoin {
+
+struct Posting {
+  int id;
+};
+
+class FlatPostings {
+ public:
+  const Posting* Find(const std::string& key) const {
+    std::vector<char> copy(key.begin(), key.end());  // violation: local container
+    std::string padded = key + "\0";                 // violation: local string
+    int* scratch = new int[4];                       // violation: new
+    delete[] scratch;
+    void* raw = std::malloc(copy.size());            // violation: malloc
+    std::free(raw);
+    return padded.empty() ? nullptr : &postings_[0];
+  }
+
+ private:
+  std::vector<Posting> postings_;
+};
+
+}  // namespace ujoin

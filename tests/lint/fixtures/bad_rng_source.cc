@@ -1,0 +1,28 @@
+// ujoin-lint-fixture: as=src/datagen/seeded.cc rule=rng-source expect=4
+//
+// Seeded violations: every ad-hoc entropy source the rng-source rule must
+// catch.  Each one makes a run irreproducible across machines or reruns.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace ujoin {
+
+int UnseededNoise() {
+  return rand() % 100;  // violation: C rand()
+}
+
+void ReseedFromClock() {
+  srand(static_cast<unsigned>(42));  // violation: srand()
+}
+
+long WallClockSeed() {
+  return time(nullptr);  // violation: time()
+}
+
+unsigned HardwareSeed() {
+  std::random_device rd;  // violation: std::random_device
+  return rd();
+}
+
+}  // namespace ujoin

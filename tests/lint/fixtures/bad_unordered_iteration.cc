@@ -1,0 +1,42 @@
+// ujoin-lint-fixture: as=src/join/pair_collector.cc rule=unordered-iteration expect=3
+//
+// Seeded violations: iterating unordered containers in a file that (per its
+// fixture path) produces join results.  The iteration order depends on hash
+// seeding and insertion history, so emitted pairs would not be
+// byte-identical across runs or thread counts.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ujoin {
+
+class PairCollector {
+ public:
+  void Emit() const {
+    for (const auto& [key, count] : counts_) {  // violation: range-for
+      std::printf("%s %d\n", key.c_str(), count);
+    }
+  }
+
+  std::vector<int> SortedIds() const {
+    std::vector<int> out;
+    for (auto it = ids_.begin(); it != ids_.end(); ++it) {  // violation
+      out.push_back(*it);
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, int> counts_;
+  std::unordered_set<int> ids_;
+};
+
+void DumpTemporary() {
+  for (int id : std::unordered_set<int>{3, 1, 2}) {  // violation: temporary
+    std::printf("%d\n", id);
+  }
+}
+
+}  // namespace ujoin

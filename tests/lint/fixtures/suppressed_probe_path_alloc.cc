@@ -1,0 +1,28 @@
+// ujoin-lint-fixture: as=src/index/flat_postings.cc rule=probe-path-alloc expect=0
+//
+// Suppression check: the same violations as bad_probe_path_alloc.cc, each
+// carrying an explicit `ujoin-lint: allow(...)` escape (same line or the
+// line above).  This mirrors the legacy allocating Query overloads kept for
+// API compatibility.
+#include <string>
+#include <vector>
+
+namespace ujoin {
+
+struct Posting {
+  int id;
+};
+
+class FlatPostings {
+ public:
+  std::vector<Posting> FindAll(const std::string& key) const {
+    // Legacy convenience overload, not used on the hot path.
+    // ujoin-lint: allow(probe-path-alloc) -- allocating API kept for tests
+    std::vector<Posting> out;
+    out.push_back(Posting{static_cast<int>(key.size())});
+    std::string copy = key;  // ujoin-lint: allow(probe-path-alloc)
+    return out;
+  }
+};
+
+}  // namespace ujoin

@@ -1,13 +1,14 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <random>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "testing/test_util.h"
 #include "util/rng.h"
 
 namespace ujoin {
@@ -167,10 +168,10 @@ TEST(RecorderTest, MergeIsOrderIndependentAndToJsonByteStable) {
 
   // Shuffled fold orders — simulating 1/2/4/8-thread rank interleavings —
   // must all produce the identical recorder and identical bytes.
-  std::mt19937 shuffle_rng(7);
+  Rng shuffle_rng(7);
   for (int trial = 0; trial < 8; ++trial) {
     std::vector<Recorder> shuffled = locals;
-    std::shuffle(shuffled.begin(), shuffled.end(), shuffle_rng);
+    ujoin::testing::Shuffle(&shuffled, shuffle_rng);
     // Also vary the grouping: fold into `groups` partial sums first.
     const int groups = 1 << (trial % 4);  // 1, 2, 4, 8
     std::vector<Recorder> partial(static_cast<size_t>(groups));

@@ -1,0 +1,59 @@
+// Regression for the -DUJOIN_OBS=OFF build: the disabled macro stubs must
+// (a) not evaluate their arguments — recording must cost nothing when
+// compiled out — and (b) still *use* them unevaluated, so a value computed
+// only for recording does not trip -Wunused-variable under -DUJOIN_WERROR=ON
+// (src/index/segment_index.cc broke exactly this way).
+//
+// Defining UJOIN_OBS_DISABLED before the first include gives this TU the
+// OFF flavour of the macros regardless of how the suite was configured, so
+// the regression is exercised by the ordinary tier-1 run.  Nothing else may
+// be included above obs_macros.h or the header guard would hand us the
+// enabled flavour.
+#define UJOIN_OBS_DISABLED
+#include "obs/obs_macros.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct CountingRecorder {
+  // Never called through the disabled macros; present so the test would
+  // still compile if the macros started forwarding.
+  void RecordHist(int, long) { ++calls; }
+  void AddCounter(int, long) { ++calls; }
+  void SetGauge(int, long) { ++calls; }
+  int calls = 0;
+};
+
+TEST(ObsMacrosDisabledTest, ArgumentsAreNotEvaluated) {
+  CountingRecorder rec;
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return 42L;
+  };
+  UJOIN_OBS_HIST(&rec, 0, expensive());
+  UJOIN_OBS_COUNTER(&rec, 0, expensive());
+  UJOIN_OBS_GAUGE(&rec, 0, expensive());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(rec.calls, 0);
+}
+
+TEST(ObsMacrosDisabledTest, EnabledIsConstantFalseWithoutEvaluating) {
+  CountingRecorder* rec = nullptr;
+  bool entered = false;
+  if (UJOIN_OBS_ENABLED(rec)) entered = true;
+  EXPECT_FALSE(entered);
+}
+
+TEST(ObsMacrosDisabledTest, RecordOnlyValuesDoNotWarnAsUnused) {
+  // Under -DUJOIN_WERROR=ON this test's job is done at compile time:
+  // `only_for_recording` has no other use, so the macro stub must count as
+  // one (the sizeof trick) or this TU fails to build.
+  CountingRecorder rec;
+  const long only_for_recording = 17;
+  UJOIN_OBS_HIST(&rec, 0, only_for_recording);
+  EXPECT_EQ(rec.calls, 0);
+}
+
+}  // namespace

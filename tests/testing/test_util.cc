@@ -44,13 +44,13 @@ std::string RandomEdits(const std::string& s, const Alphabet& alphabet,
     const int op = static_cast<int>(rng.Uniform(3));
     if (op == 0 && !out.empty()) {  // substitution
       const size_t pos = rng.Uniform(out.size());
-      out[pos] = alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size())));
+      out[pos] = RandomSymbol(alphabet, rng);
     } else if (op == 1 && !out.empty()) {  // deletion
       out.erase(rng.Uniform(out.size()), 1);
     } else {  // insertion
       const size_t pos = rng.Uniform(out.size() + 1);
       out.insert(out.begin() + static_cast<ptrdiff_t>(pos),
-                 alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size()))));
+                 RandomSymbol(alphabet, rng));
     }
   }
   return out;

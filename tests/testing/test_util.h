@@ -23,6 +23,30 @@ struct RandomStringOptions {
   int max_alternatives = 3;
 };
 
+/// Uniformly random symbol index in [0, alphabet.size()).
+inline int RandomSymbolIndex(const Alphabet& alphabet, Rng& rng) {
+  return static_cast<int>(
+      rng.Uniform(static_cast<uint64_t>(alphabet.size())));
+}
+
+/// Deterministic Fisher-Yates over the repo `Rng`.  std::shuffle's
+/// permutation *sequence* is implementation-defined even for a fixed seed,
+/// so "same seed, same order everywhere" tests must not use it (the
+/// rng-source lint rule bans the std entropy sources that would feed it).
+/// `RngTest.ShufflePermutationIsPlatformStable` pins the exact output.
+template <typename T>
+void Shuffle(std::vector<T>* v, Rng& rng) {
+  for (size_t i = v->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.Uniform(i));
+    std::swap((*v)[i - 1], (*v)[j]);
+  }
+}
+
+/// Uniformly random symbol from `alphabet`.
+inline char RandomSymbol(const Alphabet& alphabet, Rng& rng) {
+  return alphabet.SymbolAt(RandomSymbolIndex(alphabet, rng));
+}
+
 /// A random uncertain string over `alphabet`, driven by `rng`.
 inline UncertainString RandomUncertainString(const Alphabet& alphabet,
                                              const RandomStringOptions& opt,
@@ -32,8 +56,7 @@ inline UncertainString RandomUncertainString(const Alphabet& alphabet,
   UncertainString::Builder builder;
   for (int i = 0; i < length; ++i) {
     if (!rng.Bernoulli(opt.theta)) {
-      builder.AddCertain(
-          alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size()))));
+      builder.AddCertain(RandomSymbol(alphabet, rng));
       continue;
     }
     const int num_alts = static_cast<int>(
@@ -41,7 +64,7 @@ inline UncertainString RandomUncertainString(const Alphabet& alphabet,
     // Pick distinct symbols.
     std::vector<int> symbols;
     while (static_cast<int>(symbols.size()) < num_alts) {
-      const int s = static_cast<int>(rng.Uniform(alphabet.size()));
+      const int s = RandomSymbolIndex(alphabet, rng);
       bool seen = false;
       for (int t : symbols) seen = seen || t == s;
       if (!seen) symbols.push_back(s);
@@ -90,8 +113,7 @@ inline std::string RandomString(const Alphabet& alphabet, int length,
                                 Rng& rng) {
   std::string s(static_cast<size_t>(length), alphabet.SymbolAt(0));
   for (int i = 0; i < length; ++i) {
-    s[static_cast<size_t>(i)] =
-        alphabet.SymbolAt(static_cast<int>(rng.Uniform(alphabet.size())));
+    s[static_cast<size_t>(i)] = RandomSymbol(alphabet, rng);
   }
   return s;
 }

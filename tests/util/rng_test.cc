@@ -1,6 +1,10 @@
 #include "util/rng.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "testing/test_util.h"
 
 namespace ujoin {
 namespace {
@@ -69,6 +73,19 @@ TEST(RngTest, BernoulliTracksProbability) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+// Regression for a bug the rng-source lint rule surfaced: a test shuffled
+// with std::shuffle + std::mt19937, whose permutation sequence is
+// implementation-defined — "deterministic" only on one standard library.
+// testing::Shuffle is pure Fisher-Yates over Rng, so the exact output for a
+// fixed seed is pinned here and must never change across platforms or
+// toolchains.
+TEST(RngTest, ShufflePermutationIsPlatformStable) {
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  Rng rng(7);
+  testing::Shuffle(&v, rng);
+  EXPECT_EQ(v, (std::vector<int>{1, 8, 3, 0, 4, 5, 9, 6, 2, 7}));
 }
 
 }  // namespace

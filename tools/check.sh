@@ -1,48 +1,73 @@
 #!/usr/bin/env bash
-# Repo check driver: tier-1 tests in a plain Release build, the
-# concurrency-sensitive join tests again under ThreadSanitizer, a smoke run
-# of the index-probe micro-bench gates (speedup + zero allocations), and an
+# Repo check driver, mirroring the CI gate matrix (.github/workflows/ci.yml):
+# invariant lint, warning-hardened Release build + tier-1 tests, clang-tidy
+# (skipped with a notice when not installed), the concurrency-sensitive join
+# tests under ThreadSanitizer, the full suite under UndefinedBehaviorSanitizer,
+# the index-probe micro-bench gates (speedup + zero allocations), and an
 # observability smoke: a CLI join with metrics + tracing whose JSON outputs
 # are schema-validated, plus the allocation gate with recording on.
 #
 # Usage: tools/check.sh [jobs]
 #   jobs defaults to the machine's core count.
 #
-# Exits non-zero on the first failing step, including any TSan report (TSan
-# makes the offending test fail via halt_on_error).
+# Exits non-zero on the first failing step, including any sanitizer report
+# (halt_on_error=1 makes the offending test fail instead of just logging).
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "==> [1/7] configure + build (Release)"
-cmake -B build -S . >/dev/null
+# Any sanitizer finding is a hard failure, in every step below.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1${ASAN_OPTIONS:+:$ASAN_OPTIONS}"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+
+echo "==> [1/10] invariant lint (self-test + repo scan)"
+python3 tools/ujoin_lint.py --self-test
+python3 tools/ujoin_lint.py
+
+echo "==> [2/10] configure + build (Release, warnings as errors)"
+cmake -B build -S . -DUJOIN_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "==> [2/7] tier-1 test suite"
+echo "==> [3/10] clang-tidy (profile: .clang-tidy)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The build dir holds compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
+  find src tools bench -name '*.cc' -print0 |
+    xargs -0 -n 4 -P "$JOBS" clang-tidy -p build --quiet
+else
+  echo "clang-tidy not installed: skipping (CI runs this step)"
+fi
+
+echo "==> [4/10] tier-1 test suite"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [3/7] configure + build (ThreadSanitizer)"
+echo "==> [5/10] configure + build (ThreadSanitizer)"
 cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
   -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
 TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
   join_stats_test self_join_test cross_join_test join_obs_test)
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
-echo "==> [4/7] parallel join tests under TSan"
-export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+echo "==> [6/10] parallel join tests under TSan"
 for t in "${TSAN_TARGETS[@]}"; do
   echo "--- $t"
   "./build-tsan/tests/$t"
 done
 
-echo "==> [5/7] index probe micro-bench (speedup + zero-allocation gates)"
+echo "==> [7/10] full suite under UBSan"
+cmake -B build-ubsan -S . -DUJOIN_SANITIZE=undefined \
+  -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-ubsan -j "$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -LE lint
+
+echo "==> [8/10] index probe micro-bench (speedup + zero-allocation gates)"
 # Tiny scale: this is a smoke run of the gates, not a timing measurement.
 UJOIN_BENCH_SCALE="${UJOIN_BENCH_SCALE:-0.25}" \
   ./build/bench/bench_index_probe build/BENCH_probe.json
 
-echo "==> [6/7] CLI observability smoke (run report + trace schemas)"
+echo "==> [9/10] CLI observability smoke (run report + trace schemas)"
 OBS_DIR="build/obs-smoke"
 mkdir -p "$OBS_DIR"
 ./build/tools/ujoin_cli generate --kind=names --size=200 --seed=11 \
@@ -87,7 +112,7 @@ assert all({"ts", "dur", "tid"} <= e.keys()
 print("run report and trace are schema-valid")
 PYEOF
 
-echo "==> [7/7] zero-allocation and overhead gates with recording on"
+echo "==> [10/10] zero-allocation and overhead gates with recording on"
 ./build/tests/frozen_index_test \
   --gtest_filter='FrozenIndexTest.SteadyStateQueryDoesNotAllocate'
 # Smoke gate only: at this tiny scale a 1-CPU box needs a wide margin and

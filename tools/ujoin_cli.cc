@@ -506,7 +506,7 @@ int RunStats(Flags& flags) {
   const double n = static_cast<double>(input->size());
   std::printf("strings:            %zu\n", input->size());
   std::printf("length:             min %d, avg %.1f, max %d\n", min_len,
-              total_len / n, max_len);
+              static_cast<double>(total_len) / n, max_len);
   std::printf("theta (uncertain):  %.3f\n",
               static_cast<double>(uncertain) / static_cast<double>(total_len));
   std::printf("gamma (mean alts):  %.2f\n",
