@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -71,4 +72,7 @@ BENCHMARK(BM_Fig5_Tau)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig5_tau",
+                                     "BENCH_fig5_tau.json");
+}

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "filter/cdf_filter.h"
@@ -151,4 +152,7 @@ BENCHMARK(BM_PairwiseQGramFilter);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_micro",
+                                     "BENCH_micro.json");
+}

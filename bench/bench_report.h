@@ -1,0 +1,134 @@
+#ifndef UJOIN_BENCH_BENCH_REPORT_H_
+#define UJOIN_BENCH_BENCH_REPORT_H_
+
+// Run-report envelope adapter for google-benchmark harnesses.
+//
+// The plain-executable benches (bench_obs_overhead, bench_index_probe,
+// bench_selfjoin_scaling) write BENCH_*.json in the shared ujoin.run_report
+// envelope directly.  Benches built on google-benchmark get the same
+// artefact through RunReportMain: a ConsoleReporter subclass keeps the
+// familiar console table and captures every finished run; after
+// RunSpecifiedBenchmarks the captured runs are rendered into the envelope's
+// "results" section (one entry per run: name, label, iterations, per-
+// iteration real/cpu time in the bench's declared unit, and every user
+// counter) and written via obs::WriteRunReport.
+//
+//   int main(int argc, char** argv) {
+//     return ujoin::bench::RunReportMain(argc, argv, "bench_fig5_tau",
+//                                        "BENCH_fig5_tau.json");
+//   }
+//
+// UJOIN_BENCH_REPORT_OUT overrides the output path (the google-benchmark
+// flag parser owns argv, so the override rides in the environment like
+// UJOIN_BENCH_SCALE does).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "obs/json_writer.h"
+#include "obs/report.h"
+#include "util/status.h"
+
+namespace ujoin {
+namespace bench {
+
+/// Console reporter that additionally captures every run for the
+/// ujoin.run_report "results" section.
+class RunReportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    benchmark::ConsoleReporter::ReportRuns(report);
+    for (const Run& run : report) {
+      if (run.error_occurred) {
+        any_errors_ = true;
+        continue;
+      }
+      runs_.push_back(run);
+    }
+  }
+
+  bool any_errors() const { return any_errors_; }
+  size_t num_runs() const { return runs_.size(); }
+
+  /// Renders the captured runs as a JSON array, one object per run, in
+  /// execution order.  Iteration counts and counters are exact; times are
+  /// per-iteration and use the benchmark's declared time unit, so the
+  /// bytes are deterministic given identical timings.
+  std::string ResultsJson() const {
+    obs::JsonWriter w;
+    w.BeginArray();
+    for (const Run& run : runs_) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(run.benchmark_name());
+      if (!run.report_label.empty()) {
+        w.Key("label");
+        w.String(run.report_label);
+      }
+      if (run.run_type == Run::RT_Aggregate) {
+        w.Key("aggregate");
+        w.String(run.aggregate_name);
+      }
+      w.Key("iterations");
+      w.Int(static_cast<int64_t>(run.iterations));
+      w.Key("time_unit");
+      w.String(benchmark::GetTimeUnitString(run.time_unit));
+      w.Key("real_time");
+      w.Double(run.GetAdjustedRealTime());
+      w.Key("cpu_time");
+      w.Double(run.GetAdjustedCPUTime());
+      w.Key("counters");
+      w.BeginObject();
+      for (const auto& [name, counter] : run.counters) {
+        w.Key(name);
+        w.Double(static_cast<double>(counter));
+      }
+      w.EndObject();
+      w.EndObject();
+    }
+    w.EndArray();
+    return w.TakeString();
+  }
+
+ private:
+  std::vector<Run> runs_;
+  bool any_errors_ = false;
+};
+
+/// Drop-in replacement for BENCHMARK_MAIN()'s body: runs the registered
+/// benchmarks with a RunReportReporter and writes `default_out` (or
+/// $UJOIN_BENCH_REPORT_OUT) in the ujoin.run_report envelope.
+inline int RunReportMain(int argc, char** argv, const char* command,
+                         const char* default_out) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  RunReportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (reporter.any_errors()) {
+    std::fprintf(stderr, "%s: a benchmark reported an error\n", command);
+    return 1;
+  }
+  const char* env_out = std::getenv("UJOIN_BENCH_REPORT_OUT");
+  const std::string out_path = env_out != nullptr ? env_out : default_out;
+  const Status status = obs::WriteRunReport(
+      out_path, command, {{"results", reporter.ResultsJson()}});
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", command, status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu runs)\n", out_path.c_str(),
+              reporter.num_runs());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ujoin
+
+#endif  // UJOIN_BENCH_BENCH_REPORT_H_

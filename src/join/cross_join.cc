@@ -67,7 +67,10 @@ Result<CrossJoinResult> SimilarityJoin(
     obs::Recorder* const rec =
         run_metrics != nullptr ? &probe_metrics[probe_id] : nullptr;
     obs::SpanCollector* span_sink = nullptr;
-    if (trace != nullptr) {
+    // Probe-span sampling: keep/drop depends only on the sampling config and
+    // the probe index, so sampled traces are thread-count invariant.
+    if (trace != nullptr &&
+        trace->SampleProbe(static_cast<int64_t>(probe_id))) {
       outcome.spans =
           obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
       span_sink = &outcome.spans;
@@ -115,7 +118,10 @@ Result<CrossJoinResult> SimilarityJoin(
     }
     result.stats.Merge(outcome.stats);
     if (run_metrics != nullptr) run_metrics->Merge(probe_metrics[probe_id]);
-    if (trace != nullptr) trace->Append(outcome.spans.events());
+    if (trace != nullptr) {
+      trace->NoteProbe(outcome.spans.enabled());
+      trace->Append(outcome.spans.events());
+    }
   }
   result.stats.peak_index_memory = searcher->IndexMemoryUsage();
   UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kThreads, threads);

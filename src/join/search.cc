@@ -11,6 +11,7 @@
 #include "obs/obs_macros.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/math_util.h"
 #include "util/timer.h"
 
 namespace ujoin {
@@ -103,6 +104,15 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     ~ObsRestore() { ws->obs = saved; }
   } obs_restore{workspace, saved_ws_obs};
 
+  // `stats` may be caller-owned and already non-zero, so the funnel deltas
+  // for this query are computed against base snapshots taken here.
+  const int64_t base_length_compatible = stats->length_compatible_pairs;
+  const int64_t base_qgram = stats->qgram_candidates;
+  const int64_t base_freq = stats->freq_candidates;
+  const int64_t base_cdf_rejected = stats->cdf_rejected;
+  const int64_t base_verified = stats->verified_pairs;
+  int64_t verify_emitted = 0;
+
   Timer total_timer;
   const int64_t query_span_start = spans->NowNs();
   // Sub-millisecond per-pair stages accumulate integer nanoseconds and fold
@@ -124,6 +134,10 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     effective_options.early_stop_verification = false;
   }
   internal::PairVerifier verifier(query, effective_options);
+  // World-count factor of the query, computed once and only while recording
+  // (WorldCount walks every position).
+  const int64_t q_worlds =
+      UJOIN_OBS_ENABLED(metrics) ? query.WorldCount() : 0;
 
   const double qgram_tau =
       options_.qgram_probabilistic_pruning ? options_.tau : 0.0;
@@ -212,9 +226,12 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyLatencyNs, pair_verify_ns);
     UJOIN_OBS_HIST(metrics, obs::Hist::kExploredTrieNodes,
                    stats->verify_stats.explored_s_nodes - nodes_before);
+    UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyWorldCount,
+                   SaturatingMul(q_worlds, s.WorldCount()));
     if (!verdict.ok()) return verdict.status();
     if (verdict->similar) {
       ++stats->result_pairs;
+      ++verify_emitted;
       hits.push_back(SearchHit{id, verdict->lower, verdict->exact});
     }
   }
@@ -223,6 +240,22 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   stats->freq_time += 1e-9 * static_cast<double>(freq_ns);
   stats->cdf_time += 1e-9 * static_cast<double>(cdf_ns);
   stats->verify_time += 1e-9 * static_cast<double>(verify_ns);
+
+  // Filter-funnel flow for this query, as deltas against the base snapshots
+  // (a disabled stage is a pass-through: entered == survived).
+  UJOIN_OBS_FUNNEL(metrics, obs::FunnelStage::kQgram,
+                   stats->length_compatible_pairs - base_length_compatible,
+                   stats->qgram_candidates - base_qgram);
+  UJOIN_OBS_FUNNEL(metrics, obs::FunnelStage::kFreqDistance,
+                   stats->qgram_candidates - base_qgram,
+                   stats->freq_candidates - base_freq);
+  UJOIN_OBS_FUNNEL(metrics, obs::FunnelStage::kCdfBound,
+                   stats->freq_candidates - base_freq,
+                   (stats->freq_candidates - base_freq) -
+                       (stats->cdf_rejected - base_cdf_rejected));
+  UJOIN_OBS_FUNNEL(metrics, obs::FunnelStage::kVerify,
+                   stats->verified_pairs - base_verified, verify_emitted);
+
   UJOIN_OBS_COUNTER(metrics, obs::Counter::kQueries, 1);
   UJOIN_OBS_COUNTER(metrics, obs::Counter::kProbes, 1);
   const int64_t query_ns = total_timer.ElapsedNanos();
@@ -468,7 +501,10 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     obs::Recorder* const rec =
         run_metrics != nullptr ? &query_metrics[i] : nullptr;
     obs::SpanCollector* span_sink = nullptr;
-    if (trace != nullptr) {
+    // Query-span sampling: the keep/drop decision depends only on the
+    // sampling config and the query index, so sampled traces are identical
+    // for every thread count.
+    if (trace != nullptr && trace->SampleProbe(static_cast<int64_t>(i))) {
       query_spans[i] =
           obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
       span_sink = &query_spans[i];
@@ -504,7 +540,10 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     out.push_back(std::move(results[i]).value());
     if (stats != nullptr) stats->Merge(query_stats[i]);
     if (run_metrics != nullptr) run_metrics->Merge(query_metrics[i]);
-    if (trace != nullptr) trace->Append(query_spans[i].events());
+    if (trace != nullptr) {
+      trace->NoteProbe(query_spans[i].enabled());
+      trace->Append(query_spans[i].events());
+    }
   }
   UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kThreads, threads);
   UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kCollectionSize,

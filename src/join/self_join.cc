@@ -16,6 +16,7 @@
 #include "obs/obs_macros.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/math_util.h"
 #include "util/timer.h"
 
 namespace ujoin {
@@ -227,7 +228,11 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       obs::Recorder* const rec =
           run_metrics != nullptr ? &rank_metrics[rank] : nullptr;
       workspace.obs = rec;
-      if (trace != nullptr) {
+      // Probe-span sampling: the keep/drop decision is a pure function of
+      // (sampling seed, global probe index), so sampled traces are identical
+      // for every thread count.  Driver/wave spans are never sampled out.
+      if (trace != nullptr &&
+          trace->SampleProbe(static_cast<int64_t>(wave_start) + rank)) {
         outcome.spans =
             obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
       }
@@ -272,6 +277,10 @@ Result<SelfJoinResult> SimilaritySelfJoin(
 
       // ---- per-candidate filter cascade ---------------------------------
       internal::PairVerifier verifier(r, options);
+      // World-count factor of the probing string, computed once per rank and
+      // only while recording (WorldCount walks every position).
+      const int64_t r_worlds = UJOIN_OBS_ENABLED(rec) ? r.WorldCount() : 0;
+      int64_t verify_emitted = 0;
       const int64_t cascade_start = spans.NowNs();
       for (uint32_t j : candidates) {
         const UncertainString& s = collection[order[j]];
@@ -330,12 +339,15 @@ Result<SelfJoinResult> SimilaritySelfJoin(
         UJOIN_OBS_HIST(rec, obs::Hist::kVerifyLatencyNs, pair_verify_ns);
         UJOIN_OBS_HIST(rec, obs::Hist::kExploredTrieNodes,
                        pstats.verify_stats.explored_s_nodes - nodes_before);
+        UJOIN_OBS_HIST(rec, obs::Hist::kVerifyWorldCount,
+                       SaturatingMul(r_worlds, s.WorldCount()));
         if (!verdict.ok()) {
           outcome.status = verdict.status();
           return;
         }
         if (verdict->similar) {
           ++pstats.result_pairs;
+          ++verify_emitted;
           EmitPair(order[i], order[j], verdict->lower, verdict->exact,
                    &outcome.pairs);
         }
@@ -347,6 +359,21 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       pstats.freq_time += 1e-9 * static_cast<double>(freq_ns);
       pstats.cdf_time += 1e-9 * static_cast<double>(cdf_ns);
       pstats.verify_time += 1e-9 * static_cast<double>(verify_ns);
+
+      // Filter-funnel flow for this rank, read off the rank-private stats
+      // (they start at zero, so these are exactly this probe's deltas).  A
+      // disabled stage is a pass-through — entered == survived — by
+      // construction of the counters above.
+      UJOIN_OBS_FUNNEL(rec, obs::FunnelStage::kQgram,
+                       pstats.length_compatible_pairs,
+                       pstats.qgram_candidates);
+      UJOIN_OBS_FUNNEL(rec, obs::FunnelStage::kFreqDistance,
+                       pstats.qgram_candidates, pstats.freq_candidates);
+      UJOIN_OBS_FUNNEL(rec, obs::FunnelStage::kCdfBound,
+                       pstats.freq_candidates,
+                       pstats.freq_candidates - pstats.cdf_rejected);
+      UJOIN_OBS_FUNNEL(rec, obs::FunnelStage::kVerify, pstats.verified_pairs,
+                       verify_emitted);
 
       outcome.probe_ns = probe_timer.ElapsedNanos();
       UJOIN_OBS_HIST(rec, obs::Hist::kProbeLatencyNs, outcome.probe_ns);
@@ -386,7 +413,10 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       result.pairs.insert(result.pairs.end(), outcome.pairs.begin(),
                           outcome.pairs.end());
       if (run_metrics != nullptr) run_metrics->Merge(rank_metrics[rank]);
-      if (trace != nullptr) trace->Append(outcome.spans.events());
+      if (trace != nullptr) {
+        trace->NoteProbe(outcome.spans.enabled());
+        trace->Append(outcome.spans.events());
+      }
     }
     if (trace != nullptr) {
       trace->AddSpan("wave_merge", merge_span_start,

@@ -1,0 +1,152 @@
+#include "obs/exposition.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/metrics.h"
+
+namespace ujoin {
+namespace obs {
+
+namespace {
+
+constexpr char kPrefix[] = "ujoin_";
+
+/// Escapes a HELP line per the exposition format: backslash and newline.
+void AppendEscapedHelp(const char* help, std::string* out) {
+  for (const char* p = help; *p != '\0'; ++p) {
+    switch (*p) {
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      default:
+        out->push_back(*p);
+    }
+  }
+}
+
+void AppendHeader(const std::string& family, const char* help,
+                  const char* type, std::string* out) {
+  out->append("# HELP ");
+  out->append(family);
+  out->push_back(' ');
+  AppendEscapedHelp(help, out);
+  out->push_back('\n');
+  out->append("# TYPE ");
+  out->append(family);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+void AppendSample(const std::string& name, int64_t value, std::string* out) {
+  out->append(name);
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+void AppendHistogramFamily(const std::string& family, const Histogram& h,
+                           std::string* out) {
+  // Cumulative buckets from bucket 0 through the highest non-empty bucket.
+  // Bucket b holds values in [2^(b-1), 2^b), so its exact inclusive upper
+  // bound — the `le` label — is 2^b - 1; bucket 0 (values <= 0) gets le="0".
+  int highest = -1;
+  for (int b = Histogram::kNumBuckets - 1; b >= 0; --b) {
+    if (h.bucket(b) != 0) {
+      highest = b;
+      break;
+    }
+  }
+  int64_t cumulative = 0;
+  for (int b = 0; b <= highest; ++b) {
+    cumulative += h.bucket(b);
+    const int64_t le =
+        b == 0 ? 0
+               : static_cast<int64_t>((uint64_t{1} << b) - 1);
+    out->append(family);
+    out->append("_bucket{le=\"");
+    out->append(std::to_string(le));
+    out->append("\"} ");
+    out->append(std::to_string(cumulative));
+    out->push_back('\n');
+  }
+  out->append(family);
+  out->append("_bucket{le=\"+Inf\"} ");
+  out->append(std::to_string(h.count()));
+  out->push_back('\n');
+  AppendSample(family + "_sum", h.sum(), out);
+  AppendSample(family + "_count", h.count(), out);
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const Recorder& r) {
+  std::string out;
+  out.reserve(4096);
+  for (int c = 0; c < kNumCounters; ++c) {
+    const MetricInfo& info = CounterInfo(static_cast<Counter>(c));
+    const std::string family = std::string(kPrefix) + info.name + "_total";
+    AppendHeader(family, info.help, "counter", &out);
+    AppendSample(family, r.counter(static_cast<Counter>(c)), &out);
+  }
+  for (int g = 0; g < kNumGauges; ++g) {
+    const MetricInfo& info = GaugeInfo(static_cast<Gauge>(g));
+    const std::string family = std::string(kPrefix) + info.name;
+    AppendHeader(family, info.help, "gauge", &out);
+    AppendSample(family, r.gauge(static_cast<Gauge>(g)), &out);
+  }
+  {
+    const std::string family =
+        std::string(kPrefix) + "filter_funnel_candidates_total";
+    AppendHeader(family,
+                 "candidates entering and surviving each filter stage, in "
+                 "pipeline order",
+                 "counter", &out);
+    for (int s = 0; s < kNumFunnelStages; ++s) {
+      const FunnelStage stage = static_cast<FunnelStage>(s);
+      const char* name = FunnelStageInfo(stage).name;
+      out.append(family);
+      out.append("{stage=\"");
+      out.append(name);
+      out.append("\",edge=\"entered\"} ");
+      out.append(std::to_string(r.funnel_entered(stage)));
+      out.push_back('\n');
+      out.append(family);
+      out.append("{stage=\"");
+      out.append(name);
+      out.append("\",edge=\"survived\"} ");
+      out.append(std::to_string(r.funnel_survived(stage)));
+      out.push_back('\n');
+    }
+  }
+  for (int h = 0; h < kNumHists; ++h) {
+    const MetricInfo& info = HistInfo(static_cast<Hist>(h));
+    const std::string family = std::string(kPrefix) + info.name;
+    AppendHeader(family, info.help, "histogram", &out);
+    AppendHistogramFamily(family, r.hist(static_cast<Hist>(h)), &out);
+  }
+  return out;
+}
+
+Status WritePrometheusTextfile(const Recorder& r, const std::string& path) {
+  const std::string text = RenderPrometheusText(r);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open '" + tmp + "' for writing");
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    if (!out) return Status::IoError("write to '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace ujoin

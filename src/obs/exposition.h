@@ -1,0 +1,48 @@
+#ifndef UJOIN_OBS_EXPOSITION_H_
+#define UJOIN_OBS_EXPOSITION_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace ujoin {
+namespace obs {
+
+class Recorder;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition (version 0.0.4)
+//
+// Renders a Recorder snapshot in the Prometheus text format, driven entirely
+// by the enum metadata rows in metrics.cc — adding a metric to the registry
+// makes it appear here with no further wiring.  The mapping (documented in
+// DESIGN.md "Live monitoring"):
+//
+//  * counters  -> `ujoin_<name>_total`, TYPE counter
+//  * gauges    -> `ujoin_<name>`, TYPE gauge
+//  * log2 histograms -> `ujoin_<name>`, TYPE histogram.  Bucket b of the
+//    repo Histogram holds int64 values of bit width b, i.e. [2^(b-1), 2^b),
+//    so its exact inclusive upper bound is 2^b - 1 and that is the `le`
+//    label (bucket 0, which holds values <= 0, gets le="0").  Cumulative
+//    counts run from bucket 0 through the highest non-empty bucket, then
+//    the mandatory le="+Inf" terminal; `_sum` and `_count` follow.
+//  * funnel    -> one family `ujoin_filter_funnel_candidates_total` with
+//    `stage` and `edge` ("entered"/"survived") labels, TYPE counter.
+//
+// Unit suffixes from the registry names (`_ns`, `_bytes`, ...) are kept
+// as-is; `# HELP` text comes from the registry doc rows.  Rendering is
+// deterministic: same Recorder state, same bytes.
+// ---------------------------------------------------------------------------
+
+/// Renders `r` as a complete Prometheus text-format page.
+std::string RenderPrometheusText(const Recorder& r);
+
+/// Writes RenderPrometheusText(r) to `path` for the node_exporter textfile
+/// collector: the page is written to `path + ".tmp"` and renamed into place
+/// so a concurrent collector never reads a half-written file.
+Status WritePrometheusTextfile(const Recorder& r, const std::string& path);
+
+}  // namespace obs
+}  // namespace ujoin
+
+#endif  // UJOIN_OBS_EXPOSITION_H_

@@ -20,6 +20,8 @@ constexpr MetricInfo kHistInfo[kNumHists] = {
     {"wave_imbalance_permille", "permille",
      "per-wave probe imbalance, 1000*max/mean over ranks"},
     {"probe_latency_ns", "ns", "wall time of one probe or query"},
+    {"verify_world_count", "count",
+     "saturating possible-world count of one verified pair"},
 };
 
 constexpr MetricInfo kCounterInfo[kNumCounters] = {
@@ -33,6 +35,13 @@ constexpr MetricInfo kGaugeInfo[kNumGauges] = {
     {"wave_size", "count", "strings per self-join wave"},
     {"peak_index_memory_bytes", "bytes", "peak segment-index memory"},
     {"collection_size", "count", "strings in the joined collection"},
+};
+
+constexpr MetricInfo kFunnelInfo[kNumFunnelStages] = {
+    {"qgram", "count", "q-gram index probe (Theorem 2)"},
+    {"freq_distance", "count", "frequency-distance filter (Theorem 3)"},
+    {"cdf_bound", "count", "CDF-bound filter (Theorem 4)"},
+    {"verify", "count", "trie verification (Section 6)"},
 };
 
 void AppendHistogramJson(const Histogram& h, const MetricInfo& info,
@@ -85,6 +94,10 @@ const MetricInfo& GaugeInfo(Gauge g) {
   return kGaugeInfo[static_cast<size_t>(g)];
 }
 
+const MetricInfo& FunnelStageInfo(FunnelStage s) {
+  return kFunnelInfo[static_cast<size_t>(s)];
+}
+
 int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) return 0;
   const double clamped = std::min(std::max(p, 0.0), 1.0);
@@ -108,6 +121,10 @@ void Recorder::Merge(const Recorder& other) {
   }
   for (size_t g = 0; g < gauges_.size(); ++g) {
     gauges_[g] = std::max(gauges_[g], other.gauges_[g]);
+  }
+  for (size_t s = 0; s < funnel_entered_.size(); ++s) {
+    funnel_entered_[s] += other.funnel_entered_[s];
+    funnel_survived_[s] += other.funnel_survived_[s];
   }
 }
 
@@ -134,6 +151,18 @@ void Recorder::AppendJson(JsonWriter* w) const {
   for (size_t h = 0; h < hists_.size(); ++h) {
     w->Key(kHistInfo[h].name);
     AppendHistogramJson(hists_[h], kHistInfo[h], w);
+  }
+  w->EndObject();
+  w->Key("funnel");
+  w->BeginObject();
+  for (size_t s = 0; s < funnel_entered_.size(); ++s) {
+    w->Key(kFunnelInfo[s].name);
+    w->BeginObject();
+    w->Key("entered");
+    w->Int(funnel_entered_[s]);
+    w->Key("survived");
+    w->Int(funnel_survived_[s]);
+    w->EndObject();
   }
   w->EndObject();
   w->EndObject();

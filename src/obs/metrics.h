@@ -44,8 +44,13 @@ enum class Hist : int {
   /// Wall time of one whole probe (one rank in a wave, or one query),
   /// nanoseconds.
   kProbeLatencyNs,
+  /// Saturating possible-world count of one verified pair: the product of
+  /// per-position alternative counts over both strings.  Makes the known
+  /// exponential `always_verify` blowup visible before the guard lands
+  /// (ROADMAP "Guard against exponential exact verification").
+  kVerifyWorldCount,
 };
-inline constexpr int kNumHists = 6;
+inline constexpr int kNumHists = 7;
 
 /// Counters: monotonically increasing event counts.
 enum class Counter : int {
@@ -68,6 +73,25 @@ enum class Gauge : int {
 };
 inline constexpr int kNumGauges = 4;
 
+/// Filter-funnel stages, in pipeline order (Section 5's cascade): each stage
+/// records the candidates that entered it and the candidates that survived
+/// it.  A disabled stage is a pass-through (entered == survived), so the
+/// funnel shape is always a connected chain.
+enum class FunnelStage : int {
+  /// q-gram index probe (Theorem 2).  Enters: length-compatible pairs.
+  kQgram = 0,
+  /// Frequency-distance filter (Theorem 3).
+  kFreqDistance,
+  /// CDF-bound filter (Theorem 4).  Survivors are the accepted + undecided
+  /// candidates (rejects are pruned).
+  kCdfBound,
+  /// Trie verification (Section 6).  Enters: pairs actually verified
+  /// (CDF-accepted pairs that skip verification never enter this stage).
+  /// Survives: verified pairs emitted as results.
+  kVerify,
+};
+inline constexpr int kNumFunnelStages = 4;
+
 /// Static metadata for one registry entry.
 struct MetricInfo {
   const char* name;  ///< JSON key, lower_snake_case with unit suffix.
@@ -78,6 +102,8 @@ struct MetricInfo {
 const MetricInfo& HistInfo(Hist h);
 const MetricInfo& CounterInfo(Counter c);
 const MetricInfo& GaugeInfo(Gauge g);
+/// `name` holds the stage label ("qgram", "freq_distance", ...).
+const MetricInfo& FunnelStageInfo(FunnelStage s);
 
 // ---------------------------------------------------------------------------
 // Histogram
@@ -183,6 +209,12 @@ class Recorder {
     gauges_[static_cast<size_t>(g)] =
         std::max(gauges_[static_cast<size_t>(g)], value);
   }
+  /// Adds one probe's candidate flow through funnel stage `s`: `entered`
+  /// candidates reached the stage, `survived` of them passed it.
+  void AddFunnel(FunnelStage s, int64_t entered, int64_t survived) {
+    funnel_entered_[static_cast<size_t>(s)] += entered;
+    funnel_survived_[static_cast<size_t>(s)] += survived;
+  }
 
   /// Folds `other` into this recorder: histograms and counters add, gauges
   /// take the max.  Integer-only state makes the result independent of fold
@@ -198,10 +230,18 @@ class Recorder {
     return counters_[static_cast<size_t>(c)];
   }
   int64_t gauge(Gauge g) const { return gauges_[static_cast<size_t>(g)]; }
+  int64_t funnel_entered(FunnelStage s) const {
+    return funnel_entered_[static_cast<size_t>(s)];
+  }
+  int64_t funnel_survived(FunnelStage s) const {
+    return funnel_survived_[static_cast<size_t>(s)];
+  }
 
   bool operator==(const Recorder& other) const {
     return hists_ == other.hists_ && counters_ == other.counters_ &&
-           gauges_ == other.gauges_;
+           gauges_ == other.gauges_ &&
+           funnel_entered_ == other.funnel_entered_ &&
+           funnel_survived_ == other.funnel_survived_;
   }
 
   /// Appends the metrics JSON object (schema documented in DESIGN.md
@@ -215,6 +255,8 @@ class Recorder {
   std::array<Histogram, kNumHists> hists_{};
   std::array<int64_t, kNumCounters> counters_{};
   std::array<int64_t, kNumGauges> gauges_{};
+  std::array<int64_t, kNumFunnelStages> funnel_entered_{};
+  std::array<int64_t, kNumFunnelStages> funnel_survived_{};
 };
 
 /// Version of the "metrics" JSON object emitted by Recorder::AppendJson.

@@ -39,6 +39,11 @@
   do {                                                                 \
     (void)sizeof(recorder), (void)sizeof(id), (void)sizeof((value));   \
   } while (0)
+#define UJOIN_OBS_FUNNEL(recorder, stage, entered, survived)           \
+  do {                                                                 \
+    (void)sizeof(recorder), (void)sizeof(stage),                       \
+        (void)sizeof((entered)), (void)sizeof((survived));             \
+  } while (0)
 
 #else  // !defined(UJOIN_OBS_DISABLED)
 
@@ -62,6 +67,15 @@
 #define UJOIN_OBS_GAUGE(recorder, id, value)                        \
   do {                                                              \
     if ((recorder) != nullptr) (recorder)->SetGauge((id), (value)); \
+  } while (0)
+
+/// Adds one probe's candidate flow through funnel stage `stage` when a
+/// recorder is attached: `entered` candidates reached it, `survived` passed.
+#define UJOIN_OBS_FUNNEL(recorder, stage, entered, survived) \
+  do {                                                       \
+    if ((recorder) != nullptr) {                             \
+      (recorder)->AddFunnel((stage), (entered), (survived)); \
+    }                                                        \
   } while (0)
 
 #endif  // defined(UJOIN_OBS_DISABLED)

@@ -1,0 +1,163 @@
+#include "obs/scrape_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ujoin {
+namespace obs {
+
+namespace {
+
+/// Sends all of `data`, tolerating short writes.  MSG_NOSIGNAL turns a peer
+/// that hung up into an error return instead of SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent,
+                           MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+std::string HttpResponse(const char* status_line, const char* content_type,
+                         const std::string& body) {
+  std::string r;
+  r.reserve(body.size() + 128);
+  r.append("HTTP/1.0 ");
+  r.append(status_line);
+  r.append("\r\nContent-Type: ");
+  r.append(content_type);
+  r.append("\r\nContent-Length: ");
+  r.append(std::to_string(body.size()));
+  r.append("\r\nConnection: close\r\n\r\n");
+  r.append(body);
+  return r;
+}
+
+}  // namespace
+
+Status ScrapeServer::Start(int port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(127.0.0.1:" + std::to_string(port) +
+                           ") failed: " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 8) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread(&ScrapeServer::Serve, this);
+  return Status::OK();
+}
+
+void ScrapeServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void ScrapeServer::UpdateMetrics(std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_text_ = std::move(text);
+}
+
+void ScrapeServer::Serve() {
+  // Poll-with-timeout instead of a bare blocking accept: the 100 ms tick is
+  // how Stop() gets the thread's attention without racing a close() against
+  // an accept() in flight.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    close(fd);
+  }
+}
+
+void ScrapeServer::HandleConnection(int fd) {
+  // A scrape request fits in one read in practice; loop until the header
+  // terminator anyway, bounded by the buffer and a receive timeout so a
+  // stalled peer cannot wedge the accept thread.
+  timeval timeout{};
+  timeout.tv_sec = 2;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  char buf[2048];
+  size_t used = 0;
+  while (used < sizeof(buf) - 1) {
+    const ssize_t n = recv(fd, buf + used, sizeof(buf) - 1 - used, 0);
+    if (n <= 0) break;
+    used += static_cast<size_t>(n);
+    buf[used] = '\0';
+    if (std::strstr(buf, "\r\n\r\n") != nullptr ||
+        std::strstr(buf, "\n\n") != nullptr) {
+      break;
+    }
+  }
+  buf[used] = '\0';
+
+  // Request line: METHOD SP PATH SP VERSION.
+  std::string path;
+  {
+    const char* sp1 = std::strchr(buf, ' ');
+    if (sp1 != nullptr) {
+      const char* sp2 = std::strchr(sp1 + 1, ' ');
+      if (sp2 != nullptr) path.assign(sp1 + 1, sp2);
+    }
+  }
+
+  std::string response;
+  if (path == "/metrics") {
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body = metrics_text_;
+    }
+    response = HttpResponse("200 OK", "text/plain; version=0.0.4", body);
+  } else if (path == "/healthz") {
+    response = HttpResponse("200 OK", "text/plain", "ok\n");
+  } else {
+    response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+  }
+  SendAll(fd, response);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace ujoin

@@ -1,0 +1,77 @@
+#ifndef UJOIN_OBS_SCRAPE_SERVER_H_
+#define UJOIN_OBS_SCRAPE_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace ujoin {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// ScrapeServer
+//
+// A deliberately tiny HTTP/1.0 endpoint for Prometheus scrapes: one
+// listening socket on 127.0.0.1, one accept thread, one connection handled
+// at a time.  It serves exactly two paths —
+//
+//   GET /metrics  -> the most recent snapshot pushed via UpdateMetrics
+//   GET /healthz  -> "ok"
+//
+// and 404s everything else.  The join/search pipeline never blocks on a
+// scrape: workers do not know the server exists.  The driver renders a
+// Prometheus page at its own safe points (wave boundaries, query folds) and
+// pushes the finished bytes with UpdateMetrics; the accept thread serves
+// whatever snapshot it holds under a mutex held only for a string copy.
+// Scrapes therefore observe a consistent (wave-boundary) snapshot, never a
+// half-merged recorder.
+// ---------------------------------------------------------------------------
+
+class ScrapeServer {
+ public:
+  ScrapeServer() = default;
+  ~ScrapeServer() { Stop(); }
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port, readable from
+  /// port() afterwards) and starts the accept thread.  Call at most once.
+  Status Start(int port);
+
+  /// Stops the accept thread and closes the socket.  Idempotent; also run
+  /// by the destructor.
+  void Stop();
+
+  /// The bound port, valid after a successful Start().
+  int port() const { return port_; }
+
+  /// Replaces the /metrics snapshot.  Callable from the driver thread while
+  /// the accept thread serves; the new page is visible to the next scrape.
+  void UpdateMetrics(std::string text);
+
+  /// Snapshots served so far (across both paths); test/introspection aid.
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_served_{0};
+  std::mutex mu_;
+  std::string metrics_text_;  // guarded by mu_
+};
+
+}  // namespace obs
+}  // namespace ujoin
+
+#endif  // UJOIN_OBS_SCRAPE_SERVER_H_

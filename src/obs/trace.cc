@@ -74,6 +74,17 @@ std::string TraceRecorder::ToJson() const {
   w.EndArray();
   w.Key("displayTimeUnit");
   w.String("ms");
+  // Sampling coverage: always emitted (sample_n == 1 means every probe kept)
+  // so consumers can tell a sparse trace from a sampled one.
+  w.Key("metadata");
+  w.BeginObject();
+  w.Key("probe_span_sample_n");
+  w.Int(sample_n_);
+  w.Key("probes_seen");
+  w.Int(probes_seen_);
+  w.Key("probes_sampled");
+  w.Int(probes_sampled_);
+  w.EndObject();
   w.EndObject();
   return w.TakeString();
 }

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "util/rng.h"
 #include "util/status.h"
 
 namespace ujoin {
@@ -60,6 +61,39 @@ class TraceRecorder {
 
   size_t num_events() const { return events_.size(); }
 
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Enables 1-in-`n` probe-span sampling (n >= 1; 1 keeps every probe).
+  /// Driver/wave spans are never sampled out — only per-probe span buffers
+  /// gated through SampleProbe.  The decision for a probe is a pure function
+  /// of (`seed`, probe index), so sampled traces are reproducible and
+  /// identical for every thread count.  Driver thread only, before the run.
+  void SetProbeSampling(int64_t n, uint64_t seed) {
+    sample_n_ = n >= 1 ? n : 1;
+    sample_seed_ = seed;
+  }
+
+  /// Whether the probe with global index `probe_index` keeps its spans.
+  /// Const and thread-safe: callable from any rank (each call derives its
+  /// own seeded Rng), and depends only on the sampling config and the index.
+  bool SampleProbe(int64_t probe_index) const {
+    if (sample_n_ <= 1) return true;
+    Rng rng(sample_seed_ ^
+            (static_cast<uint64_t>(probe_index) + 1) * 0x9E3779B97F4A7C15ULL);
+    return rng.Uniform(static_cast<uint64_t>(sample_n_)) == 0;
+  }
+
+  /// Driver-side bookkeeping: call once per probe (sampled or not) so the
+  /// trace metadata can report coverage.  Driver thread only.
+  void NoteProbe(bool sampled) {
+    ++probes_seen_;
+    if (sampled) ++probes_sampled_;
+  }
+
+  int64_t sample_n() const { return sample_n_; }
+  int64_t probes_seen() const { return probes_seen_; }
+  int64_t probes_sampled() const { return probes_sampled_; }
+
   /// Renders the full Chrome trace document:
   /// {"traceEvents":[...],"displayTimeUnit":"ms"}.
   std::string ToJson() const;
@@ -70,6 +104,10 @@ class TraceRecorder {
  private:
   std::chrono::steady_clock::time_point origin_;
   std::vector<TraceEvent> events_;
+  int64_t sample_n_ = 1;
+  uint64_t sample_seed_ = 0;
+  int64_t probes_seen_ = 0;
+  int64_t probes_sampled_ = 0;
 };
 
 /// \brief A worker rank's private span buffer.

@@ -271,7 +271,9 @@ TEST(FrozenIndexTest, SteadyStateQueryDoesNotAllocate) {
       Copy(index.Query(r, length, 0.01, &workspace, &stats));
   workspace.obs = nullptr;
   ExpectSameCandidates(unobserved, observed, "recording on vs off");
+#ifndef UJOIN_OBS_DISABLED
   EXPECT_GT(recorder.hist(obs::Hist::kMergedListLength).count(), 0);
+#endif
 }
 
 }  // namespace

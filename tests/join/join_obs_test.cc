@@ -54,7 +54,20 @@ const obs::Hist kDeterministicHists[] = {
     obs::Hist::kExploredTrieNodes,
 };
 
+// Tests asserting recorded *content* have nothing to observe when the
+// instrumentation macros are compiled out (-DUJOIN_OBS=OFF); the
+// determinism tests stay meaningful (all-zero recorders fold identically).
+#ifdef UJOIN_OBS_DISABLED
+#define UJOIN_SKIP_WITHOUT_OBS() \
+  GTEST_SKIP() << "recording compiled out (-DUJOIN_OBS=OFF)"
+#else
+#define UJOIN_SKIP_WITHOUT_OBS() \
+  do {                           \
+  } while (0)
+#endif
+
 TEST(JoinObsTest, InstrumentationDoesNotChangeResults) {
+  UJOIN_SKIP_WITHOUT_OBS();
   const Alphabet alphabet = Alphabet::Names();
   const std::vector<UncertainString> strings = SeededCollection(90, 11);
 
@@ -99,6 +112,136 @@ TEST(JoinObsTest, InstrumentationDoesNotChangeResults) {
     EXPECT_NE(trace_json.find("\"name\":\"" + std::string(span) + "\""),
               std::string::npos)
         << span;
+  }
+}
+
+TEST(JoinObsTest, FunnelAndWorldCountMatchPipelineStats) {
+  UJOIN_SKIP_WITHOUT_OBS();
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(90, 11);
+
+  obs::Recorder recorder;
+  JoinOptions options = JoinOptions::Qfct(2, 0.1);
+  options.threads = 2;
+  options.wave_size = 16;
+  options.metrics = &recorder;
+  Result<SelfJoinResult> result = SimilaritySelfJoin(strings, alphabet,
+                                                     options);
+  ASSERT_TRUE(result.ok());
+  const JoinStats& stats = result->stats;
+
+  // The funnel counters are the JoinStats attribution, re-expressed as
+  // entered/survived edges per filter stage.
+  EXPECT_EQ(recorder.funnel_entered(obs::FunnelStage::kQgram),
+            static_cast<int64_t>(stats.length_compatible_pairs));
+  EXPECT_EQ(recorder.funnel_survived(obs::FunnelStage::kQgram),
+            static_cast<int64_t>(stats.qgram_candidates));
+  EXPECT_EQ(recorder.funnel_entered(obs::FunnelStage::kFreqDistance),
+            static_cast<int64_t>(stats.qgram_candidates));
+  EXPECT_EQ(recorder.funnel_survived(obs::FunnelStage::kFreqDistance),
+            static_cast<int64_t>(stats.freq_candidates));
+  EXPECT_EQ(recorder.funnel_entered(obs::FunnelStage::kCdfBound),
+            static_cast<int64_t>(stats.freq_candidates));
+  EXPECT_EQ(recorder.funnel_survived(obs::FunnelStage::kCdfBound),
+            static_cast<int64_t>(stats.freq_candidates - stats.cdf_rejected));
+  // Pairs the CDF bound accepts outright never reach the verifier, so the
+  // verify stage sees only the undecided remainder.
+  EXPECT_EQ(recorder.funnel_entered(obs::FunnelStage::kVerify),
+            stats.verified_pairs);
+  EXPECT_EQ(recorder.funnel_survived(obs::FunnelStage::kVerify),
+            stats.result_pairs - stats.cdf_accepted);
+  EXPECT_EQ(static_cast<int64_t>(result->pairs.size()), stats.result_pairs);
+  // Monotone shrinking through every stage.
+  for (int s = 0; s < obs::kNumFunnelStages; ++s) {
+    const auto stage = static_cast<obs::FunnelStage>(s);
+    EXPECT_GE(recorder.funnel_entered(stage),
+              recorder.funnel_survived(stage))
+        << obs::FunnelStageInfo(stage).name;
+  }
+  // World counts recorded once per verification, all positive.
+  const obs::Histogram& worlds = recorder.hist(obs::Hist::kVerifyWorldCount);
+  EXPECT_EQ(worlds.count(), static_cast<int64_t>(stats.verified_pairs));
+  EXPECT_GT(worlds.min(), 0);
+}
+
+TEST(JoinObsTest, FunnelIsBitIdenticalAcrossThreadCounts) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(80, 29);
+
+  std::vector<obs::Recorder> recorders;
+  for (int threads : {1, 2, 4, 8}) {
+    JoinOptions options = JoinOptions::Qfct(2, 0.15);
+    options.threads = threads;
+    options.wave_size = 16;
+    obs::Recorder recorder;
+    options.metrics = &recorder;
+    Result<SelfJoinResult> result =
+        SimilaritySelfJoin(strings, alphabet, options);
+    ASSERT_TRUE(result.ok()) << threads;
+    recorders.push_back(recorder);
+  }
+  for (size_t i = 1; i < recorders.size(); ++i) {
+    for (int s = 0; s < obs::kNumFunnelStages; ++s) {
+      const auto stage = static_cast<obs::FunnelStage>(s);
+      EXPECT_EQ(recorders[i].funnel_entered(stage),
+                recorders[0].funnel_entered(stage))
+          << "threads run " << i << " stage "
+          << obs::FunnelStageInfo(stage).name;
+      EXPECT_EQ(recorders[i].funnel_survived(stage),
+                recorders[0].funnel_survived(stage))
+          << "threads run " << i << " stage "
+          << obs::FunnelStageInfo(stage).name;
+    }
+    // The world-count histogram is work-derived too: bit-identical fold.
+    EXPECT_TRUE(recorders[i].hist(obs::Hist::kVerifyWorldCount) ==
+                recorders[0].hist(obs::Hist::kVerifyWorldCount))
+        << "threads run " << i;
+  }
+}
+
+TEST(JoinObsTest, ProbeSpanSamplingShrinksTracesDeterministically) {
+  const Alphabet alphabet = Alphabet::Names();
+  const std::vector<UncertainString> strings = SeededCollection(90, 11);
+  constexpr uint64_t kSeed = 0x5eed;
+
+  auto run = [&](int threads, int64_t sample_n) {
+    obs::TraceRecorder trace;
+    if (sample_n > 1) trace.SetProbeSampling(sample_n, kSeed);
+    JoinOptions options = JoinOptions::Qfct(2, 0.1);
+    options.threads = threads;
+    options.wave_size = 16;
+    options.trace = &trace;
+    Result<SelfJoinResult> result =
+        SimilaritySelfJoin(strings, alphabet, options);
+    EXPECT_TRUE(result.ok());
+    return trace;
+  };
+
+  const obs::TraceRecorder full = run(2, 1);
+  const obs::TraceRecorder sampled = run(2, 4);
+  EXPECT_EQ(full.probes_seen(), static_cast<int64_t>(strings.size()));
+  EXPECT_EQ(full.probes_sampled(), full.probes_seen());
+  EXPECT_EQ(sampled.probes_seen(), full.probes_seen());
+  // ~1-in-4 probes keep their spans; generous band for a 90-probe run.
+  EXPECT_GT(sampled.probes_sampled(), 0);
+  EXPECT_LT(sampled.probes_sampled(), full.probes_sampled() / 2);
+  EXPECT_LT(sampled.num_events(), full.num_events());
+  // Driver/wave spans always survive sampling.
+  const std::string json = sampled.ToJson();
+  for (const char* span : {"index_insert", "wave_probe", "wave_merge"}) {
+    EXPECT_NE(json.find("\"name\":\"" + std::string(span) + "\""),
+              std::string::npos)
+        << span;
+  }
+  EXPECT_NE(json.find("\"probe_span_sample_n\":4"), std::string::npos);
+
+  // The sampling decision depends only on the global probe index, so the
+  // sampled probe set — and the probe-span event count — is thread-count
+  // invariant.
+  for (int threads : {1, 4}) {
+    const obs::TraceRecorder other = run(threads, 4);
+    EXPECT_EQ(other.probes_sampled(), sampled.probes_sampled()) << threads;
+    EXPECT_EQ(other.num_events(), sampled.num_events()) << threads;
   }
 }
 
@@ -165,6 +308,7 @@ TEST(JoinObsTest, ProgressCallbackSeesMonotoneCompletion) {
 }
 
 TEST(JoinObsTest, SearchManyMetricsAreThreadCountInvariant) {
+  UJOIN_SKIP_WITHOUT_OBS();
   const Alphabet alphabet = Alphabet::Names();
   const std::vector<UncertainString> strings = SeededCollection(70, 17);
   const std::vector<UncertainString> queries = SeededCollection(12, 23);
@@ -200,6 +344,7 @@ TEST(JoinObsTest, SearchManyMetricsAreThreadCountInvariant) {
 }
 
 TEST(JoinObsTest, CrossJoinRecordsMetricsAndTrace) {
+  UJOIN_SKIP_WITHOUT_OBS();
   const Alphabet alphabet = Alphabet::Names();
   const std::vector<UncertainString> left = SeededCollection(40, 31);
   const std::vector<UncertainString> right = SeededCollection(25, 37);

@@ -110,6 +110,12 @@ TEST(MetricRegistryTest, NamesAreUniqueAndWellFormed) {
     const MetricInfo& info = GaugeInfo(static_cast<Gauge>(i));
     EXPECT_TRUE(names.insert(info.name).second) << info.name;
   }
+  for (int i = 0; i < kNumFunnelStages; ++i) {
+    const MetricInfo& info = FunnelStageInfo(static_cast<FunnelStage>(i));
+    EXPECT_TRUE(names.insert(info.name).second) << info.name;
+    EXPECT_STRNE(info.unit, "");
+    EXPECT_STRNE(info.help, "");
+  }
   for (const std::string& name : names) {
     for (char c : name) {
       EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
@@ -136,6 +142,21 @@ TEST(RecorderTest, GaugeMergeTakesMaxCountersAdd) {
   EXPECT_EQ(c.gauge(Gauge::kWaveSize), 64);
 }
 
+TEST(RecorderTest, FunnelAccumulatesAndMergesPerStage) {
+  Recorder a, b;
+  a.AddFunnel(FunnelStage::kQgram, 100, 10);
+  a.AddFunnel(FunnelStage::kQgram, 50, 5);
+  b.AddFunnel(FunnelStage::kQgram, 7, 3);
+  b.AddFunnel(FunnelStage::kVerify, 4, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.funnel_entered(FunnelStage::kQgram), 157);
+  EXPECT_EQ(a.funnel_survived(FunnelStage::kQgram), 18);
+  EXPECT_EQ(a.funnel_entered(FunnelStage::kVerify), 4);
+  EXPECT_EQ(a.funnel_survived(FunnelStage::kVerify), 2);
+  EXPECT_EQ(a.funnel_entered(FunnelStage::kFreqDistance), 0);
+  EXPECT_EQ(a.funnel_survived(FunnelStage::kCdfBound), 0);
+}
+
 // The determinism property the pipeline relies on: folding per-(wave, rank)
 // recorders in ANY order produces a bit-identical Recorder — and therefore a
 // byte-identical ToJson — because all state is integer sums and maxes.
@@ -158,6 +179,12 @@ TEST(RecorderTest, MergeIsOrderIndependentAndToJsonByteStable) {
       r.AddCounter(Counter::kProbes, events);
       r.SetGauge(Gauge::kPeakIndexMemoryBytes,
                  static_cast<int64_t>(rng.Uniform(1u << 24)));
+      for (int s = 0; s < kNumFunnelStages; ++s) {
+        const int64_t entered = static_cast<int64_t>(rng.Uniform(1000));
+        r.AddFunnel(static_cast<FunnelStage>(s), entered,
+                    static_cast<int64_t>(rng.Uniform(
+                        static_cast<uint64_t>(entered) + 1)));
+      }
       locals.push_back(r);
     }
   }
@@ -202,6 +229,13 @@ TEST(RecorderTest, ToJsonContainsEveryRegistryMetric) {
   for (int i = 0; i < kNumGauges; ++i) {
     EXPECT_NE(json.find(GaugeInfo(static_cast<Gauge>(i)).name),
               std::string::npos);
+  }
+  EXPECT_NE(json.find("\"funnel\":"), std::string::npos);
+  for (int i = 0; i < kNumFunnelStages; ++i) {
+    const std::string key =
+        std::string("\"") + FunnelStageInfo(static_cast<FunnelStage>(i)).name +
+        "\":{\"entered\":";
+    EXPECT_NE(json.find(key), std::string::npos) << key;
   }
   EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
 }

@@ -8,8 +8,11 @@
 // OFF flavour of the macros regardless of how the suite was configured, so
 // the regression is exercised by the ordinary tier-1 run.  Nothing else may
 // be included above obs_macros.h or the header guard would hand us the
-// enabled flavour.
+// enabled flavour.  (Guarded: the -DUJOIN_OBS=OFF configuration already
+// defines it on the command line, and -Werror makes a redefinition fatal.)
+#ifndef UJOIN_OBS_DISABLED
 #define UJOIN_OBS_DISABLED
+#endif
 #include "obs/obs_macros.h"
 
 #include <gtest/gtest.h>

@@ -8,7 +8,8 @@
 //   ujoin_cli join --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
 //              [--q=3] [--variant=QFCT|QCT|QFT|FCT] [--exact]
 //              [--early-stop] [--threads=1] [--wave-size=0] [--out=FILE]
-//              [--metrics-out=FILE] [--trace-out=FILE] [--progress]
+//              [--metrics-out=FILE] [--trace-out=FILE] [--trace-sample=N]
+//              [--prom-out=FILE] [--listen=PORT] [--listen-hold] [--progress]
 //              (--threads=0 uses all cores; results are identical for
 //               every thread count and wave size)
 //   ujoin_cli index --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
@@ -16,20 +17,39 @@
 //   ujoin_cli search (--input=FILE | --index=FILE.idx) --kind=names|protein
 //              (--query=STRING | --queries=FILE) [--k=2] [--tau=0.1] [--q=3]
 //              [--topk=N] [--threads=1]
-//              [--metrics-out=FILE] [--trace-out=FILE]
+//              [--metrics-out=FILE] [--trace-out=FILE] [--trace-sample=N]
+//              [--prom-out=FILE] [--listen=PORT] [--listen-hold]
 //              (--queries runs the whole file through SearchMany and prints
 //               aggregated filter/verification statistics; the stats are
 //               identical for every --threads value)
 //   ujoin_cli stats --input=FILE --kind=names|protein
 //
-// Observability (DESIGN.md "Observability"):
+// Observability (DESIGN.md "Observability" and "Live monitoring"):
 //   --metrics-out=FILE  writes a ujoin.run_report JSON document with the
 //                       effective options, the JoinStats, and the merged
 //                       obs metric registry (counters/gauges/histograms).
 //   --trace-out=FILE    writes per-stage spans as Chrome trace-event JSON;
 //                       load it in chrome://tracing or https://ui.perfetto.dev.
+//   --trace-sample=N    keeps the spans of 1-in-N probes/queries (driver and
+//                       wave spans are always kept).  The decision is a pure
+//                       function of a fixed seed and the probe index, so
+//                       sampled traces are reproducible and thread-count
+//                       invariant; the rate is recorded in trace metadata.
+//   --prom-out=FILE     writes the final metric state in Prometheus text
+//                       format (atomically, for the node_exporter textfile
+//                       collector).
+//   --listen=PORT       serves /metrics (Prometheus text) and /healthz on
+//                       127.0.0.1:PORT from a background thread; snapshots
+//                       refresh at wave boundaries, so scrapes never touch
+//                       live per-rank state.  PORT 0 picks a free port; the
+//                       bound port is printed to stderr.
+//   --listen-hold       after the run completes, keep serving until
+//                       SIGINT/SIGTERM (for scrape-interval demos).
 //   --progress          prints wave-boundary progress lines to stderr.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -41,9 +61,11 @@
 
 #include "datagen/datagen.h"
 #include "join/ujoin.h"
+#include "obs/exposition.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/scrape_server.h"
 #include "obs/trace.h"
 
 namespace {
@@ -113,28 +135,92 @@ int Usage() {
   return 2;
 }
 
-// --- observability plumbing (--metrics-out / --trace-out / --progress) ----
+// --- observability plumbing (--metrics-out / --trace-out / --progress /
+// --prom-out / --listen / --trace-sample) ----------------------------------
+
+// Fixed seed for --trace-sample: sampling decisions are a pure function of
+// (seed, probe index), so the same command line always keeps the same probes.
+constexpr uint64_t kTraceSampleSeed = 0x756a6f696e;  // "ujoin"
 
 // Owns the sinks named by the observability flags for one command run.
 struct ObsOutputs {
   std::string metrics_path;
   std::string trace_path;
+  std::string prom_path;
+  int listen_port = -1;  // -1 = no server; 0 = pick a free port
+  bool listen_hold = false;
   bool progress = false;
   obs::Recorder recorder;
   obs::TraceRecorder tracer;
+  obs::ScrapeServer server;
+
+  // Whether any flag needs the metric recorder attached to the run.
+  bool WantsRecorder() const {
+    return !metrics_path.empty() || !prom_path.empty() || listen_port >= 0;
+  }
 };
 
-// Reads the shared observability flags; call before flags.Validate().
-ObsOutputs ReadObsFlags(Flags& flags, bool with_progress) {
-  ObsOutputs out;
-  out.metrics_path = flags.GetString("metrics-out");
-  out.trace_path = flags.GetString("trace-out");
-  if (with_progress) out.progress = flags.GetBool("progress");
-  return out;
+// Reads the shared observability flags into `out` (ObsOutputs owns a
+// ScrapeServer and is not movable); call before flags.Validate().
+void ReadObsFlags(Flags& flags, bool with_progress, ObsOutputs* out) {
+  out->metrics_path = flags.GetString("metrics-out");
+  out->trace_path = flags.GetString("trace-out");
+  out->prom_path = flags.GetString("prom-out");
+  const std::string listen = flags.GetString("listen");
+  if (!listen.empty()) {
+    out->listen_port = listen == "true" ? 0 : std::atoi(listen.c_str());
+  }
+  out->listen_hold = flags.GetBool("listen-hold");
+  const int sample = flags.GetInt("trace-sample", 1);
+  if (sample > 1) out->tracer.SetProbeSampling(sample, kTraceSampleSeed);
+  if (with_progress) out->progress = flags.GetBool("progress");
+}
+
+// Starts the scrape endpoint when --listen was given; 0 on success.  The
+// initial snapshot is the (all-zero) recorder so /metrics is well-formed
+// before the first wave completes.
+int StartObsServer(ObsOutputs& obs_out) {
+  if (obs_out.listen_port < 0) return 0;
+  obs_out.server.UpdateMetrics(obs::RenderPrometheusText(obs_out.recorder));
+  const Status status = obs_out.server.Start(obs_out.listen_port);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "listen: serving /metrics on 127.0.0.1:%d\n",
+               obs_out.server.port());
+  return 0;
+}
+
+volatile std::sig_atomic_t g_hold_interrupted = 0;
+void HoldSignalHandler(int /*sig*/) { g_hold_interrupted = 1; }
+
+// Publishes the final snapshot; with --listen-hold, keeps serving until
+// SIGINT/SIGTERM.  The ScrapeServer destructor stops the accept thread.
+void FinishObsServer(ObsOutputs& obs_out) {
+  if (obs_out.listen_port < 0) return;
+  obs_out.server.UpdateMetrics(obs::RenderPrometheusText(obs_out.recorder));
+  if (obs_out.listen_hold) {
+    std::signal(SIGINT, &HoldSignalHandler);
+    std::signal(SIGTERM, &HoldSignalHandler);
+    std::fprintf(stderr, "listen: holding until SIGINT/SIGTERM\n");
+    while (g_hold_interrupted == 0) pause();
+  }
+  obs_out.server.Stop();
 }
 
 struct ProgressState {
   uint64_t last_permille = ~uint64_t{0};
+};
+
+// Join progress hook state: optional stderr lines plus live /metrics
+// refreshes.  Wave boundaries are the only points where the merged recorder
+// is quiescent, which is why the snapshot is rendered here (on the driver
+// thread) and pushed to the serving thread as finished bytes.
+struct JoinProgressState {
+  ProgressState print_state;
+  bool print = false;
+  ObsOutputs* obs_out = nullptr;
 };
 
 // JoinOptions::progress_fn target: one stderr line per permille step.
@@ -156,6 +242,17 @@ void PrintProgress(const JoinProgress& progress, void* user) {
                static_cast<unsigned long long>(progress.total),
                static_cast<unsigned long long>(progress.result_pairs),
                progress.elapsed_seconds);
+}
+
+// JoinOptions::progress_fn target when a live endpoint or --progress (or
+// both) is active.
+void OnJoinProgress(const JoinProgress& progress, void* user) {
+  auto* state = static_cast<JoinProgressState*>(user);
+  if (state->print) PrintProgress(progress, &state->print_state);
+  if (state->obs_out->listen_port >= 0) {
+    state->obs_out->server.UpdateMetrics(
+        obs::RenderPrometheusText(state->obs_out->recorder));
+  }
 }
 
 // The effective JoinOptions, serialized for the run report's "options"
@@ -218,6 +315,15 @@ int WriteObsOutputs(ObsOutputs& obs_out, const std::string& command,
     }
     std::fprintf(stderr, "trace: wrote %zu spans to %s\n",
                  obs_out.tracer.num_events(), obs_out.trace_path.c_str());
+  }
+  if (!obs_out.prom_path.empty()) {
+    const Status status =
+        obs::WritePrometheusTextfile(obs_out.recorder, obs_out.prom_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "prom: wrote %s\n", obs_out.prom_path.c_str());
   }
   return 0;
 }
@@ -295,20 +401,24 @@ int RunJoin(Flags& flags) {
   options.threads = flags.GetInt("threads", 1);
   options.wave_size = flags.GetInt("wave-size", 0);
   const std::string out_path = flags.GetString("out");
-  ObsOutputs obs_out = ReadObsFlags(flags, /*with_progress=*/true);
+  ObsOutputs obs_out;
+  ReadObsFlags(flags, /*with_progress=*/true, &obs_out);
   Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
   if (!flags.Validate()) return 2;
   if (!input.ok()) {
     std::fprintf(stderr, "error: %s\n", input.status().ToString().c_str());
     return 1;
   }
-  if (!obs_out.metrics_path.empty()) options.metrics = &obs_out.recorder;
+  if (obs_out.WantsRecorder()) options.metrics = &obs_out.recorder;
   if (!obs_out.trace_path.empty()) options.trace = &obs_out.tracer;
-  ProgressState progress_state;
-  if (obs_out.progress) {
-    options.progress_fn = &PrintProgress;
+  JoinProgressState progress_state;
+  progress_state.print = obs_out.progress;
+  progress_state.obs_out = &obs_out;
+  if (obs_out.progress || obs_out.listen_port >= 0) {
+    options.progress_fn = &OnJoinProgress;
     options.progress_user = &progress_state;
   }
+  if (StartObsServer(obs_out) != 0) return 1;
   Result<SelfJoinResult> result =
       SimilaritySelfJoin(*input, *alphabet, options);
   if (!result.ok()) {
@@ -330,7 +440,9 @@ int RunJoin(Flags& flags) {
   if (out != stdout) std::fclose(out);
   std::fprintf(stderr, "%zu pairs\n%s\n", result->pairs.size(),
                result->stats.ToString().c_str());
-  return WriteObsOutputs(obs_out, "join", options, result->stats);
+  const int rc = WriteObsOutputs(obs_out, "join", options, result->stats);
+  FinishObsServer(obs_out);
+  return rc;
 }
 
 int RunIndex(Flags& flags) {
@@ -390,9 +502,10 @@ int RunSearch(Flags& flags) {
   const std::string index_path = flags.GetString("index");
   const int topk = flags.GetInt("topk", 0);
   const int threads = flags.GetInt("threads", 1);
-  ObsOutputs obs_out = ReadObsFlags(flags, /*with_progress=*/false);
+  ObsOutputs obs_out;
+  ReadObsFlags(flags, /*with_progress=*/false, &obs_out);
   obs::Recorder* const metrics =
-      obs_out.metrics_path.empty() ? nullptr : &obs_out.recorder;
+      obs_out.WantsRecorder() ? &obs_out.recorder : nullptr;
   obs::TraceRecorder* const trace =
       obs_out.trace_path.empty() ? nullptr : &obs_out.tracer;
 
@@ -410,6 +523,7 @@ int RunSearch(Flags& flags) {
     std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
     return 1;
   }
+  if (StartObsServer(obs_out) != 0) return 1;
   if (!queries_path.empty()) {
     // Batch mode: run the whole query file through SearchMany and report
     // the aggregated statistics (folded in query order, so the numbers are
@@ -437,7 +551,9 @@ int RunSearch(Flags& flags) {
     }
     std::fprintf(stderr, "%zu queries, %zu hits\n%s\n", queries->size(),
                  total_hits, stats.ToString().c_str());
-    return WriteObsOutputs(obs_out, "search", options, stats);
+    const int rc = WriteObsOutputs(obs_out, "search", options, stats);
+    FinishObsServer(obs_out);
+    return rc;
   }
   if (query_text.empty()) {
     std::fprintf(stderr, "error: --query or --queries is required\n");
@@ -455,7 +571,7 @@ int RunSearch(Flags& flags) {
   // same collect-then-fold pattern the batch drivers use).
   obs::SpanCollector spans;
   obs::SpanCollector* span_sink = nullptr;
-  if (trace != nullptr) {
+  if (trace != nullptr && trace->SampleProbe(0)) {
     spans = obs::SpanCollector(trace, /*tid=*/1);
     span_sink = &spans;
   }
@@ -468,13 +584,18 @@ int RunSearch(Flags& flags) {
     std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
     return 1;
   }
-  if (trace != nullptr) trace->Append(spans.events());
+  if (trace != nullptr) {
+    trace->NoteProbe(spans.enabled());
+    trace->Append(spans.events());
+  }
   for (const SearchHit& hit : *hits) {
     std::printf("%u\t%.6f\t%s\n", hit.id, hit.probability,
                 searcher->collection()[hit.id].ToString().c_str());
   }
   std::fprintf(stderr, "%zu hits\n", hits->size());
-  return WriteObsOutputs(obs_out, "search", options, stats);
+  const int rc = WriteObsOutputs(obs_out, "search", options, stats);
+  FinishObsServer(obs_out);
+  return rc;
 }
 
 int RunStats(Flags& flags) {

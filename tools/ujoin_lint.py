@@ -33,10 +33,10 @@ Rules (see DESIGN.md "Static analysis and CI gates"):
       inputs, this rule keeps untested branches honest.
 
   obs-macro-only
-      Direct Recorder recording calls (RecordHist/AddCounter/SetGauge)
-      outside src/obs/.  Instrumentation must go through the UJOIN_OBS_*
-      macros so -DUJOIN_OBS=OFF compiles it out and every site keeps the
-      null-recorder guard.
+      Direct Recorder recording calls (RecordHist/AddCounter/SetGauge/
+      AddFunnel) outside src/obs/.  Instrumentation must go through the
+      UJOIN_OBS_* macros so -DUJOIN_OBS=OFF compiles it out and every site
+      keeps the null-recorder guard.
 
 Suppression: append `// ujoin-lint: allow(<rule>)` on the offending line
 (or the line above) with a reason.  Suppressions are deliberate, reviewed
@@ -451,7 +451,7 @@ def check_probe_path_alloc(path: str, stripped_lines: list[str],
 
 
 _OBS_DIRECT_RE = re.compile(
-    r"(?:\.|->)\s*(RecordHist|AddCounter|SetGauge)\s*\(")
+    r"(?:\.|->)\s*(RecordHist|AddCounter|SetGauge|AddFunnel)\s*\(")
 
 
 def check_obs_macro_only(path: str, stripped_lines: list[str],
@@ -468,6 +468,7 @@ def check_obs_macro_only(path: str, stripped_lines: list[str],
                 "RecordHist": "UJOIN_OBS_HIST",
                 "AddCounter": "UJOIN_OBS_COUNTER",
                 "SetGauge": "UJOIN_OBS_GAUGE",
+                "AddFunnel": "UJOIN_OBS_FUNNEL",
             }[m.group(1)]
             out.append(Violation(
                 path, i, "obs-macro-only",

@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text-exposition (version 0.0.4) pages.
+
+Checks the format invariants the ujoin exposition renderer must uphold
+(tested from ctest and tools/check.sh):
+
+  * every sample belongs to a family announced by `# HELP` and `# TYPE`
+    lines, in that order, before its first sample;
+  * metric and label names are well-formed; no duplicate (name, labels)
+    sample; values parse as numbers;
+  * counter family names end in `_total`;
+  * histograms have `_bucket` samples with non-decreasing cumulative counts,
+    `le` bucket bounds in strictly increasing order, a terminal
+    `le="+Inf"` bucket, and `_sum`/`_count` samples with
+    `_count` == the `+Inf` bucket value.
+
+Pure stdlib.  Usage:
+
+  validate_exposition.py FILE       # validate a page ("-" reads stdin)
+  validate_exposition.py --self-test
+
+Exit status 0 when the page is valid, 1 with one line per problem on
+stderr otherwise.
+"""
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>\S+))?$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _family_of(sample_name, types):
+    """Maps a sample name to its family: histogram samples drop the
+    _bucket/_sum/_count suffix when the base family is a histogram."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def _parse_le(raw):
+    if raw == "+Inf":
+        return float("inf")
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def validate_lines(lines):
+    """Returns a list of problem strings (empty when the page is valid)."""
+    problems = []
+    helps = {}
+    types = {}
+    seen_samples = set()
+    # family -> list of (le, cumulative value) in document order
+    hist_buckets = {}
+    hist_sum = {}
+    hist_count = {}
+    family_sampled = set()
+
+    for lineno, line in enumerate(lines, 1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(None, 1)
+            if not parts:
+                problems.append(f"line {lineno}: HELP line without a name")
+                continue
+            name = parts[0]
+            if name in helps:
+                problems.append(f"line {lineno}: duplicate HELP for '{name}'")
+            if name in family_sampled:
+                problems.append(
+                    f"line {lineno}: HELP for '{name}' after its samples")
+            helps[name] = parts[1] if len(parts) > 1 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split()
+            if len(parts) != 2:
+                problems.append(f"line {lineno}: malformed TYPE line")
+                continue
+            name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                problems.append(
+                    f"line {lineno}: unknown metric type '{kind}'")
+            if name in types:
+                problems.append(f"line {lineno}: duplicate TYPE for '{name}'")
+            if name in family_sampled:
+                problems.append(
+                    f"line {lineno}: TYPE for '{name}' after its samples")
+            if name not in helps:
+                problems.append(
+                    f"line {lineno}: TYPE for '{name}' without preceding "
+                    f"HELP")
+            types[name] = kind
+            if kind == "counter" and not name.endswith("_total"):
+                problems.append(
+                    f"line {lineno}: counter '{name}' does not end in "
+                    f"'_total'")
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            problems.append(f"line {lineno}: unparsable sample line: {line}")
+            continue
+        name = m.group("name")
+        if not METRIC_NAME_RE.match(name):
+            problems.append(f"line {lineno}: bad metric name '{name}'")
+            continue
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            consumed = 0
+            for lm in LABEL_RE.finditer(raw_labels):
+                key = lm.group(1)
+                if not LABEL_NAME_RE.match(key):
+                    problems.append(
+                        f"line {lineno}: bad label name '{key}'")
+                if key in labels:
+                    problems.append(
+                        f"line {lineno}: duplicate label '{key}'")
+                labels[key] = lm.group(2)
+                consumed += len(lm.group(0))
+            leftovers = re.sub(r"[,\s]", "", raw_labels)
+            matched = "".join(
+                lm.group(0) for lm in LABEL_RE.finditer(raw_labels))
+            if len(leftovers) != len(re.sub(r"[,\s]", "", matched)):
+                problems.append(
+                    f"line {lineno}: malformed label set "
+                    f"'{{{raw_labels}}}'")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: unparsable value "
+                f"'{m.group('value')}' for '{name}'")
+            continue
+
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            problems.append(
+                f"line {lineno}: duplicate sample for '{name}' "
+                f"{dict(labels)}")
+        seen_samples.add(key)
+
+        family = _family_of(name, types)
+        family_sampled.add(family)
+        if family not in types:
+            problems.append(
+                f"line {lineno}: sample '{name}' without a preceding TYPE "
+                f"for '{family}'")
+        if family not in helps:
+            problems.append(
+                f"line {lineno}: sample '{name}' without a preceding HELP "
+                f"for '{family}'")
+
+        if types.get(family) == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without an 'le' "
+                        f"label")
+                    continue
+                le = _parse_le(labels["le"])
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: unparsable le "
+                        f"'{labels['le']}'")
+                    continue
+                hist_buckets.setdefault(family, []).append(
+                    (le, value, lineno))
+            elif name.endswith("_sum"):
+                hist_sum[family] = value
+            elif name.endswith("_count"):
+                hist_count[family] = value
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = hist_buckets.get(family, [])
+        if not buckets:
+            problems.append(f"histogram '{family}' has no _bucket samples")
+            continue
+        if buckets[-1][0] != float("inf"):
+            problems.append(
+                f"histogram '{family}' does not end with an le=\"+Inf\" "
+                f"bucket")
+        prev_le = None
+        prev_value = None
+        for le, value, lineno in buckets:
+            if prev_le is not None and le <= prev_le:
+                problems.append(
+                    f"line {lineno}: histogram '{family}' bucket bounds not "
+                    f"strictly increasing")
+            if prev_value is not None and value < prev_value:
+                problems.append(
+                    f"line {lineno}: histogram '{family}' cumulative bucket "
+                    f"counts decrease")
+            prev_le, prev_value = le, value
+        if family not in hist_count:
+            problems.append(f"histogram '{family}' is missing _count")
+        elif buckets[-1][0] == float("inf") and \
+                hist_count[family] != buckets[-1][1]:
+            problems.append(
+                f"histogram '{family}': _count ({hist_count[family]:g}) != "
+                f"le=\"+Inf\" bucket ({buckets[-1][1]:g})")
+        if family not in hist_sum:
+            problems.append(f"histogram '{family}' is missing _sum")
+
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+_GOOD_PAGE = """\
+# HELP ujoin_probes_total probes executed
+# TYPE ujoin_probes_total counter
+ujoin_probes_total 200
+# HELP ujoin_threads worker threads used
+# TYPE ujoin_threads gauge
+ujoin_threads 4
+# HELP ujoin_filter_funnel_candidates_total candidates per stage
+# TYPE ujoin_filter_funnel_candidates_total counter
+ujoin_filter_funnel_candidates_total{stage="qgram",edge="entered"} 6305
+ujoin_filter_funnel_candidates_total{stage="qgram",edge="survived"} 108
+# HELP ujoin_verify_latency_ns wall time of one verification
+# TYPE ujoin_verify_latency_ns histogram
+ujoin_verify_latency_ns_bucket{le="0"} 0
+ujoin_verify_latency_ns_bucket{le="1023"} 2
+ujoin_verify_latency_ns_bucket{le="2047"} 5
+ujoin_verify_latency_ns_bucket{le="+Inf"} 5
+ujoin_verify_latency_ns_sum 6000
+ujoin_verify_latency_ns_count 5
+"""
+
+# (page, expected problem substring) pairs: each bad page must trip the
+# validator with a problem mentioning the substring.
+_BAD_PAGES = [
+    ("ujoin_x_total 1\n", "without a preceding TYPE"),
+    ("# HELP ujoin_x_total x\n# TYPE ujoin_x_total counter\n"
+     "ujoin_x_total 1\nujoin_x_total 1\n", "duplicate sample"),
+    ("# HELP ujoin_x x\n# TYPE ujoin_x counter\nujoin_x 1\n",
+     "does not end in '_total'"),
+    ("# HELP ujoin_h h\n# TYPE ujoin_h histogram\n"
+     "ujoin_h_bucket{le=\"1\"} 1\nujoin_h_sum 1\nujoin_h_count 1\n",
+     "le=\"+Inf\""),
+    ("# HELP ujoin_h h\n# TYPE ujoin_h histogram\n"
+     "ujoin_h_bucket{le=\"1\"} 3\nujoin_h_bucket{le=\"2\"} 2\n"
+     "ujoin_h_bucket{le=\"+Inf\"} 3\nujoin_h_sum 1\nujoin_h_count 3\n",
+     "cumulative bucket counts decrease"),
+    ("# HELP ujoin_h h\n# TYPE ujoin_h histogram\n"
+     "ujoin_h_bucket{le=\"2\"} 1\nujoin_h_bucket{le=\"1\"} 2\n"
+     "ujoin_h_bucket{le=\"+Inf\"} 2\nujoin_h_sum 1\nujoin_h_count 2\n",
+     "not strictly increasing"),
+    ("# HELP ujoin_h h\n# TYPE ujoin_h histogram\n"
+     "ujoin_h_bucket{le=\"1\"} 1\nujoin_h_bucket{le=\"+Inf\"} 1\n"
+     "ujoin_h_sum 1\nujoin_h_count 2\n", "_count"),
+    ("# TYPE ujoin_x_total counter\nujoin_x_total 1\n",
+     "without preceding HELP"),
+    ("# HELP ujoin_x_total x\n# TYPE ujoin_x_total counter\n"
+     "ujoin_x_total nope\n", "unparsable value"),
+]
+
+
+def self_test():
+    failures = 0
+    problems = validate_lines(_GOOD_PAGE.splitlines(True))
+    if problems:
+        failures += 1
+        print("FAIL good page flagged:", problems, file=sys.stderr)
+    else:
+        print("ok   good page accepted")
+    for i, (page, expected) in enumerate(_BAD_PAGES):
+        problems = validate_lines(page.splitlines(True))
+        if any(expected in p for p in problems):
+            print(f"ok   bad page {i} flagged ({expected!r})")
+        else:
+            failures += 1
+            print(f"FAIL bad page {i}: expected a problem mentioning "
+                  f"{expected!r}, got {problems}", file=sys.stderr)
+    print(f"self-test: {1 + len(_BAD_PAGES)} page(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    if argv[1] == "--self-test":
+        return self_test()
+    if argv[1] == "-":
+        lines = sys.stdin.readlines()
+    else:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    problems = validate_lines(lines)
+    for problem in problems:
+        print(f"validate_exposition: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    samples = sum(
+        1 for l in lines if l.strip() and not l.startswith("#"))
+    print(f"validate_exposition: ok ({samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
