@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -144,4 +145,7 @@ BENCHMARK(BM_Ablation_TrieRepresentation)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_ablation",
+                                     "BENCH_ablation.json");
+}

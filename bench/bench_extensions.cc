@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/cross_join.h"
@@ -156,4 +157,7 @@ BENCHMARK(BM_Ext_Persistence)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_extensions",
+                                     "BENCH_extensions.json");
+}

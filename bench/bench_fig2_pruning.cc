@@ -18,6 +18,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "filter/cdf_filter.h"
@@ -148,4 +149,7 @@ BENCHMARK(BM_Fig2_Cdf)->Arg(0)->Arg(1)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig2_pruning",
+                                     "BENCH_fig2_pruning.json");
+}

@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -61,4 +62,7 @@ BENCHMARK(BM_Fig3_DataSize)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig3_datasize",
+                                     "BENCH_fig3_datasize.json");
+}

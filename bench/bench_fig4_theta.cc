@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -88,4 +89,7 @@ BENCHMARK(BM_Fig4_Protein_FCT)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig4_theta",
+                                     "BENCH_fig4_theta.json");
+}

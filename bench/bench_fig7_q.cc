@@ -11,6 +11,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -66,4 +67,7 @@ BENCHMARK(BM_Fig7_Q)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig7_q",
+                                     "BENCH_fig7_q.json");
+}

@@ -15,6 +15,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -127,4 +128,7 @@ BENCHMARK(BM_Fig8_Protein_Naive)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig8_verify",
+                                     "BENCH_fig8_verify.json");
+}

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
@@ -96,4 +97,7 @@ BENCHMARK(BM_Fig9_Protein_FCT)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_fig9_length",
+                                     "BENCH_fig9_length.json");
+}

@@ -12,6 +12,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "eed/eed.h"
@@ -156,4 +157,7 @@ BENCHMARK(BM_Sec79_PerPair)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ujoin::bench::RunReportMain(argc, argv, "bench_sec79_eed",
+                                     "BENCH_sec79_eed.json");
+}

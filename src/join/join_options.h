@@ -21,6 +21,39 @@ struct JoinProgress {
   double elapsed_seconds;  ///< wall time since the run started
 };
 
+/// \brief Per-query resource limits for the search drivers.
+///
+/// Both limits bound the exact-verification stage, where the known
+/// pathological cost lives (strings with many high-fanout uncertain
+/// positions make the possible-world product — and with it `always_verify`
+/// work — explode; see ROADMAP "Guard against exponential exact
+/// verification").  A candidate that trips a limit is not verified:
+/// the query falls back to the certified CDF bounds for that pair (the
+/// Theorem 4 bounds are always cheap to compute) and the fallback is
+/// counted in JoinStats::budget_fallbacks / deadline_fallbacks, which is
+/// how callers — notably the resident serve layer — know to mark the
+/// response inexact.
+///
+/// `max_verify_worlds` is a pure function of the query and candidate
+/// strings, so results under a world budget stay deterministic and
+/// thread-count invariant.  `deadline_ns` is wall-clock and therefore
+/// timing-dependent: two runs may fall back on different candidates.  Use
+/// the world budget when reproducibility matters and the deadline as the
+/// serve layer's last-resort latency guard.
+struct SearchLimits {
+  /// Cap on the saturating |worlds(query)| x |worlds(candidate)| product
+  /// above which a candidate is never exactly verified.  0 = unlimited.
+  int64_t max_verify_worlds = 0;
+
+  /// Per-query wall-clock deadline in nanoseconds, checked before each
+  /// candidate verification.  0 = none.
+  int64_t deadline_ns = 0;
+
+  bool Unlimited() const {
+    return max_verify_worlds <= 0 && deadline_ns <= 0;
+  }
+};
+
 /// \brief Exact-verification algorithm used on surviving candidates.
 enum class VerifyMethod {
   kTrie,  ///< trie-based verification (Section 6.2) — the paper's method
@@ -66,6 +99,13 @@ struct JoinOptions {
   VerifyMethod verify_method = VerifyMethod::kTrie;
   VerifyOptions verify;
   ProbeSetOptions probe;
+
+  /// Default per-query limits for SimilaritySearcher::Search/SearchMany
+  /// (unlimited by default; see SearchLimits).  Callers that need per-query
+  /// values — the serve layer's deadlines — pass an override to Search
+  /// instead of copying the options.  Not persisted by Save/Load: limits
+  /// are a property of the serving policy, not of the index.
+  SearchLimits limits;
 
   /// Worker threads for the parallel drivers: the wave-batched
   /// SimilaritySelfJoin, the two-collection SimilarityJoin, and

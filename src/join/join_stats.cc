@@ -20,6 +20,8 @@ void JoinStats::Merge(const JoinStats& other) {
   cdf_undecided += other.cdf_undecided;
   verified_pairs += other.verified_pairs;
   result_pairs += other.result_pairs;
+  budget_fallbacks += other.budget_fallbacks;
+  deadline_fallbacks += other.deadline_fallbacks;
 
   qgram_time += other.qgram_time;
   freq_time += other.freq_time;
@@ -40,7 +42,7 @@ std::string JoinStats::ToString() const {
       "pairs: length-compatible=%lld qgram=%lld (support-pruned=%lld, "
       "prob-pruned=%lld) freq=%lld (fd-pruned=%lld, cheb-pruned=%lld)\n"
       "cdf: accepted=%lld rejected=%lld undecided=%lld | verified=%lld "
-      "results=%lld\n"
+      "results=%lld (budget-fallbacks=%lld, deadline-fallbacks=%lld)\n"
       "time[s]: qgram=%.4f freq=%.4f cdf=%.4f verify=%.4f total=%.4f\n"
       "index-build[s]: %.4f\n"
       "index: peak-memory=%zu bytes",
@@ -55,7 +57,10 @@ std::string JoinStats::ToString() const {
       static_cast<long long>(cdf_rejected),
       static_cast<long long>(cdf_undecided),
       static_cast<long long>(verified_pairs),
-      static_cast<long long>(result_pairs), qgram_time, freq_time, cdf_time,
+      static_cast<long long>(result_pairs),
+      static_cast<long long>(budget_fallbacks),
+      static_cast<long long>(deadline_fallbacks),
+      qgram_time, freq_time, cdf_time,
       verify_time, total_time, index_build_time, peak_index_memory);
   return buf;
 }
@@ -92,6 +97,10 @@ std::string JoinStats::ToJson() const {
   w.Int(verified_pairs);
   w.Key("results");
   w.Int(result_pairs);
+  w.Key("budget_fallbacks");
+  w.Int(budget_fallbacks);
+  w.Key("deadline_fallbacks");
+  w.Int(deadline_fallbacks);
   w.EndObject();
 
   w.Key("time_seconds");

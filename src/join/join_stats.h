@@ -33,6 +33,17 @@ struct JoinStats {
   /// Pairs handed to exact verification, and final results.
   int64_t verified_pairs = 0;
   int64_t result_pairs = 0;
+  /// Candidates whose exact verification was skipped because the
+  /// possible-world product exceeded SearchLimits::max_verify_worlds (the
+  /// pair was decided from its CDF bounds instead; results may be inexact).
+  int64_t budget_fallbacks = 0;
+  /// Candidates skipped because SearchLimits::deadline_ns expired.
+  int64_t deadline_fallbacks = 0;
+
+  /// True when any verification was skipped under a limit, i.e. the result
+  /// set is certified (every reported pair has Pr > τ) but possibly
+  /// incomplete and with lower-bound probabilities.
+  bool Inexact() const { return budget_fallbacks + deadline_fallbacks > 0; }
 
   // --- per-stage wall time, seconds -----------------------------------
   double qgram_time = 0.0;

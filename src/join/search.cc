@@ -13,6 +13,7 @@
 #include "util/check.h"
 #include "util/math_util.h"
 #include "util/timer.h"
+#include "verify/verifier.h"
 
 namespace ujoin {
 
@@ -77,15 +78,16 @@ Result<SimilaritySearcher> SimilaritySearcher::Create(
 
 Result<std::vector<SearchHit>> SimilaritySearcher::Search(
     const UncertainString& query, JoinStats* stats, QueryWorkspace* workspace,
-    obs::Recorder* metrics, obs::SpanCollector* spans) const {
+    obs::Recorder* metrics, obs::SpanCollector* spans,
+    const SearchLimits* limits) const {
   return SearchImpl(query, stats, /*force_exact=*/false, workspace, metrics,
-                    spans);
+                    spans, limits != nullptr ? *limits : options_.limits);
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     const UncertainString& query, JoinStats* stats, bool force_exact,
     QueryWorkspace* workspace, obs::Recorder* metrics,
-    obs::SpanCollector* spans) const {
+    obs::SpanCollector* spans, const SearchLimits& limits) const {
   UJOIN_RETURN_IF_ERROR(ValidateString(query, alphabet_, "query"));
   JoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -134,10 +136,13 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     effective_options.early_stop_verification = false;
   }
   internal::PairVerifier verifier(query, effective_options);
-  // World-count factor of the query, computed once and only while recording
-  // (WorldCount walks every position).
+  // World-count factor of the query, computed once and only when someone
+  // consumes it — a recorder, or the verification budget (WorldCount walks
+  // every position).
+  const bool budget_active = limits.max_verify_worlds > 0;
+  const bool limit_active = budget_active || limits.deadline_ns > 0;
   const int64_t q_worlds =
-      UJOIN_OBS_ENABLED(metrics) ? query.WorldCount() : 0;
+      (UJOIN_OBS_ENABLED(metrics) || budget_active) ? query.WorldCount() : 0;
 
   const double qgram_tau =
       options_.qgram_probabilistic_pruning ? options_.tau : 0.0;
@@ -190,11 +195,14 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     ++stats->freq_candidates;
 
     bool need_verify = true;
-    double lower_bound = 0.0;
+    bool have_cdf = false;
+    double cdf_lower = 0.0;
     if (options_.use_cdf_filter) {
       ScopedNanoTimer timer(&cdf_ns);
       const CdfFilterOutcome cdf =
           EvaluateCdfFilter(query, s, options_.k, options_.tau);
+      have_cdf = true;
+      cdf_lower = cdf.bounds.lower[static_cast<size_t>(options_.k)];
       if (cdf.decision == CdfDecision::kReject) {
         ++stats->cdf_rejected;
         continue;
@@ -202,7 +210,6 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
       if (cdf.decision == CdfDecision::kAccept) {
         ++stats->cdf_accepted;
         if (!effective_options.always_verify) {
-          lower_bound = cdf.bounds.lower[static_cast<size_t>(options_.k)];
           need_verify = false;
         }
       } else {
@@ -212,8 +219,42 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
 
     if (!need_verify) {
       ++stats->result_pairs;
-      hits.push_back(SearchHit{id, lower_bound, /*exact=*/false});
+      hits.push_back(SearchHit{id, cdf_lower, /*exact=*/false});
       continue;
+    }
+
+    // Per-query limits (the serve layer's deadline / verification budget):
+    // when this pair's exact verification is forbidden, decide it from the
+    // certified CDF lower bound instead and mark the query inexact.  The
+    // budget is a pure function of the two strings, so budget-limited
+    // results stay deterministic; the deadline is wall-clock and is not.
+    if (limit_active) {
+      const bool over_budget = ExceedsWorldBudget(
+          SaturatingMul(q_worlds, s.WorldCount()), limits.max_verify_worlds);
+      const bool over_deadline =
+          !over_budget && limits.deadline_ns > 0 &&
+          total_timer.ElapsedNanos() > limits.deadline_ns;
+      if (over_budget || over_deadline) {
+        if (!have_cdf) {
+          ScopedNanoTimer timer(&cdf_ns);
+          const CdfFilterOutcome cdf =
+              EvaluateCdfFilter(query, s, options_.k, options_.tau);
+          cdf_lower = cdf.bounds.lower[static_cast<size_t>(options_.k)];
+        }
+        if (over_budget) {
+          ++stats->budget_fallbacks;
+          UJOIN_OBS_COUNTER(metrics, obs::Counter::kVerifyBudgetFallbacks, 1);
+        } else {
+          ++stats->deadline_fallbacks;
+          UJOIN_OBS_COUNTER(metrics, obs::Counter::kVerifyDeadlineFallbacks,
+                            1);
+        }
+        if (cdf_lower > options_.tau) {
+          ++stats->result_pairs;
+          hits.push_back(SearchHit{id, cdf_lower, /*exact=*/false});
+        }
+        continue;
+      }
     }
 
     Timer verify_timer;
@@ -289,10 +330,12 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
   if (count <= 0) {
     return Status::InvalidArgument("count must be positive");
   }
-  // Top-k needs comparable (exact) probabilities.
+  // Top-k needs comparable (exact) probabilities, so per-query limits are
+  // ignored here: a CDF-bound fallback would rank hits by incomparable
+  // lower bounds.
   Result<std::vector<SearchHit>> hits =
       SearchImpl(query, stats, /*force_exact=*/true, workspace,
-                 /*metrics=*/nullptr, /*spans=*/nullptr);
+                 /*metrics=*/nullptr, /*spans=*/nullptr, SearchLimits{});
   if (!hits.ok()) return hits.status();
   std::sort(hits->begin(), hits->end(),
             [](const SearchHit& a, const SearchHit& b) {
@@ -473,7 +516,7 @@ Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
 Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     const std::vector<UncertainString>& queries, int threads,
     JoinStats* stats, obs::Recorder* metrics,
-    obs::TraceRecorder* trace_sink) const {
+    obs::TraceRecorder* trace_sink, const SearchLimits* limits) const {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
@@ -510,7 +553,7 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
       span_sink = &query_spans[i];
     }
     results[i] = Search(queries[i], &query_stats[i], workspace, rec,
-                        span_sink);
+                        span_sink, limits);
   };
   if (threads == 1) {
     QueryWorkspace workspace;

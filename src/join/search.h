@@ -64,10 +64,19 @@ class SimilaritySearcher {
   /// per-stage trace spans go to `spans`.  Both must be private to the call
   /// (drivers use one per query and fold in query order).  Recording into
   /// `metrics` stays allocation-free; span collection may allocate.
+  ///
+  /// `limits`, when non-null, overrides the Create-time
+  /// JoinOptions::limits for this query (the serve layer's per-query
+  /// deadline / verification budget).  Candidates whose exact verification
+  /// a limit forbids are decided from their CDF bounds instead and counted
+  /// in stats->budget_fallbacks / deadline_fallbacks; when either count is
+  /// non-zero the result set is certified-but-possibly-incomplete
+  /// (JoinStats::Inexact).
   Result<std::vector<SearchHit>> Search(
       const UncertainString& query, JoinStats* stats = nullptr,
       QueryWorkspace* workspace = nullptr, obs::Recorder* metrics = nullptr,
-      obs::SpanCollector* spans = nullptr) const;
+      obs::SpanCollector* spans = nullptr,
+      const SearchLimits* limits = nullptr) const;
 
   /// The `count` most probable matches with Pr(ed <= k) > τ, sorted by
   /// descending probability (ties by id).  Forces exact verification so
@@ -91,14 +100,20 @@ class SimilaritySearcher {
   /// Create-time options (JoinOptions::metrics / JoinOptions::trace); pass
   /// them explicitly for searchers restored with Load, whose persisted
   /// options carry no sinks.
+  /// `limits` follows the Search contract: a non-null value overrides the
+  /// Create-time JoinOptions::limits for every query of the batch.
   Result<std::vector<std::vector<SearchHit>>> SearchMany(
       const std::vector<UncertainString>& queries, int threads = 1,
       JoinStats* stats = nullptr, obs::Recorder* metrics = nullptr,
-      obs::TraceRecorder* trace = nullptr) const;
+      obs::TraceRecorder* trace = nullptr,
+      const SearchLimits* limits = nullptr) const;
 
   const std::vector<UncertainString>& collection() const {
     return collection_;
   }
+  /// The alphabet the collection (and every query) must draw from; the
+  /// serve layer parses request lines against it.
+  const Alphabet& alphabet() const { return alphabet_; }
   size_t IndexMemoryUsage() const { return index_.MemoryUsage(); }
 
   /// Persists the searcher (join options, collection with full-precision
@@ -120,7 +135,8 @@ class SimilaritySearcher {
                                             JoinStats* stats, bool force_exact,
                                             QueryWorkspace* workspace,
                                             obs::Recorder* metrics,
-                                            obs::SpanCollector* spans) const;
+                                            obs::SpanCollector* spans,
+                                            const SearchLimits& limits) const;
 
   std::vector<UncertainString> collection_;
   const Alphabet alphabet_;

@@ -22,12 +22,26 @@ constexpr MetricInfo kHistInfo[kNumHists] = {
     {"probe_latency_ns", "ns", "wall time of one probe or query"},
     {"verify_world_count", "count",
      "saturating possible-world count of one verified pair"},
+    {"serve_batch_size", "count",
+     "queries answered in one serve-layer batch"},
 };
 
 constexpr MetricInfo kCounterInfo[kNumCounters] = {
     {"waves", "count", "waves executed by the self-join driver"},
     {"probes", "count", "probes executed against the segment index"},
     {"queries", "count", "similarity-search queries answered"},
+    {"verify_budget_fallbacks", "count",
+     "candidates decided from CDF bounds under the world-count budget"},
+    {"verify_deadline_fallbacks", "count",
+     "candidates decided from CDF bounds after the per-query deadline"},
+    {"serve_connections", "count", "connections accepted by the serve layer"},
+    {"serve_rejected_connections", "count",
+     "connections rejected by admission control"},
+    {"serve_requests", "count", "request lines answered by the serve layer"},
+    {"serve_request_errors", "count",
+     "request lines answered with an error (malformed or oversized)"},
+    {"serve_batches", "count",
+     "query batches completed (metric-snapshot boundaries)"},
 };
 
 constexpr MetricInfo kGaugeInfo[kNumGauges] = {

@@ -49,8 +49,11 @@ enum class Hist : int {
   /// exponential `always_verify` blowup visible before the guard lands
   /// (ROADMAP "Guard against exponential exact verification").
   kVerifyWorldCount,
+  /// Queries answered in one serve-layer batch (requests between batch
+  /// separators on one connection; see src/serve/).
+  kServeBatchSize,
 };
-inline constexpr int kNumHists = 7;
+inline constexpr int kNumHists = 8;
 
 /// Counters: monotonically increasing event counts.
 enum class Counter : int {
@@ -60,8 +63,24 @@ enum class Counter : int {
   kProbes,
   /// Queries answered by SimilaritySearcher::Search/SearchMany.
   kQueries,
+  /// Candidates decided from CDF bounds because the possible-world product
+  /// exceeded SearchLimits::max_verify_worlds.
+  kVerifyBudgetFallbacks,
+  /// Candidates decided from CDF bounds because the per-query deadline
+  /// (SearchLimits::deadline_ns) expired.
+  kVerifyDeadlineFallbacks,
+  /// Connections accepted by the serve layer (src/serve/).
+  kServeConnections,
+  /// Connections rejected by admission control (429-style busy response).
+  kServeRejectedConnections,
+  /// Request lines answered by the serve layer (including error responses).
+  kServeRequests,
+  /// Request lines answered with an error (malformed or oversized).
+  kServeRequestErrors,
+  /// Query batches completed (metric-snapshot boundaries).
+  kServeBatches,
 };
-inline constexpr int kNumCounters = 3;
+inline constexpr int kNumCounters = 10;
 
 /// Gauges: point-in-time values; Merge keeps the maximum so folds are
 /// order-independent.

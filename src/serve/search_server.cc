@@ -1,0 +1,301 @@
+#include "serve/search_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/exposition.h"
+#include "obs/obs_macros.h"
+#include "serve/protocol.h"
+#include "text/uncertain_string.h"
+
+namespace ujoin {
+namespace serve {
+
+namespace {
+
+/// Sends all of `data`, tolerating short writes.  MSG_NOSIGNAL turns a peer
+/// that hung up into an error return instead of SIGPIPE.
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+SearchServer::SearchServer(const SimilaritySearcher* searcher,
+                           const ServeOptions& options)
+    : searcher_(searcher),
+      options_(options),
+      pool_(options.max_connections),
+      mailbox_(static_cast<size_t>(options.max_connections), -1) {}
+
+SearchServer::~SearchServer() { Stop(); }
+
+Status SearchServer::Start() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(127.0.0.1:" + std::to_string(options_.port) +
+                           ") failed: " + std::strerror(errno));
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = options_.port;
+  }
+
+  if (options_.metrics_port >= 0) {
+    const Status scrape_status = scrape_.Start(options_.metrics_port);
+    if (!scrape_status.ok()) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return scrape_status;
+    }
+    scrape_running_ = true;
+  }
+
+  stop_.store(false, std::memory_order_relaxed);
+  {
+    // Publish the empty snapshot so a scrape before the first batch sees a
+    // complete (all-zero) page instead of an empty body.
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    PushSnapshotLocked();
+  }
+  workers_.reserve(static_cast<size_t>(options_.max_connections));
+  for (int slot = 0; slot < options_.max_connections; ++slot) {
+    workers_.emplace_back(&SearchServer::ConnectionWorker, this, slot);
+  }
+  accept_thread_ = std::thread(&SearchServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void SearchServer::Stop() {
+  if (!accept_thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  mailbox_cv_.notify_all();
+  accept_thread_.join();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(agg_mu_);
+    PushSnapshotLocked();
+  }
+  if (scrape_running_) {
+    scrape_.Stop();
+    scrape_running_ = false;
+  }
+}
+
+int SearchServer::metrics_port() const {
+  return scrape_running_ ? scrape_.port() : -1;
+}
+
+obs::Recorder SearchServer::QueryMetrics() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return query_metrics_;
+}
+
+obs::Recorder SearchServer::ServeMetrics() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return serve_metrics_;
+}
+
+JoinStats SearchServer::Stats() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return stats_;
+}
+
+void SearchServer::AcceptLoop() {
+  // Poll-with-timeout instead of a bare blocking accept (the ScrapeServer
+  // idiom): the 100 ms tick is how Stop() gets the thread's attention
+  // without racing a close() against an accept() in flight.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const int slot = pool_.TryAcquire();
+    if (slot < 0) {
+      // Admission control: every workspace is leased to a live connection.
+      {
+        std::lock_guard<std::mutex> lock(agg_mu_);
+        UJOIN_OBS_COUNTER(&serve_metrics_,
+                          obs::Counter::kServeRejectedConnections, 1);
+      }
+      SendAll(fd, RenderBusyResponse());
+      close(fd);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(agg_mu_);
+      UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeConnections, 1);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      mailbox_[static_cast<size_t>(slot)] = fd;
+    }
+    mailbox_cv_.notify_all();
+  }
+}
+
+void SearchServer::ConnectionWorker(int slot) {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mailbox_mu_);
+      mailbox_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_relaxed) ||
+               mailbox_[static_cast<size_t>(slot)] >= 0;
+      });
+      fd = mailbox_[static_cast<size_t>(slot)];
+      if (fd < 0) return;  // stop requested while idle
+    }
+    HandleConnection(fd, slot);
+    close(fd);
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      mailbox_[static_cast<size_t>(slot)] = -1;
+    }
+    // Mailbox is idle again before the lease returns, so an accept that
+    // re-acquires this slot always finds the worker ready.
+    pool_.Release(slot);
+    if (stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void SearchServer::HandleConnection(int fd, int slot) {
+  QueryWorkspace* const workspace = pool_.workspace(slot);
+  LineFramer framer(options_.max_request_bytes);
+  int64_t seq = 0;
+  int64_t batch_queries = 0;
+  std::string line;
+  char buf[4096];
+  bool open = true;
+  while (open && !stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready < 0) break;
+    if (ready == 0) continue;
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // EOF or error: final batch flushes below
+    framer.Append(buf, static_cast<size_t>(n));
+    while (open && framer.NextLine(&line)) {
+      if (line.empty()) {
+        // Batch separator: fold boundary and snapshot push.
+        if (batch_queries > 0) {
+          FinishBatch(batch_queries);
+          batch_queries = 0;
+        }
+        continue;
+      }
+      ++seq;
+      ++batch_queries;
+      if (line.size() > framer.max_line_bytes()) {
+        SendAll(fd, RenderErrorResponse(
+                        seq, "request line exceeds " +
+                                 std::to_string(framer.max_line_bytes()) +
+                                 " bytes"));
+        FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true);
+        continue;
+      }
+      Result<UncertainString> query =
+          UncertainString::Parse(line, searcher_->alphabet());
+      if (!query.ok()) {
+        SendAll(fd, RenderErrorResponse(seq, query.status().message()));
+        FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true);
+        continue;
+      }
+      JoinStats query_stats;
+      obs::Recorder query_rec;
+      Result<std::vector<SearchHit>> hits =
+          searcher_->Search(*query, &query_stats, workspace, &query_rec,
+                            /*spans=*/nullptr, &options_.limits);
+      if (!hits.ok()) {
+        SendAll(fd, RenderErrorResponse(seq, hits.status().message()));
+        FoldQuery(query_stats, query_rec, /*error=*/true);
+        continue;
+      }
+      SendAll(fd, RenderHitsResponse(seq, *hits, query_stats.Inexact()));
+      FoldQuery(query_stats, query_rec, /*error=*/false);
+    }
+    if (framer.PartialOverLimit()) {
+      // No frame boundary within the cap: the stream cannot be
+      // re-synchronized, so answer once and drop the connection.
+      ++seq;
+      ++batch_queries;
+      SendAll(fd, RenderErrorResponse(
+                      seq, "request line exceeds " +
+                               std::to_string(framer.max_line_bytes()) +
+                               " bytes without a newline"));
+      FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true);
+      open = false;
+    }
+  }
+  if (batch_queries > 0) FinishBatch(batch_queries);
+}
+
+void SearchServer::FoldQuery(const JoinStats& query_stats,
+                             const obs::Recorder& query_rec, bool error) {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  stats_.Merge(query_stats);
+  query_metrics_.Merge(query_rec);
+  UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeRequests, 1);
+  if (error) {
+    UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeRequestErrors, 1);
+  }
+}
+
+void SearchServer::FinishBatch(int64_t batch_queries) {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeBatches, 1);
+  UJOIN_OBS_HIST(&serve_metrics_, obs::Hist::kServeBatchSize, batch_queries);
+  PushSnapshotLocked();
+}
+
+void SearchServer::PushSnapshotLocked() {
+  if (!scrape_running_) return;
+  obs::Recorder merged = query_metrics_;
+  merged.Merge(serve_metrics_);
+  scrape_.UpdateMetrics(obs::RenderPrometheusText(merged));
+}
+
+}  // namespace serve
+}  // namespace ujoin

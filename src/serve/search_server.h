@@ -1,0 +1,136 @@
+#ifndef UJOIN_SERVE_SEARCH_SERVER_H_
+#define UJOIN_SERVE_SEARCH_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "join/join_stats.h"
+#include "join/search.h"
+#include "obs/metrics.h"
+#include "obs/scrape_server.h"
+#include "serve/workspace_pool.h"
+#include "util/status.h"
+
+namespace ujoin {
+namespace serve {
+
+/// \brief Configuration of one SearchServer instance.
+struct ServeOptions {
+  /// TCP port to bind on 127.0.0.1 (0 picks an ephemeral port, readable
+  /// from SearchServer::port() after Start).
+  int port = 0;
+  /// Admission control: connections served concurrently.  Each admitted
+  /// connection leases one pooled QueryWorkspace; connections beyond the
+  /// cap receive a busy response and are closed.
+  int max_connections = 4;
+  /// Per-query verification limits applied to every request (deadline and
+  /// world-count budget; see JoinOptions::limits for semantics).
+  SearchLimits limits;
+  /// Longest accepted request line, in bytes.  A longer complete line is
+  /// answered with an error; a longer partial line closes the connection
+  /// (the frame boundary is lost).
+  size_t max_request_bytes = size_t{1} << 16;
+  /// Port of the embedded Prometheus scrape endpoint (/metrics + /healthz):
+  /// 0 picks an ephemeral port, -1 disables the endpoint.
+  int metrics_port = -1;
+};
+
+/// \brief Resident similarity-search service: a frozen SimilaritySearcher
+/// behind a newline-delimited TCP protocol (see protocol.h).
+///
+/// One accept thread admits connections against the workspace pool; a fixed
+/// crew of `max_connections` connection threads (started once, joined at
+/// Stop) each serve one connection at a time with a leased workspace, so the
+/// steady-state probe path keeps its zero-allocation property across
+/// connections.  The searcher is immutable after Create/Load, which is what
+/// makes the concurrent Search calls safe without any locking on the query
+/// path.
+///
+/// Observability follows the repo's fold discipline: every query records
+/// into a private JoinStats + obs::Recorder and is folded into the server's
+/// run-level aggregates under one mutex.  All folded state is int64, so the
+/// aggregates are bit-identical to an in-process SearchMany over the same
+/// queries regardless of connection count or interleaving — the property
+/// the differential harness (tests/serve/) asserts.  Serve-layer events
+/// (connections, rejections, request errors, batch sizes) go to a separate
+/// recorder so the query-path fold stays directly comparable; the /metrics
+/// page renders the merge of both.
+class SearchServer {
+ public:
+  /// `searcher` is borrowed and must outlive the server.
+  SearchServer(const SimilaritySearcher* searcher, const ServeOptions& options);
+  ~SearchServer();
+
+  SearchServer(const SearchServer&) = delete;
+  SearchServer& operator=(const SearchServer&) = delete;
+
+  /// Binds the sockets and starts the accept + connection threads.  Call at
+  /// most once.
+  Status Start();
+
+  /// Drains the threads and closes the sockets.  Idempotent; also run by
+  /// the destructor.  In-flight queries complete; idle connections are
+  /// closed at the next 100 ms poll tick.
+  void Stop();
+
+  /// The bound query port, valid after a successful Start().
+  int port() const { return port_; }
+  /// The bound scrape port, or -1 when the endpoint is disabled.
+  int metrics_port() const;
+
+  /// Snapshot of the folded per-query recorder (query-path metrics only;
+  /// comparable to an in-process SearchMany fold over the same queries).
+  obs::Recorder QueryMetrics() const;
+  /// Snapshot of the serve-layer recorder (connections, rejections,
+  /// request errors, batch sizes).
+  obs::Recorder ServeMetrics() const;
+  /// Snapshot of the folded per-query JoinStats.
+  JoinStats Stats() const;
+
+ private:
+  void AcceptLoop();
+  void ConnectionWorker(int slot);
+  void HandleConnection(int fd, int slot);
+  /// Folds one answered query into the run-level aggregates.
+  void FoldQuery(const JoinStats& query_stats, const obs::Recorder& query_rec,
+                 bool error);
+  /// Closes a batch of `batch_queries` requests: serve-layer accounting
+  /// plus a fresh /metrics snapshot.
+  void FinishBatch(int64_t batch_queries);
+  void PushSnapshotLocked();
+
+  const SimilaritySearcher* searcher_;
+  ServeOptions options_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+
+  WorkspacePool pool_;
+  // Connection-thread mailboxes: mailbox_[slot] holds the fd handed to
+  // worker `slot`, or -1 when the worker is idle.  Guarded by mailbox_mu_.
+  std::mutex mailbox_mu_;
+  std::condition_variable mailbox_cv_;
+  std::vector<int> mailbox_;
+  std::vector<std::thread> workers_;
+
+  // Run-level aggregates, folded query by query.  Guarded by agg_mu_.
+  mutable std::mutex agg_mu_;
+  JoinStats stats_;
+  obs::Recorder query_metrics_;
+  obs::Recorder serve_metrics_;
+
+  obs::ScrapeServer scrape_;
+  bool scrape_running_ = false;
+};
+
+}  // namespace serve
+}  // namespace ujoin
+
+#endif  // UJOIN_SERVE_SEARCH_SERVER_H_

@@ -1,0 +1,71 @@
+#ifndef UJOIN_SERVE_WORKSPACE_POOL_H_
+#define UJOIN_SERVE_WORKSPACE_POOL_H_
+
+#include <mutex>
+#include <vector>
+
+#include "index/segment_index.h"
+#include "util/check.h"
+
+namespace ujoin {
+namespace serve {
+
+/// \brief Fixed pool of QueryWorkspaces, one per admitted connection.
+///
+/// The workspaces are constructed once at server start; after each has
+/// served a few queries its buffers are grown to steady state and the probe
+/// path stops allocating — the same amortization the batch drivers get from
+/// one workspace per thread, carried across connections instead of being
+/// rebuilt per accept.  The pool doubles as the admission-control token
+/// bucket: TryAcquire() failing is exactly the "server at capacity" signal,
+/// so the number of concurrently served connections can never exceed the
+/// number of workspaces.
+class WorkspacePool {
+ public:
+  explicit WorkspacePool(int size)
+      : workspaces_(static_cast<size_t>(size)),
+        free_(static_cast<size_t>(size), true) {
+    UJOIN_CHECK(size > 0);
+  }
+
+  WorkspacePool(const WorkspacePool&) = delete;
+  WorkspacePool& operator=(const WorkspacePool&) = delete;
+
+  int size() const { return static_cast<int>(workspaces_.size()); }
+
+  /// Claims a free workspace slot, or returns -1 when all are leased
+  /// (admission control: reject the connection).
+  int TryAcquire() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < free_.size(); ++i) {
+      if (free_[i]) {
+        free_[i] = false;
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  /// Returns a slot claimed by TryAcquire.
+  void Release(int slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    UJOIN_CHECK(slot >= 0 && slot < size() &&
+                !free_[static_cast<size_t>(slot)]);
+    free_[static_cast<size_t>(slot)] = true;
+  }
+
+  /// The workspace of a claimed slot; the caller must hold the lease.
+  QueryWorkspace* workspace(int slot) {
+    return &workspaces_[static_cast<size_t>(slot)];
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<QueryWorkspace> workspaces_;
+  std::vector<bool> free_;  // guarded by mu_
+};
+
+}  // namespace serve
+}  // namespace ujoin
+
+#endif  // UJOIN_SERVE_WORKSPACE_POOL_H_

@@ -253,4 +253,12 @@ Result<double> NaiveVerifyProbability(const UncertainString& r,
   return ClampProb(total);
 }
 
+int64_t PairWorldCount(const UncertainString& r, const UncertainString& s) {
+  return SaturatingMul(r.WorldCount(), s.WorldCount());
+}
+
+bool ExceedsWorldBudget(int64_t pair_world_count, int64_t budget) {
+  return budget > 0 && pair_world_count > budget;
+}
+
 }  // namespace ujoin

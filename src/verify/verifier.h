@@ -111,6 +111,18 @@ Result<double> VerifyPairProbability(const UncertainString& r,
                                      const VerifyOptions& options = {},
                                      VerifyStats* stats = nullptr);
 
+/// Saturating |worlds(R)| x |worlds(S)|: the a-priori cost estimate of
+/// exactly verifying the pair (the quantity the kVerifyWorldCount histogram
+/// records).  A pure function of the two strings, so any budget decided
+/// from it is deterministic and thread-count invariant.
+int64_t PairWorldCount(const UncertainString& r, const UncertainString& s);
+
+/// Budget early-out predicate for exact verification: true when `budget`
+/// is set (> 0) and the estimated pair world count exceeds it.  Callers
+/// that skip verification on this signal must fall back to a certified
+/// bound (the CDF bounds of Theorem 4) and surface the result as inexact.
+bool ExceedsWorldBudget(int64_t pair_world_count, int64_t budget);
+
 }  // namespace ujoin
 
 #endif  // UJOIN_VERIFY_VERIFIER_H_

@@ -1,0 +1,105 @@
+#ifndef UJOIN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define UJOIN_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <string>
+
+#include "util/check.h"
+
+namespace ujoin::serve::testing {
+
+/// \brief Minimal blocking line-protocol client for the SearchServer tests:
+/// connects to 127.0.0.1:port, sends raw bytes, reads newline-terminated
+/// responses.  A receive timeout keeps a wedged server from hanging the
+/// test binary past its ctest timeout.
+class LineClient {
+ public:
+  explicit LineClient(int port, int recv_timeout_sec = 10) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    UJOIN_CHECK(fd_ >= 0);
+    timeval timeout{};
+    timeout.tv_sec = recv_timeout_sec;
+    setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+
+  ~LineClient() { Close(); }
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  /// Sends raw bytes (append the '\n' yourself to finish a frame).
+  bool SendRaw(const std::string& data) {
+    size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool SendLine(const std::string& line) { return SendRaw(line + "\n"); }
+
+  /// Reads one newline-terminated response (the '\n' is kept, matching the
+  /// renderers in serve/protocol.h).  Empty return = EOF, error, timeout.
+  std::string ReadLine() {
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl + 1);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True when the server closed its side (EOF) and no buffered line
+  /// remains.
+  bool AtEof() {
+    if (!buf_.empty()) return false;
+    char chunk[256];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      return false;
+    }
+    return true;
+  }
+
+  /// Half-close: shuts down the write side, leaving reads open.
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+}  // namespace ujoin::serve::testing
+
+#endif  // UJOIN_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -8,7 +8,10 @@
 # are schema-validated, plus the allocation gate with recording on, and a
 # live-monitoring smoke (tools/live_smoke.sh): HTTP scrape of /metrics and
 # /healthz from a held join, exposition-format validation, and the
-# --trace-sample=N probe-span reduction check.
+# --trace-sample=N probe-span reduction check, plus a resident-service
+# smoke (tools/serve_smoke.sh): a socket query batch against `ujoin_cli
+# serve`, a /metrics scrape of the serve-layer series, and a clean SIGINT
+# shutdown.
 #
 # Usage: tools/check.sh [jobs]
 #   jobs defaults to the machine's core count.
@@ -26,15 +29,15 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1${ASAN_OPTIONS:+:$ASAN_OPTION
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
 
-echo "==> [1/11] invariant lint (self-test + repo scan)"
+echo "==> [1/12] invariant lint (self-test + repo scan)"
 python3 tools/ujoin_lint.py --self-test
 python3 tools/ujoin_lint.py
 
-echo "==> [2/11] configure + build (Release, warnings as errors)"
+echo "==> [2/12] configure + build (Release, warnings as errors)"
 cmake -B build -S . -DUJOIN_WERROR=ON >/dev/null
 cmake --build build -j "$JOBS"
 
-echo "==> [3/11] clang-tidy (profile: .clang-tidy)"
+echo "==> [3/12] clang-tidy (profile: .clang-tidy)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # The build dir holds compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS).
   find src tools bench -name '*.cc' -print0 |
@@ -43,35 +46,36 @@ else
   echo "clang-tidy not installed: skipping (CI runs this step)"
 fi
 
-echo "==> [4/11] tier-1 test suite"
+echo "==> [4/12] tier-1 test suite"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "==> [5/11] configure + build (ThreadSanitizer)"
+echo "==> [5/12] configure + build (ThreadSanitizer)"
 cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
   -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
 TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
   join_stats_test self_join_test cross_join_test join_obs_test \
-  scrape_server_test)
+  scrape_server_test serve_protocol_test serve_differential_test \
+  verify_budget_test)
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
-echo "==> [6/11] parallel join tests under TSan"
+echo "==> [6/12] parallel join tests under TSan"
 for t in "${TSAN_TARGETS[@]}"; do
   echo "--- $t"
   "./build-tsan/tests/$t"
 done
 
-echo "==> [7/11] full suite under UBSan"
+echo "==> [7/12] full suite under UBSan"
 cmake -B build-ubsan -S . -DUJOIN_SANITIZE=undefined \
   -DUJOIN_BUILD_BENCHMARKS=OFF -DUJOIN_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -LE lint
 
-echo "==> [8/11] index probe micro-bench (speedup + zero-allocation gates)"
+echo "==> [8/12] index probe micro-bench (speedup + zero-allocation gates)"
 # Tiny scale: this is a smoke run of the gates, not a timing measurement.
 UJOIN_BENCH_SCALE="${UJOIN_BENCH_SCALE:-0.25}" \
   ./build/bench/bench_index_probe build/BENCH_probe.json
 
-echo "==> [9/11] CLI observability smoke (run report + trace schemas)"
+echo "==> [9/12] CLI observability smoke (run report + trace schemas)"
 OBS_DIR="build/obs-smoke"
 mkdir -p "$OBS_DIR"
 ./build/tools/ujoin_cli generate --kind=names --size=200 --seed=11 \
@@ -116,7 +120,7 @@ assert all({"ts", "dur", "tid"} <= e.keys()
 print("run report and trace are schema-valid")
 PYEOF
 
-echo "==> [10/11] zero-allocation and overhead gates with recording on"
+echo "==> [10/12] zero-allocation and overhead gates with recording on"
 ./build/tests/frozen_index_test \
   --gtest_filter='FrozenIndexTest.SteadyStateQueryDoesNotAllocate'
 # Smoke gate only: at this tiny scale a 1-CPU box needs a wide margin and
@@ -127,7 +131,10 @@ UJOIN_BENCH_SCALE="${UJOIN_BENCH_SCALE:-0.25}" \
   UJOIN_OBS_OVERHEAD_REPS="${UJOIN_OBS_OVERHEAD_REPS:-15}" \
   ./build/bench/bench_obs_overhead build/BENCH_obs.json
 
-echo "==> [11/11] live monitoring smoke (scrape endpoint + trace sampling)"
+echo "==> [11/12] live monitoring smoke (scrape endpoint + trace sampling)"
 bash tools/live_smoke.sh build
+
+echo "==> [12/12] resident service smoke (socket batch + scrape + SIGINT)"
+bash tools/serve_smoke.sh build
 
 echo "all checks passed"

@@ -1,0 +1,139 @@
+#!/usr/bin/env bash
+# Resident-service smoke, shared by tools/check.sh and CI:
+#
+#   1. starts `ujoin_cli serve` on an ephemeral port with a generated
+#      dataset, a metrics endpoint, and a verification budget;
+#   2. runs a query batch over a real socket with a python3 stdlib client:
+#      well-formed queries (checking id-sorted hits, per-connection seq, and
+#      the inexact flag), one malformed line (error without losing the
+#      connection), and a blank batch separator;
+#   3. scrapes /metrics and /healthz and checks the serve-layer series
+#      reflect the batch just sent;
+#   4. shuts the server down with SIGINT and checks a clean exit plus the
+#      shutdown summary on stderr.
+#
+# Usage: tools/serve_smoke.sh [build_dir]
+#   build_dir defaults to "build"; artefacts go to <build_dir>/serve-smoke.
+#
+# Pure python3 stdlib (socket + urllib): curl is not assumed.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CLI="$BUILD/tools/ujoin_cli"
+DIR="$BUILD/serve-smoke"
+mkdir -p "$DIR"
+
+# Low-fanout strings (<= 3^2 worlds each): exact verification is cheap, so
+# the serve-side world budget below never trips and responses stay exact.
+"$CLI" generate --kind=names --size=100 --seed=17 \
+  --theta=0.1 --gamma=3 --max-uncertain=2 \
+  --out="$DIR/data.txt" >/dev/null
+
+echo "--- resident search service"
+rm -f "$DIR/serve.err"
+"$CLI" serve --input="$DIR/data.txt" --kind=names --k=2 --tau=0.1 \
+  --port=0 --metrics-port=0 --max-verify-worlds=1000000 \
+  2>"$DIR/serve.err" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# The CLI announces both ports on stderr before accepting; poll for them.
+PORT="" METRICS_PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^serve: .* answering on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' \
+    "$DIR/serve.err" 2>/dev/null || true)"
+  METRICS_PORT="$(sed -n 's/^serve: \/metrics on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$DIR/serve.err" 2>/dev/null || true)"
+  [[ -n "$PORT" && -n "$METRICS_PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" || -z "$METRICS_PORT" ]]; then
+  echo "FAIL: serve never announced its ports" >&2
+  cat "$DIR/serve.err" >&2
+  exit 1
+fi
+echo "query port $PORT, metrics port $METRICS_PORT"
+
+python3 - "$PORT" "$METRICS_PORT" "$DIR/data.txt" "$DIR/metrics.prom" <<'PYEOF'
+import json, socket, sys, time, urllib.request
+
+port, metrics_port = int(sys.argv[1]), int(sys.argv[2])
+queries = [line.strip() for line in open(sys.argv[3]) if line.strip()][:10]
+
+sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+f = sock.makefile("rwb")
+
+def ask(line):
+    f.write(line.encode() + b"\n")
+    f.flush()
+    return json.loads(f.readline().decode())
+
+# A batch of well-formed queries: sequenced responses, id-sorted hits, and
+# exact results under a budget far above these strings' world counts.
+total_hits = 0
+for i, q in enumerate(queries, start=1):
+    r = ask(q)
+    assert r["seq"] == i and r["status"] == "ok", r
+    assert r["inexact"] is False, r
+    ids = [h["id"] for h in r["hits"]]
+    assert ids == sorted(ids), r
+    assert all(h["probability"] > 0.1 for h in r["hits"]), r
+    total_hits += len(ids)
+# Querying the collection against itself must surface matches (certain
+# strings match themselves with probability 1).
+assert total_hits > 0
+
+# A malformed line gets an error response and the connection survives.
+r = ask("not a query !!")
+assert r["status"] == "error" and r["seq"] == len(queries) + 1, r
+r = ask(queries[0])
+assert r["status"] == "ok" and r["seq"] == len(queries) + 2, r
+
+# Blank line = batch separator: flushes a metrics snapshot, no response.
+f.write(b"\n")
+f.flush()
+
+def fetch(path):
+    url = f"http://127.0.0.1:{metrics_port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read()
+
+status, body = fetch("/healthz")
+assert status == 200 and body == b"ok\n", (status, body)
+
+# The batch-boundary snapshot is pushed by the worker that saw the blank
+# line; poll briefly until it lands.
+want = f"ujoin_serve_requests_total {len(queries) + 2}\n".encode()
+deadline = time.monotonic() + 10
+while True:
+    status, body = fetch("/metrics")
+    assert status == 200, status
+    if want in body:
+        break
+    assert time.monotonic() < deadline, \
+        f"snapshot never appeared; last page:\n{body.decode()}"
+    time.sleep(0.2)
+assert b"ujoin_serve_connections_total 1\n" in body, body.decode()
+assert b"ujoin_serve_request_errors_total 1\n" in body, body.decode()
+assert f"ujoin_queries_total {len(queries) + 1}\n".encode() in body
+with open(sys.argv[4], "wb") as out:
+    out.write(body)
+
+sock.close()
+print(f"answered {len(queries) + 2} requests, scraped /metrics "
+      f"({len(body)} bytes)")
+PYEOF
+
+python3 tools/validate_exposition.py "$DIR/metrics.prom"
+
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+trap - EXIT
+grep -q "^serve: shutting down$" "$DIR/serve.err"
+grep -q "^serve: 1 connections (0 rejected), 12 requests (1 errors)" \
+  "$DIR/serve.err"
+echo "server exited cleanly on SIGINT with shutdown summary"
+
+echo "serve smoke passed"

@@ -23,6 +23,20 @@
 //               aggregated filter/verification statistics; the stats are
 //               identical for every --threads value)
 //   ujoin_cli stats --input=FILE --kind=names|protein
+//   ujoin_cli serve (--input=FILE | --index=FILE.idx) --kind=names|protein
+//              [--k=2] [--tau=0.1] [--q=3] [--port=0] [--metrics-port=-1]
+//              [--max-connections=4] [--max-verify-worlds=0]
+//              [--deadline-ms=0] [--max-request-bytes=65536]
+//              (loads the collection once and answers newline-delimited
+//               query batches over TCP until SIGINT/SIGTERM; see
+//               DESIGN.md "Resident search service".  --port=0 picks a free
+//               port, announced on stderr.  --metrics-port enables the
+//               /metrics + /healthz endpoint, refreshed at batch
+//               boundaries.  --max-verify-worlds caps the possible-world
+//               product a single exact verification may cost; over-budget
+//               candidates fall back to their CDF bounds and the response
+//               is marked "inexact".  --deadline-ms is the per-query
+//               wall-clock deadline with the same fallback.)
 //
 // Observability (DESIGN.md "Observability" and "Live monitoring"):
 //   --metrics-out=FILE  writes a ujoin.run_report JSON document with the
@@ -67,6 +81,7 @@
 #include "obs/report.h"
 #include "obs/scrape_server.h"
 #include "obs/trace.h"
+#include "serve/search_server.h"
 
 namespace {
 
@@ -129,9 +144,10 @@ class Flags {
 };
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: ujoin_cli <generate|join|index|search|stats> [flags]\n"
-               "see the header of tools/ujoin_cli.cc for flag reference\n");
+  std::fprintf(
+      stderr,
+      "usage: ujoin_cli <generate|join|index|search|serve|stats> [flags]\n"
+      "see the header of tools/ujoin_cli.cc for flag reference\n");
   return 2;
 }
 
@@ -598,6 +614,88 @@ int RunSearch(Flags& flags) {
   return rc;
 }
 
+int RunServe(Flags& flags) {
+  Result<Alphabet> alphabet =
+      AlphabetFromKind(flags.GetString("kind", "names"));
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "error: %s\n", alphabet.status().ToString().c_str());
+    return 2;
+  }
+  JoinOptions options = JoinOptions::Qfct(flags.GetInt("k", 2),
+                                          flags.GetDouble("tau", 0.1),
+                                          flags.GetInt("q", 3));
+  options.always_verify = true;
+  const std::string index_path = flags.GetString("index");
+  serve::ServeOptions serve_options;
+  serve_options.port = flags.GetInt("port", 0);
+  serve_options.metrics_port = flags.GetInt("metrics-port", -1);
+  serve_options.max_connections = flags.GetInt("max-connections", 4);
+  serve_options.limits.max_verify_worlds =
+      flags.GetInt("max-verify-worlds", 0);
+  serve_options.limits.deadline_ns =
+      int64_t{flags.GetInt("deadline-ms", 0)} * 1000000;
+  serve_options.max_request_bytes = static_cast<size_t>(
+      flags.GetInt("max-request-bytes", 1 << 16));
+
+  Result<SimilaritySearcher> searcher = [&]() -> Result<SimilaritySearcher> {
+    if (!index_path.empty()) {
+      flags.GetString("input");  // accepted but ignored with --index
+      return SimilaritySearcher::Load(index_path, *alphabet);
+    }
+    Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
+    if (!input.ok()) return input.status();
+    return SimilaritySearcher::Create(std::move(*input), *alphabet, options);
+  }();
+  if (!flags.Validate()) return 2;
+  if (serve_options.max_connections <= 0) {
+    std::fprintf(stderr, "error: --max-connections must be positive\n");
+    return 2;
+  }
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::SearchServer server(&*searcher, serve_options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serve: %zu strings indexed, answering on 127.0.0.1:%d "
+               "(%d connections max)\n",
+               searcher->collection().size(), server.port(),
+               serve_options.max_connections);
+  if (server.metrics_port() >= 0) {
+    std::fprintf(stderr, "serve: /metrics on 127.0.0.1:%d\n",
+                 server.metrics_port());
+  }
+  std::signal(SIGINT, &HoldSignalHandler);
+  std::signal(SIGTERM, &HoldSignalHandler);
+  while (g_hold_interrupted == 0) pause();
+  std::fprintf(stderr, "serve: shutting down\n");
+  server.Stop();
+  const JoinStats stats = server.Stats();
+  const obs::Recorder serve_metrics = server.ServeMetrics();
+  std::fprintf(
+      stderr,
+      "serve: %lld connections (%lld rejected), %lld requests "
+      "(%lld errors), %lld batches\n%s",
+      static_cast<long long>(
+          serve_metrics.counter(obs::Counter::kServeConnections)),
+      static_cast<long long>(
+          serve_metrics.counter(obs::Counter::kServeRejectedConnections)),
+      static_cast<long long>(
+          serve_metrics.counter(obs::Counter::kServeRequests)),
+      static_cast<long long>(
+          serve_metrics.counter(obs::Counter::kServeRequestErrors)),
+      static_cast<long long>(
+          serve_metrics.counter(obs::Counter::kServeBatches)),
+      stats.ToString().c_str());
+  return 0;
+}
+
 int RunStats(Flags& flags) {
   Result<Alphabet> alphabet =
       AlphabetFromKind(flags.GetString("kind", "names"));
@@ -647,6 +745,7 @@ int main(int argc, char** argv) {
   if (command == "join") return RunJoin(flags);
   if (command == "index") return RunIndex(flags);
   if (command == "search") return RunSearch(flags);
+  if (command == "serve") return RunServe(flags);
   if (command == "stats") return RunStats(flags);
   return Usage();
 }

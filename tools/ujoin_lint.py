@@ -84,6 +84,7 @@ DETERMINISTIC_OUTPUT_GLOBS = [
     "src/join/*",
     "src/index/*",
     "src/obs/*",
+    "src/serve/*",
     "src/util/serde*",
     "tools/ujoin_cli.cc",
 ]
