@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/math_util.h"
+#include "util/simd.h"
 
 namespace ujoin {
 
@@ -141,15 +142,14 @@ CdfBounds ComputeCdfBounds(const UncertainString& r, const UncertainString& s,
         }
       }
 
-      for (int j = 0; j <= k; ++j) {
-        const double lower_prev_j = j > 0 ? lsel[j - 1] : 0.0;
-        lo[j] = std::max(p1 * l1[j], p2 * lower_prev_j);
-        const double u1_prev = j > 0 ? u1[j - 1] : 0.0;
-        const double u2_prev = j > 0 ? u2[j - 1] : 0.0;
-        const double u3_prev = j > 0 ? u3[j - 1] : 0.0;
-        up[j] = std::min(1.0, p1 * u1[j] + p2 * u1_prev + u2_prev + u3_prev);
-        row_max_upper = std::max(row_max_upper, up[j]);
-      }
+      // The k+1 (L[j], U[j]) lanes of this cell, as one vectorized kernel
+      // call (bit-identical to the scalar recurrence; see util/simd.h).
+      // Safe despite lsel/u2 possibly pointing into the row being written:
+      // the kernel writes band offset d and reads offset d-1, which ends
+      // before the written range begins.
+      const double cell_max =
+          simd::CdfCellUpdate(l1, u1, u2, u3, lsel, p1, p2, width, lo, up);
+      row_max_upper = std::max(row_max_upper, cell_max);
     }
     // Prefix pruning (the probabilistic analogue of the deterministic
     // early-exit): once a row past the first k has all-zero upper bounds,

@@ -2,6 +2,7 @@
 
 #include "util/check.h"
 #include "util/math_util.h"
+#include "util/simd.h"
 
 namespace ujoin {
 
@@ -12,15 +13,13 @@ namespace {
 // and scratch-reusing variants compute bit-identical rows.
 void RunEventDp(std::span<const double> alphas, std::vector<double>* dist) {
   int upto = 0;
+  double* row = dist->data();
   for (double alpha : alphas) {
     UJOIN_DCHECK(alpha >= 0.0 && alpha <= 1.0);
     ++upto;
-    for (int j = upto; j >= 1; --j) {
-      (*dist)[static_cast<size_t>(j)] =
-          alpha * (*dist)[static_cast<size_t>(j - 1)] +
-          (1.0 - alpha) * (*dist)[static_cast<size_t>(j)];
-    }
-    (*dist)[0] *= (1.0 - alpha);
+    // One folded event per call; the row update is a pure shift-and-blend
+    // over old values, vectorized in util/simd.h with bit-identical lanes.
+    simd::EventDpStep(alpha, upto, row);
   }
 }
 

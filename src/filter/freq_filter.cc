@@ -6,6 +6,7 @@
 #include "filter/event_dp.h"
 #include "util/check.h"
 #include "util/math_util.h"
+#include "util/simd.h"
 
 namespace ujoin {
 
@@ -60,10 +61,13 @@ FrequencySummary FrequencySummary::Build(const UncertainString& s,
       summary.scaled_head[x] = summary.scaled_head[x - 1] + head;
       head += summary.pmf[x];
     }
-    double mean_uncertain = 0.0;
-    for (size_t y = 1; y < n; ++y) {
-      mean_uncertain += static_cast<double>(y) * summary.pmf[y];
-    }
+    // Σ y·pmf[y] via the 4-slot dot kernel.  The tail/scaled_tail/scaled_head
+    // scans above stay scalar on purpose: each element depends on the
+    // previous one, so they are inherently sequential; the vectorizable
+    // frequency-distance math is the dot products consuming these arrays
+    // (here and in ExpectedPositivePart).
+    const double mean_uncertain =
+        n > 1 ? simd::IotaDotSlots(summary.pmf.data() + 1, 1, n - 1) : 0.0;
     summary.expected = summary.certain_count + mean_uncertain;
   }
   return out;
@@ -86,11 +90,27 @@ double ExpectedPositivePart(const CharFrequencySummary& a,
     return a.expected - b.expected + ExpectedPositivePart(b, a);
   }
   // E[(a-b)+] = Σ_x Pr(f_a = certain_a + x) · E[(certain_a + x - f_b)+].
+  // Split by which branch of ExpectedDeficitBelow(certain_a + x) applies
+  // (u = certain_a + x - certain_b):
+  //   u <= 0                 -> deficit 0, no contribution;
+  //   1 <= u <= uncertain_b  -> pmf[x] · scaled_head[u], one contiguous dot
+  //                             product over the S-prefix array (kernel);
+  //   u > uncertain_b        -> pmf[x] · ((certain_a + x) - E[f_b]), a short
+  //                             (usually empty) scalar tail.
+  const int off = a.certain_count - b.certain_count;
+  const int mid_lo = std::max(0, 1 - off);
+  const int mid_hi = std::min(a.uncertain_count, b.uncertain_count - off);
   double total = 0.0;
-  for (int x = 0; x <= a.uncertain_count; ++x) {
+  if (mid_hi >= mid_lo) {
+    total = simd::DotSlots(a.pmf.data() + mid_lo,
+                           b.scaled_head.data() + (mid_lo + off),
+                           static_cast<size_t>(mid_hi - mid_lo) + 1);
+  }
+  for (int x = std::max(0, b.uncertain_count - off + 1);
+       x <= a.uncertain_count; ++x) {
     const double px = a.pmf[static_cast<size_t>(x)];
     if (px == 0.0) continue;
-    total += px * b.ExpectedDeficitBelow(a.certain_count + x);
+    total += px * (static_cast<double>(a.certain_count + x) - b.expected);
   }
   return std::max(total, 0.0);
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/simd.h"
+
 namespace ujoin {
 namespace {
 
@@ -16,19 +18,11 @@ bool NeedsGrow(size_t entries, size_t slots) {
 
 uint64_t Fingerprint64(const void* data, size_t len) {
   // FNV-1a over the bytes, then a splitmix64-style finalizer so that short
-  // keys still spread across the low bits the slot mask consumes.
-  const unsigned char* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  h ^= h >> 30;
-  h *= 0xbf58476d1ce4e5b9ULL;
-  h ^= h >> 27;
-  h *= 0x94d049bb133111ebULL;
-  h ^= h >> 31;
-  return h;
+  // keys still spread across the low bits the slot mask consumes.  The
+  // algorithm itself lives in the kernel layer so the batched variant
+  // (simd::Fingerprint64Batch) and this single-key path share one
+  // definition and can never drift.
+  return simd::scalar::Fingerprint64(data, len);
 }
 
 FlatPostings::FlatPostings(int key_length, FingerprintFn fingerprint)
@@ -88,7 +82,19 @@ FlatPostings::ListView FlatPostings::Find(std::string_view key) const {
   if (slots_.empty() || key.size() != static_cast<size_t>(key_length_)) {
     return {};
   }
-  const uint64_t fp = fingerprint_(key.data(), key.size());
+  return FindWithFingerprint(fingerprint_(key.data(), key.size()), key);
+}
+
+void FlatPostings::PrefetchSlot(uint64_t fp) const {
+  if (slots_.empty()) return;
+  simd::PrefetchRead(slots_.data() + (fp & (slots_.size() - 1)));
+}
+
+FlatPostings::ListView FlatPostings::FindWithFingerprint(
+    uint64_t fp, std::string_view key) const {
+  if (slots_.empty() || key.size() != static_cast<size_t>(key_length_)) {
+    return {};
+  }
   const size_t mask = slots_.size() - 1;
   size_t slot = fp & mask;
   for (;;) {

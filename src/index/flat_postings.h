@@ -75,6 +75,22 @@ class FlatPostings {
   /// Zero-allocation lookup; both spans empty when the key is absent.
   ListView Find(std::string_view key) const;
 
+  /// Find with the fingerprint computed up front — the batched probe path
+  /// fingerprints a whole segment's keys in one kernel call
+  /// (simd::Fingerprint64Batch) and then probes with the results.  `fp`
+  /// must equal the instance's fingerprint function applied to `key`.
+  ListView FindWithFingerprint(uint64_t fp, std::string_view key) const;
+
+  /// Hints the load of the hash slot `fp` would probe first, so a batch of
+  /// FindWithFingerprint calls overlaps its cache misses.  No-op when empty.
+  void PrefetchSlot(uint64_t fp) const;
+
+  /// True when this instance hashes with the default Fingerprint64 — the
+  /// precondition for probing it with externally batched fingerprints.
+  bool uses_default_fingerprint() const {
+    return fingerprint_ == &Fingerprint64;
+  }
+
   /// Packs all postings (frozen extents + deltas) into one contiguous
   /// arena grouped by key in ascending key order, then clears the deltas.
   /// Idempotent; cheap when nothing changed since the last freeze.

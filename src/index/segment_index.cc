@@ -10,6 +10,8 @@
 #include "text/possible_worlds.h"
 #include "util/check.h"
 #include "util/math_util.h"
+#include "util/simd.h"
+#include "util/timer.h"
 
 namespace ujoin {
 
@@ -115,6 +117,12 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
   // Stage 1 (per segment): merge the posting lists of the probe substrings
   // into one id-sorted list carrying α_x = Σ_w p_r(w) · Pr(w = S^x).  The
   // per-segment lists are laid out back to back in ws->merged.
+  // Per-kernel wall-time counters, accumulated locally and folded once at
+  // the end (clock reads only happen with a recorder attached).
+  const bool timed = UJOIN_OBS_ENABLED(ws->obs);
+  int64_t fingerprint_ns = 0;
+  int64_t merge_ns = 0;
+  Timer kernel_timer;
   ws->merged.clear();
   ws->merged_begin.clear();
   ws->merged_begin.push_back(0);
@@ -131,22 +139,56 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
     // Gather the extents to merge: up to two per probe substring (frozen
     // arena + delta list, each id-sorted, weighted by the substring's
     // occurrence probability) plus this segment's wildcard ids at α = 1.
+    //
+    // The probe keys of one segment share the segment's fixed length, so
+    // their fingerprints batch into one kernel call (simd::Fingerprint64Batch,
+    // interleaved FNV) and their hash slots prefetch ahead of the lookups.
+    // A test-injected fingerprint function (or a malformed probe length,
+    // which Find answers with "absent") falls back to the per-key path.
     ws->cursors.clear();
-    for (const FlatProbeSets::Entry& probe : probes.segment_entries(x)) {
-      const FlatPostings::ListView list = Find(x, probes.text(probe));
+    const std::span<const FlatProbeSets::Entry> entries =
+        probes.segment_entries(x);
+    const FlatPostings& seg_lists = lists_[static_cast<size_t>(x)];
+    const uint32_t seg_key_len =
+        static_cast<uint32_t>(seg_lists.key_length());
+    bool batched = seg_lists.uses_default_fingerprint() && !entries.empty();
+    for (size_t i = 0; batched && i < entries.size(); ++i) {
+      batched = entries[i].length == seg_key_len;
+    }
+    if (batched) {
+      if (timed) kernel_timer.Reset();
+      ws->probe_ptrs.clear();
+      for (const FlatProbeSets::Entry& probe : entries) {
+        ws->probe_ptrs.push_back(probes.text(probe).data());
+      }
+      ws->probe_fps.resize(entries.size());
+      simd::Fingerprint64Batch(ws->probe_ptrs.data(), seg_key_len,
+                               entries.size(), ws->probe_fps.data());
+      for (const uint64_t fp : ws->probe_fps) seg_lists.PrefetchSlot(fp);
+      if (timed) fingerprint_ns += kernel_timer.ElapsedNanos();
+    }
+    for (size_t i = 0; i < entries.size(); ++i) {
+      const FlatProbeSets::Entry& probe = entries[i];
+      const FlatPostings::ListView list =
+          batched ? seg_lists.FindWithFingerprint(ws->probe_fps[i],
+                                                  probes.text(probe))
+                  : seg_lists.Find(probes.text(probe));
       if (list.empty()) continue;
       if (!list.base.empty()) {
+        simd::PrefetchRead(list.base.data());
         ws->cursors.push_back(Cursor{list.base.data(),
                                      list.base.data() + list.base.size(),
                                      probe.prob});
       }
       if (!list.delta.empty()) {
+        simd::PrefetchRead(list.delta.data());
         ws->cursors.push_back(Cursor{list.delta.data(),
                                      list.delta.data() + list.delta.size(),
                                      probe.prob});
       }
       if (stats != nullptr) ++stats->lists_scanned;
     }
+    if (timed) kernel_timer.Reset();
     const std::vector<uint32_t>& wildcards =
         wildcard_ids_[static_cast<size_t>(x)];
     size_t wildcard_pos = 0;
@@ -171,6 +213,9 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
           if (c.pos != c.end && c.pos->id == min_id) {
             alpha += c.weight * c.pos->prob;
             ++c.pos;
+            // Hint ~2 cache lines ahead in this posting extent (offset
+            // arithmetic over uintptr_t so a hint past the end is not UB).
+            simd::PrefetchReadOffset(c.pos, 8 * sizeof(Posting));
             if (stats != nullptr) ++stats->postings_scanned;
           }
         }
@@ -205,6 +250,7 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
           Cursor& c = ws->cursors[ci];
           alpha += c.weight * c.pos->prob;
           ++c.pos;
+          simd::PrefetchReadOffset(c.pos, 8 * sizeof(Posting));
           if (stats != nullptr) ++stats->postings_scanned;
           if (c.pos != c.end) HeapPush(&ws->heap, HeapKey(c.pos->id, ci));
         }
@@ -216,6 +262,7 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
         ws->merged.push_back(MergedEntry{min_id, ClampProb(alpha)});
       }
     }
+    if (timed) merge_ns += kernel_timer.ElapsedNanos();
     ws->merged_begin.push_back(static_cast<uint32_t>(ws->merged.size()));
   }
 
@@ -235,6 +282,7 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
         ws->merged.data() + ws->merged_begin[static_cast<size_t>(x)],
         ws->merged.data() + ws->merged_begin[static_cast<size_t>(x) + 1]);
   };
+  if (timed) kernel_timer.Reset();
   ws->tops.assign(static_cast<size_t>(m), 0);
   ws->alphas.assign(static_cast<size_t>(m), 0.0);
   const std::span<const double> alphas_span(ws->alphas.data(),
@@ -322,6 +370,13 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
       }
       for (int x : ws->touched) ws->alphas[static_cast<size_t>(x)] = 0.0;
     }
+  }
+  if (timed) {
+    UJOIN_OBS_COUNTER(ws->obs, obs::Counter::kKernelEventDpNs,
+                      kernel_timer.ElapsedNanos());
+    UJOIN_OBS_COUNTER(ws->obs, obs::Counter::kKernelFingerprintNs,
+                      fingerprint_ns);
+    UJOIN_OBS_COUNTER(ws->obs, obs::Counter::kKernelMergeNs, merge_ns);
   }
   return ws->candidates;
 }

@@ -84,6 +84,8 @@ struct QueryWorkspace {
   // into) and `candidate_ids` (free driver-level scratch).
   FlatProbeSets probes;
   ProbeSetScratch probe_scratch;
+  std::vector<const char*> probe_ptrs;   // batched-fingerprint key pointers
+  std::vector<uint64_t> probe_fps;       // batched fingerprints, per segment
   std::vector<Cursor> cursors;
   std::vector<uint64_t> heap;            // (id << 32 | list) min-heap keys
   std::vector<MergedEntry> merged;       // all segments' merged lists, flat

@@ -281,6 +281,8 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   stats->freq_time += 1e-9 * static_cast<double>(freq_ns);
   stats->cdf_time += 1e-9 * static_cast<double>(cdf_ns);
   stats->verify_time += 1e-9 * static_cast<double>(verify_ns);
+  UJOIN_OBS_COUNTER(metrics, obs::Counter::kKernelFreqDistNs, freq_ns);
+  UJOIN_OBS_COUNTER(metrics, obs::Counter::kKernelCdfDpNs, cdf_ns);
 
   // Filter-funnel flow for this query, as deltas against the base snapshots
   // (a disabled stage is a pass-through: entered == survived).

@@ -359,6 +359,8 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       pstats.freq_time += 1e-9 * static_cast<double>(freq_ns);
       pstats.cdf_time += 1e-9 * static_cast<double>(cdf_ns);
       pstats.verify_time += 1e-9 * static_cast<double>(verify_ns);
+      UJOIN_OBS_COUNTER(rec, obs::Counter::kKernelFreqDistNs, freq_ns);
+      UJOIN_OBS_COUNTER(rec, obs::Counter::kKernelCdfDpNs, cdf_ns);
 
       // Filter-funnel flow for this rank, read off the rank-private stats
       // (they start at zero, so these are exactly this probe's deltas).  A

@@ -42,6 +42,16 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
      "request lines answered with an error (malformed or oversized)"},
     {"serve_batches", "count",
      "query batches completed (metric-snapshot boundaries)"},
+    {"kernel_cdf_dp_ns", "ns",
+     "wall time in the CDF-bound filter (banded DP cell kernel)"},
+    {"kernel_event_dp_ns", "ns",
+     "wall time in the stage-2 scan incl. the event-count DP kernel"},
+    {"kernel_freq_dist_ns", "ns",
+     "wall time in the frequency-distance filter (S-array dot kernels)"},
+    {"kernel_fingerprint_ns", "ns",
+     "wall time batch-fingerprinting probe keys"},
+    {"kernel_merge_ns", "ns",
+     "wall time in the stage-1 posting-list merge (prefetched scan)"},
 };
 
 constexpr MetricInfo kGaugeInfo[kNumGauges] = {

@@ -79,8 +79,23 @@ enum class Counter : int {
   kServeRequestErrors,
   /// Query batches completed (metric-snapshot boundaries).
   kServeBatches,
+  // Per-kernel wall time of the vectorized probe-path loops (util/simd.h),
+  // in nanoseconds.  Like the latency histograms these carry wall-clock
+  // values, so they are excluded from cross-run bit-identity comparisons
+  // (unit "ns"); their *fold* is still the deterministic int64 sum.
+  /// CDF-bound filter evaluation: the banded DP cell kernel (Theorem 4).
+  kKernelCdfDpNs,
+  /// Stage-2 merged-list scan incl. the event-count DP kernel (Theorem 2).
+  kKernelEventDpNs,
+  /// Frequency-distance filter evaluation: the S-array dot kernels
+  /// (Theorem 3).
+  kKernelFreqDistNs,
+  /// Batched probe-key fingerprinting (FNV+splitmix kernel).
+  kKernelFingerprintNs,
+  /// Stage-1 posting-list merge (prefetched linear/heap scan).
+  kKernelMergeNs,
 };
-inline constexpr int kNumCounters = 10;
+inline constexpr int kNumCounters = 15;
 
 /// Gauges: point-in-time values; Merge keeps the maximum so folds are
 /// order-independent.

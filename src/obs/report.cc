@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "obs/json_writer.h"
+#include "util/simd.h"
 
 namespace ujoin {
 namespace obs {
@@ -17,6 +18,11 @@ std::string RenderRunReport(std::string_view command,
   w.Int(kRunReportSchemaVersion);
   w.Key("command");
   w.String(command);
+  // Which kernel dispatch the producing process ran with (util/simd.h):
+  // "avx2", "sse2", "neon", or "scalar".  Machine metadata, not a result —
+  // readers comparing reports across hosts should expect it to differ.
+  w.Key("simd_isa");
+  w.String(simd::ActiveIsaName());
   for (const ReportSection& section : sections) {
     w.Key(section.key);
     w.RawValue(section.json);

@@ -1,0 +1,32 @@
+// ujoin-lint-fixture: as=src/util/simd_widen.h rule=simd-dispatch-fallback expect=1
+//
+// Seeded violation: a vector kernel variant (WidenSumAvx2) with no
+// scalar::WidenSum anywhere in the kernel layer.  Without the scalar twin
+// there is no -DUJOIN_SIMD=off implementation and no oracle for the
+// differential test — the dispatch entry below can only ever call the
+// vector path.
+#include <immintrin.h>
+#include <cstddef>
+
+namespace ujoin {
+namespace simd {
+
+namespace detail {
+__attribute__((target("avx2"))) inline double WidenSumAvx2(
+    const double* a, std::size_t n) {  // violation: no scalar::WidenSum
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  for (; i < n; ++i) s[i & 3] += a[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+}  // namespace detail
+
+inline double WidenSum(const double* a, std::size_t n) {
+  return detail::WidenSumAvx2(a, n);
+}
+
+}  // namespace simd
+}  // namespace ujoin

@@ -1,0 +1,26 @@
+// ujoin-lint-fixture: as=src/filter/fast_cdf.cc rule=simd-intrinsics expect=5
+//
+// Seeded violations: raw vector code outside the kernel layer.  Each form
+// bypasses the dispatched wrappers in util/simd.h, so it would break the
+// -DUJOIN_SIMD=off build, non-x86 targets, or escape the differential
+// kernel test.
+#include <immintrin.h>  // violation: intrinsics header include
+#include <cstddef>
+
+namespace ujoin {
+
+double HandRolledSum(const double* a, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();  // violation: x86 SIMD intrinsic
+  for (std::size_t i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));  // violation
+  }
+  double s[4];
+  _mm256_storeu_pd(s, acc);  // violation: x86 SIMD intrinsic
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+void HandRolledPrefetch(const double* a) {
+  __builtin_prefetch(a);  // violation: __builtin_prefetch
+}
+
+}  // namespace ujoin

@@ -1,0 +1,40 @@
+// ujoin-lint-fixture: as=src/util/simd_widen.h rule=simd-dispatch-fallback expect=0
+//
+// Clean counterpart of bad_simd_dispatch.cc: the vector variant has its
+// scalar::WidenSum twin, and the dispatch entry falls back to it — the
+// shape every kernel in util/simd.h follows.  Calls to detail::*Avx2 from
+// the dispatch entry are not definitions and must not fire on their own.
+#include <immintrin.h>
+#include <cstddef>
+
+namespace ujoin {
+namespace simd {
+
+namespace scalar {
+inline double WidenSum(const double* a, std::size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) s[i & 3] += a[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+}  // namespace scalar
+
+namespace detail {
+__attribute__((target("avx2"))) inline double WidenSumAvx2(
+    const double* a, std::size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) acc = _mm256_add_pd(acc, _mm256_loadu_pd(a + i));
+  double s[4];
+  _mm256_storeu_pd(s, acc);
+  for (; i < n; ++i) s[i & 3] += a[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+}  // namespace detail
+
+inline double WidenSum(const double* a, std::size_t n) {
+  if (n >= 4) return detail::WidenSumAvx2(a, n);  // call, not a definition
+  return scalar::WidenSum(a, n);
+}
+
+}  // namespace simd
+}  // namespace ujoin

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/simd.h"
+
 namespace ujoin {
 namespace obs {
 namespace {
@@ -130,9 +132,13 @@ TEST(RunReportTest, EnvelopeHasSchemaAndSections) {
   const std::string report =
       RenderRunReport("join", {{"options", R"({"k":2})"},
                                {"stats", R"({"pairs":5})"}});
+  // The simd_isa value is machine metadata (which kernel dispatch the
+  // producing process selected), so the expectation splices it in.
   EXPECT_EQ(report,
-            R"({"schema":"ujoin.run_report","schema_version":1,)"
-            R"("command":"join","options":{"k":2},"stats":{"pairs":5}})");
+            std::string(R"({"schema":"ujoin.run_report","schema_version":1,)"
+                        R"("command":"join","simd_isa":")") +
+                simd::ActiveIsaName() +
+                R"(","options":{"k":2},"stats":{"pairs":5}})");
 }
 
 TEST(RunReportTest, WriteRunReportRoundTrips) {

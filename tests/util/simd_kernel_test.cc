@@ -1,0 +1,341 @@
+// Differential gate for the vectorized kernel layer (util/simd.h): every
+// ISA variant must match the scalar reference bit-for-bit — not within a
+// tolerance — on random and adversarial inputs.  Comparisons go through
+// std::bit_cast so that +0.0 vs -0.0 or NaN payload drift would fail too.
+//
+// The dispatched entry points are exercised alongside the explicitly-named
+// variants, so on any machine the path the pipeline actually takes is under
+// test; on x86-64 the SSE2 variant and (when the CPU has it) the AVX2
+// variant are additionally pinned one by one.  Under -DUJOIN_SIMD=off the
+// dispatcher IS the scalar reference and the test degenerates to a
+// self-consistency check — still worth running: it keeps the suite green in
+// the simd-off CI leg.
+
+#include "util/simd.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ujoin {
+namespace {
+
+uint64_t Bits(double x) { return std::bit_cast<uint64_t>(x); }
+
+void ExpectSameBits(double expected, double actual, const std::string& what) {
+  EXPECT_EQ(Bits(expected), Bits(actual))
+      << what << ": scalar " << expected << " vs variant " << actual;
+}
+
+void ExpectSameVector(const std::vector<double>& expected,
+                      const std::vector<double>& actual,
+                      const std::string& what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(Bits(expected[i]), Bits(actual[i]))
+        << what << " lane " << i << ": scalar " << expected[i] << " vs "
+        << actual[i];
+  }
+}
+
+// Probability-like lanes: mostly interior values plus the adversarial mass
+// the kernels see in production — exact 0 (pruned lanes), exact 1 (certain
+// events), and near-1 values whose 4-term sums saturate the min(1, ·) clamp.
+double RandomProb(Rng* rng) {
+  const uint64_t sel = rng->Next() % 8;
+  if (sel == 0) return 0.0;
+  if (sel == 1) return 1.0;
+  if (sel == 2) return 0.999999;
+  return static_cast<double>(rng->Next() >> 11) * 0x1p-53;
+}
+
+std::vector<double> RandomProbs(Rng* rng, size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = RandomProb(rng);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// CdfCellUpdate
+// ---------------------------------------------------------------------------
+
+struct CdfCase {
+  std::vector<double> l1, u1, u2, u3, lsel;
+  double p1, p2;
+};
+
+CdfCase RandomCdfCase(Rng* rng, int width) {
+  CdfCase c;
+  const size_t n = static_cast<size_t>(width);
+  c.l1 = RandomProbs(rng, n);
+  c.u1 = RandomProbs(rng, n);
+  c.u2 = RandomProbs(rng, n);
+  c.u3 = RandomProbs(rng, n);
+  c.lsel = RandomProbs(rng, n);
+  c.p1 = RandomProb(rng);
+  c.p2 = RandomProb(rng);
+  return c;
+}
+
+using CdfKernel = double (*)(const double*, const double*, const double*,
+                             const double*, const double*, double, double, int,
+                             double*, double*);
+
+void CheckCdfKernel(const CdfCase& c, int width, CdfKernel kernel,
+                    const std::string& name) {
+  const size_t n = static_cast<size_t>(width);
+  std::vector<double> lo_ref(n, -1.0), up_ref(n, -1.0);
+  std::vector<double> lo(n, -1.0), up(n, -1.0);
+  const double max_ref =
+      simd::scalar::CdfCellUpdate(c.l1.data(), c.u1.data(), c.u2.data(),
+                                  c.u3.data(), c.lsel.data(), c.p1, c.p2,
+                                  width, lo_ref.data(), up_ref.data());
+  const double max_var =
+      kernel(c.l1.data(), c.u1.data(), c.u2.data(), c.u3.data(),
+             c.lsel.data(), c.p1, c.p2, width, lo.data(), up.data());
+  ExpectSameBits(max_ref, max_var, name + " cell max, width " +
+                                       std::to_string(width));
+  ExpectSameVector(lo_ref, lo, name + " lo, width " + std::to_string(width));
+  ExpectSameVector(up_ref, up, name + " up, width " + std::to_string(width));
+}
+
+void CheckCdfAllVariants(const CdfCase& c, int width) {
+  CheckCdfKernel(c, width, &simd::CdfCellUpdate, "dispatched");
+#if defined(UJOIN_SIMD_X86)
+  CheckCdfKernel(c, width, &simd::detail::CdfCellUpdateSse2, "sse2");
+  if (simd::ActiveIsa() == simd::Isa::kAvx2) {
+    CheckCdfKernel(c, width, &simd::detail::CdfCellUpdateAvx2, "avx2");
+  }
+#elif defined(UJOIN_SIMD_NEON)
+  CheckCdfKernel(c, width, &simd::detail::CdfCellUpdateNeon, "neon");
+#endif
+}
+
+TEST(SimdKernelTest, CdfCellUpdateMatchesScalarOnRandomInputs) {
+  Rng rng(0x5eed0001);
+  // width = k+1; cover the singleton lane, every vector-remainder shape
+  // around the 2- and 4-lane block sizes, and a band far wider than a block.
+  for (int width : {1, 2, 3, 4, 5, 6, 7, 8, 9, 13, 32, 33}) {
+    for (int rep = 0; rep < 50; ++rep) {
+      CheckCdfAllVariants(RandomCdfCase(&rng, width), width);
+    }
+  }
+}
+
+TEST(SimdKernelTest, CdfCellUpdateSaturatesIdentically) {
+  // All-ones inputs saturate every upper lane at the min(1, sum) clamp; the
+  // clamp must engage in the same lanes with the same bits everywhere.
+  for (int width : {1, 2, 3, 5, 8, 17}) {
+    CdfCase c;
+    const size_t n = static_cast<size_t>(width);
+    c.l1.assign(n, 1.0);
+    c.u1.assign(n, 1.0);
+    c.u2.assign(n, 1.0);
+    c.u3.assign(n, 1.0);
+    c.lsel.assign(n, 1.0);
+    c.p1 = 1.0;
+    c.p2 = 1.0;
+    CheckCdfAllVariants(c, width);
+  }
+}
+
+TEST(SimdKernelTest, CdfCellUpdateAllZeroStaysZero) {
+  for (int width : {1, 2, 4, 7}) {
+    CdfCase c;
+    const size_t n = static_cast<size_t>(width);
+    c.l1.assign(n, 0.0);
+    c.u1.assign(n, 0.0);
+    c.u2.assign(n, 0.0);
+    c.u3.assign(n, 0.0);
+    c.lsel.assign(n, 0.0);
+    c.p1 = 0.0;
+    c.p2 = 0.0;
+    CheckCdfAllVariants(c, width);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventDpStep
+// ---------------------------------------------------------------------------
+
+using EventKernel = void (*)(double, int, double*);
+
+void CheckEventKernel(const std::vector<double>& init, double alpha, int upto,
+                      EventKernel kernel, const std::string& name) {
+  std::vector<double> ref = init;
+  std::vector<double> got = init;
+  simd::scalar::EventDpStep(alpha, upto, ref.data());
+  kernel(alpha, upto, got.data());
+  ExpectSameVector(ref, got,
+                   name + " event dp, upto " + std::to_string(upto));
+}
+
+void CheckEventAllVariants(const std::vector<double>& init, double alpha,
+                           int upto) {
+  CheckEventKernel(init, alpha, upto, &simd::EventDpStep, "dispatched");
+#if defined(UJOIN_SIMD_X86)
+  CheckEventKernel(init, alpha, upto, &simd::detail::EventDpStepSse2, "sse2");
+  if (simd::ActiveIsa() == simd::Isa::kAvx2) {
+    CheckEventKernel(init, alpha, upto, &simd::detail::EventDpStepAvx2,
+                     "avx2");
+  }
+#elif defined(UJOIN_SIMD_NEON)
+  CheckEventKernel(init, alpha, upto, &simd::detail::EventDpStepNeon, "neon");
+#endif
+}
+
+TEST(SimdKernelTest, EventDpStepMatchesScalar) {
+  Rng rng(0x5eed0002);
+  for (int upto : {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 31}) {
+    for (int rep = 0; rep < 50; ++rep) {
+      const std::vector<double> init =
+          RandomProbs(&rng, static_cast<size_t>(upto) + 1);
+      CheckEventAllVariants(init, RandomProb(&rng), upto);
+    }
+  }
+}
+
+TEST(SimdKernelTest, EventDpStepBoundaryAlphas) {
+  Rng rng(0x5eed0003);
+  for (double alpha : {0.0, 1.0, 0.5}) {
+    for (int upto : {0, 1, 6, 11}) {
+      CheckEventAllVariants(RandomProbs(&rng, static_cast<size_t>(upto) + 1),
+                            alpha, upto);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DotSlots / IotaDotSlots
+// ---------------------------------------------------------------------------
+
+TEST(SimdKernelTest, DotSlotsMatchesScalar) {
+  Rng rng(0x5eed0004);
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                   size_t{5}, size_t{6}, size_t{7}, size_t{8}, size_t{11},
+                   size_t{64}, size_t{65}}) {
+    for (int rep = 0; rep < 30; ++rep) {
+      const std::vector<double> a = RandomProbs(&rng, n);
+      const std::vector<double> b = RandomProbs(&rng, n);
+      const double ref = simd::scalar::DotSlots(a.data(), b.data(), n);
+      ExpectSameBits(ref, simd::DotSlots(a.data(), b.data(), n),
+                     "dispatched dot, n " + std::to_string(n));
+#if defined(UJOIN_SIMD_X86)
+      ExpectSameBits(ref, simd::detail::DotSlotsSse2(a.data(), b.data(), n),
+                     "sse2 dot, n " + std::to_string(n));
+      if (simd::ActiveIsa() == simd::Isa::kAvx2) {
+        ExpectSameBits(ref, simd::detail::DotSlotsAvx2(a.data(), b.data(), n),
+                       "avx2 dot, n " + std::to_string(n));
+      }
+#elif defined(UJOIN_SIMD_NEON)
+      ExpectSameBits(ref, simd::detail::DotSlotsNeon(a.data(), b.data(), n),
+                     "neon dot, n " + std::to_string(n));
+#endif
+    }
+  }
+}
+
+TEST(SimdKernelTest, IotaDotSlotsMatchesScalar) {
+  Rng rng(0x5eed0005);
+  // k0 up to collection-scale counts: double(k0 + i) stays exact.
+  for (int k0 : {0, 1, 2, 1000, 1 << 20}) {
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                     size_t{9}, size_t{40}, size_t{41}}) {
+      const std::vector<double> a = RandomProbs(&rng, n);
+      const double ref = simd::scalar::IotaDotSlots(a.data(), k0, n);
+      ExpectSameBits(ref, simd::IotaDotSlots(a.data(), k0, n),
+                     "dispatched iota-dot, n " + std::to_string(n));
+#if defined(UJOIN_SIMD_X86)
+      ExpectSameBits(ref, simd::detail::IotaDotSlotsSse2(a.data(), k0, n),
+                     "sse2 iota-dot, n " + std::to_string(n));
+      if (simd::ActiveIsa() == simd::Isa::kAvx2) {
+        ExpectSameBits(ref, simd::detail::IotaDotSlotsAvx2(a.data(), k0, n),
+                       "avx2 iota-dot, n " + std::to_string(n));
+      }
+#elif defined(UJOIN_SIMD_NEON)
+      ExpectSameBits(ref, simd::detail::IotaDotSlotsNeon(a.data(), k0, n),
+                     "neon iota-dot, n " + std::to_string(n));
+#endif
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint64Batch
+// ---------------------------------------------------------------------------
+
+using BatchKernel = void (*)(const char* const*, size_t, size_t, uint64_t*);
+
+void CheckBatch(const std::vector<std::string>& keys, size_t len,
+                BatchKernel kernel, const std::string& name) {
+  std::vector<const char*> ptrs;
+  for (const std::string& k : keys) ptrs.push_back(k.data());
+  std::vector<uint64_t> ref(keys.size() + 1, 0xdead);
+  std::vector<uint64_t> got(keys.size() + 1, 0xdead);
+  simd::scalar::Fingerprint64Batch(ptrs.data(), len, keys.size(), ref.data());
+  kernel(ptrs.data(), len, keys.size(), got.data());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(ref[i], got[i]) << name << " key " << i << " of "
+                              << keys.size() << ", len " << len;
+    // Batch result must also equal the single-key fingerprint the hash
+    // table computed at insert time, or batched lookups would miss.
+    EXPECT_EQ(simd::scalar::Fingerprint64(keys[i].data(), len), got[i]);
+  }
+  // The kernel must not write past `count` outputs.
+  EXPECT_EQ(uint64_t{0xdead}, got[keys.size()]) << name;
+}
+
+TEST(SimdKernelTest, Fingerprint64BatchMatchesScalar) {
+  Rng rng(0x5eed0006);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{7},
+                     size_t{8}, size_t{9}, size_t{24}}) {
+    // Counts straddling the 4-way interleave: empty batch, singleton,
+    // sub-block, exact blocks, and block + remainder.
+    for (size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                         size_t{4}, size_t{5}, size_t{8}, size_t{13}}) {
+      std::vector<std::string> keys;
+      for (size_t i = 0; i < count; ++i) {
+        std::string key(len, '\0');
+        for (char& ch : key) {
+          ch = static_cast<char>(static_cast<unsigned char>(rng.Next()));
+        }
+        keys.push_back(key);
+      }
+      CheckBatch(keys, len, &simd::Fingerprint64Batch, "dispatched");
+      // The interleaved core is plain C++ and compiled everywhere (it is
+      // the dispatch target of every vector ISA) — pin it unconditionally.
+      CheckBatch(keys, len, &simd::detail::Fingerprint64BatchInterleaved,
+                 "interleaved");
+    }
+  }
+}
+
+TEST(SimdKernelTest, ActiveIsaNameIsConsistent) {
+  const std::string name = simd::ActiveIsaName();
+  switch (simd::ActiveIsa()) {
+    case simd::Isa::kScalar:
+      EXPECT_EQ("scalar", name);
+      break;
+    case simd::Isa::kSse2:
+      EXPECT_EQ("sse2", name);
+      break;
+    case simd::Isa::kAvx2:
+      EXPECT_EQ("avx2", name);
+      break;
+    case simd::Isa::kNeon:
+      EXPECT_EQ("neon", name);
+      break;
+  }
+#if defined(UJOIN_SIMD_DISABLED)
+  EXPECT_EQ("scalar", name);
+#endif
+}
+
+}  // namespace
+}  // namespace ujoin

@@ -23,6 +23,7 @@
 //               aggregated filter/verification statistics; the stats are
 //               identical for every --threads value)
 //   ujoin_cli stats --input=FILE --kind=names|protein
+//   ujoin_cli simd-info   (prints the dispatched SIMD instruction set)
 //   ujoin_cli serve (--input=FILE | --index=FILE.idx) --kind=names|protein
 //              [--k=2] [--tau=0.1] [--q=3] [--port=0] [--metrics-port=-1]
 //              [--max-connections=4] [--max-verify-worlds=0]
@@ -82,6 +83,7 @@
 #include "obs/scrape_server.h"
 #include "obs/trace.h"
 #include "serve/search_server.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -146,7 +148,8 @@ class Flags {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ujoin_cli <generate|join|index|search|serve|stats> [flags]\n"
+      "usage: ujoin_cli <generate|join|index|search|serve|stats|simd-info>"
+      " [flags]\n"
       "see the header of tools/ujoin_cli.cc for flag reference\n");
   return 2;
 }
@@ -735,6 +738,19 @@ int RunStats(Flags& flags) {
   return 0;
 }
 
+// `ujoin_cli simd-info`: the instruction set the kernel layer dispatched to
+// at startup (also recorded as "simd_isa" in every ujoin.run_report).  CI's
+// release leg prints this so the log shows what the benchmarks measured.
+int RunSimdInfo() {
+  std::printf("simd_isa: %s\n", simd::ActiveIsaName());
+#if defined(UJOIN_SIMD_DISABLED)
+  std::printf("build:    -DUJOIN_SIMD=off (scalar kernels only)\n");
+#else
+  std::printf("build:    -DUJOIN_SIMD=auto (runtime dispatch)\n");
+#endif
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -747,5 +763,6 @@ int main(int argc, char** argv) {
   if (command == "search") return RunSearch(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "stats") return RunStats(flags);
+  if (command == "simd-info") return RunSimdInfo();
   return Usage();
 }
