@@ -274,6 +274,15 @@ std::span<const IndexCandidate> LengthBucketIndex::QueryCandidates(
       UJOIN_OBS_HIST(ws->obs, obs::Hist::kMergedListLength, list_length);
     }
   }
+  if (ws->explain_merged != nullptr) {
+    // Explain sink, deliberately outside the obs gate: the replay narrative
+    // needs per-segment merged lengths even under -DUJOIN_OBS=OFF.
+    for (int x = 0; x < m; ++x) {
+      ws->explain_merged->push_back(
+          static_cast<int64_t>(ws->merged_begin[static_cast<size_t>(x) + 1]) -
+          static_cast<int64_t>(ws->merged_begin[static_cast<size_t>(x)]));
+    }
+  }
 
   // Stage 2: scan the m merged lists in parallel, counting matched segments
   // per id (Lemma 5) and bounding Pr(ed <= k) with the event DP (Theorem 2).

@@ -104,6 +104,12 @@ struct QueryWorkspace {
   /// recording keeps the steady-state query path allocation-free.  Null
   /// (the default) disables recording at the cost of one pointer test.
   obs::Recorder* obs = nullptr;
+
+  /// Explain sink: when non-null, QueryCandidates appends each segment's
+  /// merged-list length (m values per probed bucket).  Independent of `obs`
+  /// so `ujoin_cli explain` works under -DUJOIN_OBS=OFF.  Only the explain
+  /// replay sets this — it allocates, so the serve path leaves it null.
+  std::vector<int64_t>* explain_merged = nullptr;
 };
 
 /// \brief Inverted index over the x-th segments of all indexed strings of
@@ -246,6 +252,18 @@ class InvertedSegmentIndex {
 
   int k() const { return k_; }
   int q() const { return q_; }
+
+  /// Number of per-length buckets currently in the index.
+  int num_length_buckets() const { return static_cast<int>(buckets_.size()); }
+
+  /// Total segment lists across all buckets (each bucket has k+1 segments).
+  int64_t num_segments() const {
+    int64_t total = 0;
+    for (const auto& [length, bucket] : buckets_) {
+      total += bucket.num_segments();
+    }
+    return total;
+  }
 
   /// Total footprint of all buckets, in bytes.
   size_t MemoryUsage() const;

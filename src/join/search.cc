@@ -6,9 +6,11 @@
 #include <thread>
 
 #include "filter/cdf_filter.h"
+#include "join/explain.h"
 #include "join/pair_verifier.h"
 #include "obs/metrics.h"
 #include "obs/obs_macros.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/math_util.h"
@@ -81,13 +83,15 @@ Result<std::vector<SearchHit>> SimilaritySearcher::Search(
     obs::Recorder* metrics, obs::SpanCollector* spans,
     const SearchLimits* limits) const {
   return SearchImpl(query, stats, /*force_exact=*/false, workspace, metrics,
-                    spans, limits != nullptr ? *limits : options_.limits);
+                    spans, limits != nullptr ? *limits : options_.limits,
+                    /*explain=*/nullptr);
 }
 
 Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     const UncertainString& query, JoinStats* stats, bool force_exact,
     QueryWorkspace* workspace, obs::Recorder* metrics,
-    obs::SpanCollector* spans, const SearchLimits& limits) const {
+    obs::SpanCollector* spans, const SearchLimits& limits,
+    ExplainData* explain) const {
   UJOIN_RETURN_IF_ERROR(ValidateString(query, alphabet_, "query"));
   JoinStats local_stats;
   if (stats == nullptr) stats = &local_stats;
@@ -105,6 +109,16 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     obs::Recorder* saved;
     ~ObsRestore() { ws->obs = saved; }
   } obs_restore{workspace, saved_ws_obs};
+  // The explain sink collects per-segment merged-list lengths through the
+  // workspace hook; same save/restore discipline as the recorder above.
+  std::vector<int64_t> explain_merged;
+  std::vector<int64_t>* const saved_ws_explain = workspace->explain_merged;
+  if (explain != nullptr) workspace->explain_merged = &explain_merged;
+  struct ExplainRestore {
+    QueryWorkspace* ws;
+    std::vector<int64_t>* saved;
+    ~ExplainRestore() { ws->explain_merged = saved; }
+  } explain_restore{workspace, saved_ws_explain};
 
   // `stats` may be caller-owned and already non-zero, so the funnel deltas
   // for this query are computed against base snapshots taken here.
@@ -142,7 +156,9 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   const bool budget_active = limits.max_verify_worlds > 0;
   const bool limit_active = budget_active || limits.deadline_ns > 0;
   const int64_t q_worlds =
-      (UJOIN_OBS_ENABLED(metrics) || budget_active) ? query.WorldCount() : 0;
+      (UJOIN_OBS_ENABLED(metrics) || budget_active || explain != nullptr)
+          ? query.WorldCount()
+          : 0;
 
   const double qgram_tau =
       options_.qgram_probabilistic_pruning ? options_.tau : 0.0;
@@ -155,19 +171,67 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   candidates.clear();
   const int64_t qgram_span_start = spans->NowNs();
   for (int l = lo; l <= hi; ++l) {
-    stats->length_compatible_pairs +=
+    const int64_t bucket_ids =
         static_cast<int64_t>(ids_by_length_[static_cast<size_t>(l)].size());
+    stats->length_compatible_pairs += bucket_ids;
+    ExplainProbe* probe = nullptr;
+    IndexQueryStats probe_base;
+    size_t candidates_base = candidates.size();
+    size_t merged_base = 0;
+    if (explain != nullptr) {
+      explain->probes.push_back(ExplainProbe{});
+      probe = &explain->probes.back();
+      probe->length = l;
+      probe->indexed_ids = bucket_ids;
+      probe_base = stats->index_stats;
+      merged_base = explain_merged.size();
+    }
     if (options_.use_qgram_filter) {
       ScopedNanoTimer timer(&qgram_ns);
       for (const IndexCandidate& c :
            index_.Query(query, l, qgram_tau, workspace,
                         &stats->index_stats)) {
         candidates.push_back(c.id);
+        if (explain != nullptr) {
+          ExplainCandidate ec;
+          ec.id = c.id;
+          ec.length = l;
+          ec.matched_segments = c.matched_segments;
+          ec.qgram_bound = c.upper_bound;
+          explain->candidates.push_back(ec);
+        }
       }
     } else {
       for (uint32_t id : ids_by_length_[static_cast<size_t>(l)]) {
         candidates.push_back(id);
+        if (explain != nullptr) {
+          ExplainCandidate ec;
+          ec.id = id;
+          ec.length = l;
+          explain->candidates.push_back(ec);
+        }
       }
+    }
+    if (probe != nullptr) {
+      if (options_.use_qgram_filter) {
+        const LengthBucketIndex* bucket = index_.bucket(l);
+        probe->num_segments =
+            bucket != nullptr ? bucket->num_segments() : 0;
+        const IndexQueryStats& is = stats->index_stats;
+        probe->lists_scanned = is.lists_scanned - probe_base.lists_scanned;
+        probe->postings_scanned =
+            is.postings_scanned - probe_base.postings_scanned;
+        probe->ids_touched = is.ids_touched - probe_base.ids_touched;
+        probe->support_pruned = is.support_pruned - probe_base.support_pruned;
+        probe->probability_pruned =
+            is.probability_pruned - probe_base.probability_pruned;
+        probe->merged_list_lengths.assign(
+            explain_merged.begin() +
+                static_cast<std::ptrdiff_t>(merged_base),
+            explain_merged.end());
+      }
+      probe->candidates =
+          static_cast<int64_t>(candidates.size() - candidates_base);
     }
   }
   if (options_.use_qgram_filter) {
@@ -177,18 +241,30 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   stats->qgram_candidates += static_cast<int64_t>(candidates.size());
 
   const int64_t cascade_start = spans->NowNs();
+  size_t explain_ci = 0;
   for (uint32_t id : candidates) {
     const UncertainString& s = collection_[id];
+    // Explain rows were appended in candidate order above, so the running
+    // index pairs each cascade pass with its narrative row.
+    ExplainCandidate* const ec =
+        explain != nullptr ? &explain->candidates[explain_ci++] : nullptr;
     if (options_.use_freq_filter) {
       ScopedNanoTimer timer(&freq_ns);
       const FreqFilterOutcome freq =
           EvaluateFreqFilter(*query_summary, freq_summaries_[id], options_.k);
+      if (ec != nullptr) {
+        ec->have_freq = true;
+        ec->freq_lower_bound = freq.fd_lower_bound;
+        ec->freq_upper_bound = freq.upper_bound;
+      }
       if (freq.fd_lower_bound > options_.k) {
         ++stats->freq_lower_pruned;
+        if (ec != nullptr) ec->stage = ExplainStage::kFreqLowerPruned;
         continue;
       }
       if (freq.upper_bound <= options_.tau) {
         ++stats->freq_upper_pruned;
+        if (ec != nullptr) ec->stage = ExplainStage::kFreqUpperPruned;
         continue;
       }
     }
@@ -203,8 +279,13 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
           EvaluateCdfFilter(query, s, options_.k, options_.tau);
       have_cdf = true;
       cdf_lower = cdf.bounds.lower[static_cast<size_t>(options_.k)];
+      if (ec != nullptr) {
+        ec->have_cdf = true;
+        ec->cdf_lower = cdf_lower;
+      }
       if (cdf.decision == CdfDecision::kReject) {
         ++stats->cdf_rejected;
+        if (ec != nullptr) ec->stage = ExplainStage::kCdfRejected;
         continue;
       }
       if (cdf.decision == CdfDecision::kAccept) {
@@ -220,6 +301,12 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     if (!need_verify) {
       ++stats->result_pairs;
       hits.push_back(SearchHit{id, cdf_lower, /*exact=*/false});
+      if (ec != nullptr) {
+        ec->stage = ExplainStage::kCdfAccepted;
+        ec->emitted = true;
+        ec->probability = cdf_lower;
+        ec->exact = false;
+      }
       continue;
     }
 
@@ -249,9 +336,20 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
           UJOIN_OBS_COUNTER(metrics, obs::Counter::kVerifyDeadlineFallbacks,
                             1);
         }
+        if (ec != nullptr) {
+          ec->have_cdf = true;
+          ec->cdf_lower = cdf_lower;
+          ec->stage = over_budget ? ExplainStage::kBudgetFallback
+                                  : ExplainStage::kDeadlineFallback;
+        }
         if (cdf_lower > options_.tau) {
           ++stats->result_pairs;
           hits.push_back(SearchHit{id, cdf_lower, /*exact=*/false});
+          if (ec != nullptr) {
+            ec->emitted = true;
+            ec->probability = cdf_lower;
+            ec->exact = false;
+          }
         }
         continue;
       }
@@ -270,10 +368,19 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyWorldCount,
                    SaturatingMul(q_worlds, s.WorldCount()));
     if (!verdict.ok()) return verdict.status();
+    if (ec != nullptr) {
+      ec->stage = ExplainStage::kVerified;
+      ec->verify_worlds = SaturatingMul(q_worlds, s.WorldCount());
+    }
     if (verdict->similar) {
       ++stats->result_pairs;
       ++verify_emitted;
       hits.push_back(SearchHit{id, verdict->lower, verdict->exact});
+      if (ec != nullptr) {
+        ec->emitted = true;
+        ec->probability = verdict->lower;
+        ec->exact = verdict->exact;
+      }
     }
   }
 
@@ -337,7 +444,8 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
   // lower bounds.
   Result<std::vector<SearchHit>> hits =
       SearchImpl(query, stats, /*force_exact=*/true, workspace,
-                 /*metrics=*/nullptr, /*spans=*/nullptr, SearchLimits{});
+                 /*metrics=*/nullptr, /*spans=*/nullptr, SearchLimits{},
+                 /*explain=*/nullptr);
   if (!hits.ok()) return hits.status();
   std::sort(hits->begin(), hits->end(),
             [](const SearchHit& a, const SearchHit& b) {
@@ -355,10 +463,10 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchTopK(
 namespace {
 
 constexpr uint32_t kSearcherMagic = 0x554a5358;  // "UJSX"
-// Version 2: the index section writes keys in sorted order and no longer
-// persists the derived memory/posting counters (they are recomputed from
-// content), so saved bytes are a pure function of the indexed collection.
-constexpr uint32_t kSearcherVersion = 2;
+// Version 2 (kSearcherFormatVersion, search.h): the index section writes
+// keys in sorted order and no longer persists the derived memory/posting
+// counters (they are recomputed from content), so saved bytes are a pure
+// function of the indexed collection.
 
 void SerializeUncertainString(const UncertainString& s, BinaryWriter* writer) {
   writer->WriteI32(s.length());
@@ -404,7 +512,7 @@ Result<UncertainString> DeserializeUncertainString(BinaryReader* reader) {
 Status SimilaritySearcher::Save(const std::string& path) const {
   BinaryWriter writer;
   writer.WriteU32(kSearcherMagic);
-  writer.WriteU32(kSearcherVersion);
+  writer.WriteU32(kSearcherFormatVersion);
   writer.WriteI32(options_.k);
   writer.WriteDouble(options_.tau);
   writer.WriteI32(options_.q);
@@ -439,7 +547,7 @@ Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
   }
   Result<uint32_t> version = reader.ReadU32();
   if (!version.ok()) return version.status();
-  if (*version != kSearcherVersion) {
+  if (*version != kSearcherFormatVersion) {
     return Status::InvalidArgument("unsupported searcher version " +
                                    std::to_string(*version));
   }
@@ -518,7 +626,8 @@ Result<SimilaritySearcher> SimilaritySearcher::Load(const std::string& path,
 Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     const std::vector<UncertainString>& queries, int threads,
     JoinStats* stats, obs::Recorder* metrics,
-    obs::TraceRecorder* trace_sink, const SearchLimits* limits) const {
+    obs::TraceRecorder* trace_sink, const SearchLimits* limits,
+    obs::QueryLog* query_log) const {
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
@@ -537,19 +646,25 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
       metrics != nullptr ? metrics : options_.metrics;
   obs::TraceRecorder* const trace =
       trace_sink != nullptr ? trace_sink : options_.trace;
+  // Query-log records are built from per-query recorders, so a log sink
+  // forces them even without a run-level metrics sink.
+  const bool per_query_metrics = run_metrics != nullptr || query_log != nullptr;
   std::vector<obs::Recorder> query_metrics(
-      run_metrics != nullptr ? queries.size() : 0);
+      per_query_metrics ? queries.size() : 0);
   std::vector<obs::SpanCollector> query_spans(
       trace != nullptr ? queries.size() : 0);
   const auto run_query = [&](int worker, size_t i,
                              QueryWorkspace* workspace) {
     obs::Recorder* const rec =
-        run_metrics != nullptr ? &query_metrics[i] : nullptr;
+        per_query_metrics ? &query_metrics[i] : nullptr;
     obs::SpanCollector* span_sink = nullptr;
     // Query-span sampling: the keep/drop decision depends only on the
     // sampling config and the query index, so sampled traces are identical
-    // for every thread count.
-    if (trace != nullptr && trace->SampleProbe(static_cast<int64_t>(i))) {
+    // for every thread count.  A slow-keep threshold means any query might
+    // need its spans post hoc, so spans are collected for all and the fold
+    // below decides which to keep.
+    if (trace != nullptr && (trace->SampleProbe(static_cast<int64_t>(i)) ||
+                             trace->slow_keep_ns() > 0)) {
       query_spans[i] =
           obs::SpanCollector(trace, static_cast<uint32_t>(worker) + 1);
       span_sink = &query_spans[i];
@@ -585,9 +700,28 @@ Result<std::vector<std::vector<SearchHit>>> SimilaritySearcher::SearchMany(
     out.push_back(std::move(results[i]).value());
     if (stats != nullptr) stats->Merge(query_stats[i]);
     if (run_metrics != nullptr) run_metrics->Merge(query_metrics[i]);
+    const int64_t query_ns =
+        static_cast<int64_t>(query_stats[i].total_time * 1e9);
+    if (query_log != nullptr) {
+      obs::QueryLogRecord record = obs::MakeQueryLogRecord(
+          query_metrics[i], /*connection=*/0,
+          /*seq=*/static_cast<int64_t>(i) + 1, queries[i].length(),
+          static_cast<int64_t>(out.back().size()), /*error=*/false);
+      // Stats-derived and wall-clock fields are caller-filled (see
+      // MakeQueryLogRecord) so the record survives -DUJOIN_OBS=OFF.
+      record.budget_fallbacks = query_stats[i].budget_fallbacks;
+      record.deadline_fallbacks = query_stats[i].deadline_fallbacks;
+      record.inexact = query_stats[i].Inexact();
+      record.total_ns = query_ns;
+      record.verify_ns =
+          static_cast<int64_t>(query_stats[i].verify_time * 1e9);
+      query_log->Write(record);
+    }
     if (trace != nullptr) {
-      trace->NoteProbe(query_spans[i].enabled());
-      trace->Append(query_spans[i].events());
+      const bool keep = trace->KeepProbe(
+          trace->SampleProbe(static_cast<int64_t>(i)), query_ns);
+      trace->NoteProbe(keep);
+      if (keep) trace->Append(query_spans[i].events());
     }
   }
   UJOIN_OBS_GAUGE(run_metrics, obs::Gauge::kThreads, threads);

@@ -15,10 +15,18 @@
 namespace ujoin {
 
 namespace obs {
+class QueryLog;
 class Recorder;
 class SpanCollector;
 class TraceRecorder;
 }  // namespace obs
+
+struct ExplainData;
+struct ExplainResult;
+
+/// Version of the searcher save/load container (see Save/Load); exposed so
+/// the serve health page can report what format is resident.
+inline constexpr uint32_t kSearcherFormatVersion = 2;
 
 /// \brief One hit of a similarity search: a collection index plus the match
 /// probability (exact when `exact`, else a certified CDF lower bound > τ).
@@ -102,11 +110,24 @@ class SimilaritySearcher {
   /// options carry no sinks.
   /// `limits` follows the Search contract: a non-null value overrides the
   /// Create-time JoinOptions::limits for every query of the batch.
+  /// `query_log`, when non-null, receives one QueryLogRecord per query —
+  /// written in query order with connection 0 and seq = query index + 1, so
+  /// the log's deterministic fields are identical for every thread count.
   Result<std::vector<std::vector<SearchHit>>> SearchMany(
       const std::vector<UncertainString>& queries, int threads = 1,
       JoinStats* stats = nullptr, obs::Recorder* metrics = nullptr,
       obs::TraceRecorder* trace = nullptr,
-      const SearchLimits* limits = nullptr) const;
+      const SearchLimits* limits = nullptr,
+      obs::QueryLog* query_log = nullptr) const;
+
+  /// Replays one query and records the full funnel narrative: per-length
+  /// probe work, per-candidate filter outcomes with their bound values, and
+  /// the verification verdicts (see join/explain.h).  Purely diagnostic —
+  /// the hits are exactly Search's.  Unlike the obs sinks this works under
+  /// -DUJOIN_OBS=OFF and on Load-restored searchers (it needs no
+  /// Create-time sink attachment).  Defined in explain.cc.
+  Result<ExplainResult> Explain(const UncertainString& query,
+                                const SearchLimits* limits = nullptr) const;
 
   const std::vector<UncertainString>& collection() const {
     return collection_;
@@ -114,7 +135,12 @@ class SimilaritySearcher {
   /// The alphabet the collection (and every query) must draw from; the
   /// serve layer parses request lines against it.
   const Alphabet& alphabet() const { return alphabet_; }
+  /// The effective join options (Create-time or Load-restored).
+  const JoinOptions& options() const { return options_; }
   size_t IndexMemoryUsage() const { return index_.MemoryUsage(); }
+  /// Index shape, for the serve health page and explain envelope.
+  int NumIndexLengthBuckets() const { return index_.num_length_buckets(); }
+  int64_t NumIndexSegments() const { return index_.num_segments(); }
 
   /// Persists the searcher (join options, collection with full-precision
   /// probabilities, and the inverted segment index) to `path`.  Frequency
@@ -136,7 +162,8 @@ class SimilaritySearcher {
                                             QueryWorkspace* workspace,
                                             obs::Recorder* metrics,
                                             obs::SpanCollector* spans,
-                                            const SearchLimits& limits) const;
+                                            const SearchLimits& limits,
+                                            ExplainData* explain) const;
 
   std::vector<UncertainString> collection_;
   const Alphabet alphabet_;

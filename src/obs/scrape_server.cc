@@ -93,6 +93,17 @@ void ScrapeServer::UpdateMetrics(std::string text) {
   metrics_text_ = std::move(text);
 }
 
+void ScrapeServer::UpdateDebugPage(std::string json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  debug_text_ = std::move(json);
+  debug_set_ = true;
+}
+
+void ScrapeServer::SetHealthBody(std::string body) {
+  std::lock_guard<std::mutex> lock(mu_);
+  health_body_ = std::move(body);
+}
+
 void ScrapeServer::Serve() {
   // Poll-with-timeout instead of a bare blocking accept: the 100 ms tick is
   // how Stop() gets the thread's attention without racing a close() against
@@ -151,7 +162,27 @@ void ScrapeServer::HandleConnection(int fd) {
     }
     response = HttpResponse("200 OK", "text/plain; version=0.0.4", body);
   } else if (path == "/healthz") {
-    response = HttpResponse("200 OK", "text/plain", "ok\n");
+    std::string body;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body = health_body_;
+    }
+    const char* type =
+        !body.empty() && body[0] == '{' ? "application/json" : "text/plain";
+    response = HttpResponse("200 OK", type, body);
+  } else if (path == "/debug/slow") {
+    std::string body;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body = debug_text_;
+      have = debug_set_;
+    }
+    if (have) {
+      response = HttpResponse("200 OK", "application/json", body);
+    } else {
+      response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+    }
   } else {
     response = HttpResponse("404 Not Found", "text/plain", "not found\n");
   }

@@ -16,18 +16,21 @@ namespace obs {
 //
 // A deliberately tiny HTTP/1.0 endpoint for Prometheus scrapes: one
 // listening socket on 127.0.0.1, one accept thread, one connection handled
-// at a time.  It serves exactly two paths —
+// at a time.  It serves exactly three paths —
 //
-//   GET /metrics  -> the most recent snapshot pushed via UpdateMetrics
-//   GET /healthz  -> "ok"
+//   GET /metrics     -> the most recent snapshot pushed via UpdateMetrics
+//   GET /healthz     -> "ok" (or the body set via SetHealthBody; the serve
+//                       layer installs a JSON build-info block here)
+//   GET /debug/slow  -> the most recent page pushed via UpdateDebugPage
+//                       (404 until a page has been pushed)
 //
 // and 404s everything else.  The join/search pipeline never blocks on a
 // scrape: workers do not know the server exists.  The driver renders a
 // Prometheus page at its own safe points (wave boundaries, query folds) and
-// pushes the finished bytes with UpdateMetrics; the accept thread serves
-// whatever snapshot it holds under a mutex held only for a string copy.
-// Scrapes therefore observe a consistent (wave-boundary) snapshot, never a
-// half-merged recorder.
+// pushes the finished bytes with UpdateMetrics / UpdateDebugPage; the accept
+// thread serves whatever snapshot it holds under a mutex held only for a
+// string copy.  Scrapes therefore observe a consistent (wave-boundary)
+// snapshot, never a half-merged recorder.
 // ---------------------------------------------------------------------------
 
 class ScrapeServer {
@@ -53,6 +56,15 @@ class ScrapeServer {
   /// the accept thread serves; the new page is visible to the next scrape.
   void UpdateMetrics(std::string text);
 
+  /// Replaces the /debug/slow snapshot (application/json).  Same contract
+  /// as UpdateMetrics; the path 404s until the first push.
+  void UpdateDebugPage(std::string json);
+
+  /// Replaces the /healthz body.  The default body "ok\n" is preserved when
+  /// this is never called, so bare scrape endpoints (`ujoin_cli join
+  /// --listen`) keep their historical health page.
+  void SetHealthBody(std::string body);
+
   /// Snapshots served so far (across both paths); test/introspection aid.
   int64_t requests_served() const {
     return requests_served_.load(std::memory_order_relaxed);
@@ -68,7 +80,10 @@ class ScrapeServer {
   std::atomic<bool> stop_{false};
   std::atomic<int64_t> requests_served_{0};
   std::mutex mu_;
-  std::string metrics_text_;  // guarded by mu_
+  std::string metrics_text_;        // guarded by mu_
+  std::string debug_text_;          // guarded by mu_; empty = 404
+  bool debug_set_ = false;          // guarded by mu_
+  std::string health_body_ = "ok\n";  // guarded by mu_
 };
 
 }  // namespace obs

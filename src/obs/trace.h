@@ -63,13 +63,14 @@ class TraceRecorder {
 
   const std::vector<TraceEvent>& events() const { return events_; }
 
-  /// Enables 1-in-`n` probe-span sampling (n >= 1; 1 keeps every probe).
+  /// Enables 1-in-`n` probe-span sampling (1 keeps every probe; 0 keeps
+  /// none — useful with SetSlowKeepNs to trace only slow queries).
   /// Driver/wave spans are never sampled out — only per-probe span buffers
   /// gated through SampleProbe.  The decision for a probe is a pure function
   /// of (`seed`, probe index), so sampled traces are reproducible and
   /// identical for every thread count.  Driver thread only, before the run.
   void SetProbeSampling(int64_t n, uint64_t seed) {
-    sample_n_ = n >= 1 ? n : 1;
+    sample_n_ = n >= 0 ? n : 1;
     sample_seed_ = seed;
   }
 
@@ -77,10 +78,27 @@ class TraceRecorder {
   /// Const and thread-safe: callable from any rank (each call derives its
   /// own seeded Rng), and depends only on the sampling config and the index.
   bool SampleProbe(int64_t probe_index) const {
-    if (sample_n_ <= 1) return true;
+    if (sample_n_ == 1) return true;
+    if (sample_n_ <= 0) return false;
     Rng rng(sample_seed_ ^
             (static_cast<uint64_t>(probe_index) + 1) * 0x9E3779B97F4A7C15ULL);
     return rng.Uniform(static_cast<uint64_t>(sample_n_)) == 0;
+  }
+
+  /// Force-keep threshold for slow probes: a probe whose wall time reaches
+  /// `ns` keeps its spans regardless of the sampler's decision (0 disables).
+  /// Driver thread only, before the run.
+  void SetSlowKeepNs(int64_t ns) { slow_keep_ns_ = ns > 0 ? ns : 0; }
+
+  int64_t slow_keep_ns() const { return slow_keep_ns_; }
+
+  /// The final keep decision for one probe, combining the deterministic
+  /// sampler verdict with the slow-probe threshold.  Unlike SampleProbe this
+  /// depends on wall clock, so force-kept spans vary run to run — that is
+  /// the point: the sampler keeps traces reproducible, the threshold makes
+  /// sure the query you are hunting is never the one sampled out.
+  bool KeepProbe(bool sampled, int64_t probe_ns) const {
+    return sampled || (slow_keep_ns_ > 0 && probe_ns >= slow_keep_ns_);
   }
 
   /// Driver-side bookkeeping: call once per probe (sampled or not) so the
@@ -106,6 +124,7 @@ class TraceRecorder {
   std::vector<TraceEvent> events_;
   int64_t sample_n_ = 1;
   uint64_t sample_seed_ = 0;
+  int64_t slow_keep_ns_ = 0;
   int64_t probes_seen_ = 0;
   int64_t probes_sampled_ = 0;
 };

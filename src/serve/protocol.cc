@@ -1,6 +1,8 @@
 #include "serve/protocol.h"
 
 #include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "util/simd.h"
 
 namespace ujoin {
 namespace serve {
@@ -80,6 +82,44 @@ std::string RenderBusyResponse() {
   w.String("busy");
   w.Key("error");
   w.String("server at connection capacity");
+  w.EndObject();
+  std::string out = w.TakeString();
+  out += '\n';
+  return out;
+}
+
+std::string BatchGuard::ViolationMessage() const {
+  if (max_requests_ > 0 && requests_ > max_requests_) {
+    return "batch exceeds request cap of " + std::to_string(max_requests_) +
+           " queries; send a blank separator line";
+  }
+  return "batch exceeds byte cap of " + std::to_string(max_bytes_) +
+         " bytes; send a blank separator line";
+}
+
+std::string RenderServeHealth(const SimilaritySearcher& searcher) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("status");
+  w.String("ok");
+  w.Key("searcher_format_version");
+  w.Int(static_cast<int64_t>(kSearcherFormatVersion));
+  w.Key("simd_isa");
+  w.String(simd::ActiveIsaName());
+  w.Key("obs");
+#ifdef UJOIN_OBS_DISABLED
+  w.Bool(false);
+#else
+  w.Bool(true);
+#endif
+  w.Key("metrics_schema_version");
+  w.Int(obs::kMetricsSchemaVersion);
+  w.Key("collection_size");
+  w.Int(static_cast<int64_t>(searcher.collection().size()));
+  w.Key("index_length_buckets");
+  w.Int(searcher.NumIndexLengthBuckets());
+  w.Key("index_segments");
+  w.Int(searcher.NumIndexSegments());
   w.EndObject();
   std::string out = w.TakeString();
   out += '\n';

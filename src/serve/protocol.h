@@ -83,6 +83,52 @@ class LineFramer {
   size_t pos_ = 0;  // consumed prefix of buf_
 };
 
+/// \brief Per-batch request-count and byte caps (serve hardening).
+///
+/// A client that streams requests without ever sending a batch separator
+/// would otherwise make the server buffer responses and per-batch state
+/// without bound.  The guard counts request lines and their bytes since the
+/// last separator; the first line that exceeds either cap is answered with a
+/// structured error and the connection is closed (like an oversized line,
+/// the batch contract is broken).  A cap <= 0 is unlimited.
+class BatchGuard {
+ public:
+  BatchGuard(int64_t max_requests, int64_t max_bytes)
+      : max_requests_(max_requests), max_bytes_(max_bytes) {}
+
+  /// Accounts one request line of `line_bytes` bytes.  Returns false when
+  /// the line pushes the batch over either cap (the line is still counted,
+  /// so ViolationMessage describes it).
+  bool AddRequest(size_t line_bytes) {
+    ++requests_;
+    bytes_ += static_cast<int64_t>(line_bytes);
+    return !OverLimit();
+  }
+
+  /// Starts the next batch (call at each batch separator).
+  void Reset() {
+    requests_ = 0;
+    bytes_ = 0;
+  }
+
+  bool OverLimit() const {
+    return (max_requests_ > 0 && requests_ > max_requests_) ||
+           (max_bytes_ > 0 && bytes_ > max_bytes_);
+  }
+
+  /// Human-readable description of the tripped cap for the error response.
+  std::string ViolationMessage() const;
+
+  int64_t requests() const { return requests_; }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  int64_t max_requests_;
+  int64_t max_bytes_;
+  int64_t requests_ = 0;
+  int64_t bytes_ = 0;
+};
+
 /// Renders the success response line (newline-terminated) for request `seq`.
 /// `hits` must already be in result order (Search returns them sorted by
 /// id); rendering is byte-deterministic.
@@ -95,6 +141,12 @@ std::string RenderErrorResponse(int64_t seq, std::string_view message);
 /// Renders the admission-control rejection line (newline-terminated);
 /// `seq` is 0 because no request was read.
 std::string RenderBusyResponse();
+
+/// Renders the serve layer's /healthz body: a JSON build-info block
+/// (status, searcher format version, SIMD ISA, obs on/off, metrics schema,
+/// collection and index shape) so operators can identify what is serving.
+/// Newline-terminated, byte-deterministic for a fixed build and searcher.
+std::string RenderServeHealth(const SimilaritySearcher& searcher);
 
 }  // namespace serve
 }  // namespace ujoin

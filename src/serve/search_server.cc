@@ -11,6 +11,7 @@
 
 #include "obs/exposition.h"
 #include "obs/obs_macros.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "text/uncertain_string.h"
 
@@ -38,7 +39,7 @@ SearchServer::SearchServer(const SimilaritySearcher* searcher,
     : searcher_(searcher),
       options_(options),
       pool_(options.max_connections),
-      mailbox_(static_cast<size_t>(options.max_connections), -1) {}
+      mailbox_(static_cast<size_t>(options.max_connections)) {}
 
 SearchServer::~SearchServer() { Stop(); }
 
@@ -81,6 +82,9 @@ Status SearchServer::Start() {
       return scrape_status;
     }
     scrape_running_ = true;
+    // Serve identifies itself on /healthz: build-info block instead of the
+    // bare scrape endpoint's "ok".
+    scrape_.SetHealthBody(RenderServeHealth(*searcher_));
   }
 
   stop_.store(false, std::memory_order_relaxed);
@@ -138,6 +142,22 @@ JoinStats SearchServer::Stats() const {
   return stats_;
 }
 
+std::vector<obs::QueryLogRecord> SearchServer::SlowQueriesByVerifyWorlds()
+    const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return slow_by_worlds_.Records();
+}
+
+std::vector<obs::QueryLogRecord> SearchServer::SlowQueriesByLatency() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return slow_by_latency_.Records();
+}
+
+std::string SearchServer::SlowQueriesJson() const {
+  std::lock_guard<std::mutex> lock(agg_mu_);
+  return obs::RenderSlowQueriesPage(slow_by_worlds_, slow_by_latency_);
+}
+
 void SearchServer::AcceptLoop() {
   // Poll-with-timeout instead of a bare blocking accept (the ScrapeServer
   // idiom): the 100 ms tick is how Stop() gets the thread's attention
@@ -166,9 +186,10 @@ void SearchServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(agg_mu_);
       UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeConnections, 1);
     }
+    const int64_t conn = ++connections_accepted_;
     {
       std::lock_guard<std::mutex> lock(mailbox_mu_);
-      mailbox_[static_cast<size_t>(slot)] = fd;
+      mailbox_[static_cast<size_t>(slot)] = Mail{fd, conn};
     }
     mailbox_cv_.notify_all();
   }
@@ -176,21 +197,21 @@ void SearchServer::AcceptLoop() {
 
 void SearchServer::ConnectionWorker(int slot) {
   for (;;) {
-    int fd = -1;
+    Mail mail;
     {
       std::unique_lock<std::mutex> lock(mailbox_mu_);
       mailbox_cv_.wait(lock, [&] {
         return stop_.load(std::memory_order_relaxed) ||
-               mailbox_[static_cast<size_t>(slot)] >= 0;
+               mailbox_[static_cast<size_t>(slot)].fd >= 0;
       });
-      fd = mailbox_[static_cast<size_t>(slot)];
-      if (fd < 0) return;  // stop requested while idle
+      mail = mailbox_[static_cast<size_t>(slot)];
+      if (mail.fd < 0) return;  // stop requested while idle
     }
-    HandleConnection(fd, slot);
-    close(fd);
+    HandleConnection(mail.fd, slot, mail.conn);
+    close(mail.fd);
     {
       std::lock_guard<std::mutex> lock(mailbox_mu_);
-      mailbox_[static_cast<size_t>(slot)] = -1;
+      mailbox_[static_cast<size_t>(slot)] = Mail{};
     }
     // Mailbox is idle again before the lease returns, so an accept that
     // re-acquires this slot always finds the worker ready.
@@ -199,14 +220,32 @@ void SearchServer::ConnectionWorker(int slot) {
   }
 }
 
-void SearchServer::HandleConnection(int fd, int slot) {
+void SearchServer::HandleConnection(int fd, int slot, int64_t conn) {
   QueryWorkspace* const workspace = pool_.workspace(slot);
   LineFramer framer(options_.max_request_bytes);
+  BatchGuard guard(options_.max_batch_requests, options_.max_batch_bytes);
+  // Per-connection query-log buffer: records accumulate allocation-free and
+  // flush to the shared log at batch boundaries (FinishBatch).
+  obs::QueryLogBuffer log_buffer;
   int64_t seq = 0;
   int64_t batch_queries = 0;
   std::string line;
   char buf[4096];
   bool open = true;
+  // Answers one request with an error: response, optional query-log record,
+  // and the run-level fold.
+  const auto answer_error = [&](const std::string& message,
+                                int64_t query_length) {
+    SendAll(fd, RenderErrorResponse(seq, message));
+    const obs::QueryLogRecord record = obs::MakeQueryLogRecord(
+        obs::Recorder{}, conn, seq, query_length, /*hits=*/0, /*error=*/true);
+    if (options_.query_log != nullptr) {
+      log_buffer.Add(record);
+      if (log_buffer.full()) log_buffer.FlushTo(options_.query_log);
+    }
+    FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true, &record,
+              /*spans=*/nullptr);
+  };
   while (open && !stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = fd;
@@ -220,60 +259,87 @@ void SearchServer::HandleConnection(int fd, int slot) {
     while (open && framer.NextLine(&line)) {
       if (line.empty()) {
         // Batch separator: fold boundary and snapshot push.
+        guard.Reset();
         if (batch_queries > 0) {
-          FinishBatch(batch_queries);
+          FinishBatch(batch_queries, &log_buffer);
           batch_queries = 0;
         }
         continue;
       }
       ++seq;
       ++batch_queries;
+      if (!guard.AddRequest(line.size())) {
+        // Oversized batch: the batch contract is broken, so answer once and
+        // drop the connection (like a lost frame boundary).
+        answer_error(guard.ViolationMessage(), /*query_length=*/0);
+        open = false;
+        continue;
+      }
       if (line.size() > framer.max_line_bytes()) {
-        SendAll(fd, RenderErrorResponse(
-                        seq, "request line exceeds " +
-                                 std::to_string(framer.max_line_bytes()) +
-                                 " bytes"));
-        FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true);
+        answer_error("request line exceeds " +
+                         std::to_string(framer.max_line_bytes()) + " bytes",
+                     /*query_length=*/0);
         continue;
       }
       Result<UncertainString> query =
           UncertainString::Parse(line, searcher_->alphabet());
       if (!query.ok()) {
-        SendAll(fd, RenderErrorResponse(seq, query.status().message()));
-        FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true);
+        answer_error(std::string(query.status().message()),
+                     /*query_length=*/0);
         continue;
       }
       JoinStats query_stats;
       obs::Recorder query_rec;
+      obs::SpanCollector spans;  // disabled unless a trace sink is attached
+      obs::SpanCollector* span_sink = nullptr;
+      if (options_.trace != nullptr) {
+        spans = obs::SpanCollector(options_.trace,
+                                   static_cast<uint32_t>(slot) + 1);
+        span_sink = &spans;
+      }
       Result<std::vector<SearchHit>> hits =
           searcher_->Search(*query, &query_stats, workspace, &query_rec,
-                            /*spans=*/nullptr, &options_.limits);
+                            span_sink, &options_.limits);
       if (!hits.ok()) {
-        SendAll(fd, RenderErrorResponse(seq, hits.status().message()));
-        FoldQuery(query_stats, query_rec, /*error=*/true);
+        answer_error(std::string(hits.status().message()), query->length());
         continue;
       }
       SendAll(fd, RenderHitsResponse(seq, *hits, query_stats.Inexact()));
-      FoldQuery(query_stats, query_rec, /*error=*/false);
+      obs::QueryLogRecord record = obs::MakeQueryLogRecord(
+          query_rec, conn, seq, query->length(),
+          static_cast<int64_t>(hits->size()), /*error=*/false);
+      // Stats-derived and wall-clock fields are caller-filled (see
+      // MakeQueryLogRecord) so records survive -DUJOIN_OBS=OFF.
+      record.budget_fallbacks = query_stats.budget_fallbacks;
+      record.deadline_fallbacks = query_stats.deadline_fallbacks;
+      record.inexact = query_stats.Inexact();
+      record.total_ns = static_cast<int64_t>(query_stats.total_time * 1e9);
+      record.verify_ns = static_cast<int64_t>(query_stats.verify_time * 1e9);
+      if (options_.query_log != nullptr) {
+        log_buffer.Add(record);
+        if (log_buffer.full()) log_buffer.FlushTo(options_.query_log);
+      }
+      FoldQuery(query_stats, query_rec, /*error=*/false, &record, span_sink);
     }
     if (framer.PartialOverLimit()) {
       // No frame boundary within the cap: the stream cannot be
       // re-synchronized, so answer once and drop the connection.
       ++seq;
       ++batch_queries;
-      SendAll(fd, RenderErrorResponse(
-                      seq, "request line exceeds " +
-                               std::to_string(framer.max_line_bytes()) +
-                               " bytes without a newline"));
-      FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true);
+      answer_error("request line exceeds " +
+                       std::to_string(framer.max_line_bytes()) +
+                       " bytes without a newline",
+                   /*query_length=*/0);
       open = false;
     }
   }
-  if (batch_queries > 0) FinishBatch(batch_queries);
+  if (batch_queries > 0) FinishBatch(batch_queries, &log_buffer);
 }
 
 void SearchServer::FoldQuery(const JoinStats& query_stats,
-                             const obs::Recorder& query_rec, bool error) {
+                             const obs::Recorder& query_rec, bool error,
+                             const obs::QueryLogRecord* record,
+                             const obs::SpanCollector* spans) {
   std::lock_guard<std::mutex> lock(agg_mu_);
   stats_.Merge(query_stats);
   query_metrics_.Merge(query_rec);
@@ -281,9 +347,27 @@ void SearchServer::FoldQuery(const JoinStats& query_stats,
   if (error) {
     UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeRequestErrors, 1);
   }
+  if (record != nullptr) {
+    slow_by_worlds_.Offer(*record);
+    slow_by_latency_.Offer(*record);
+  }
+  if (options_.trace != nullptr && spans != nullptr) {
+    // Probe indexes are assigned in fold order; the sampler verdict plus
+    // the slow-keep threshold decide whether this query's spans survive.
+    // Append under agg_mu_ keeps the recorder single-writer.
+    const int64_t idx = trace_probe_index_++;
+    const bool keep = options_.trace->KeepProbe(
+        options_.trace->SampleProbe(idx), record->total_ns);
+    options_.trace->NoteProbe(keep);
+    if (keep) options_.trace->Append(spans->events());
+  }
 }
 
-void SearchServer::FinishBatch(int64_t batch_queries) {
+void SearchServer::FinishBatch(int64_t batch_queries,
+                               obs::QueryLogBuffer* log_buffer) {
+  // Flush outside the aggregate lock: rendering + file IO must not block
+  // other connections' folds.
+  if (log_buffer != nullptr) log_buffer->FlushTo(options_.query_log);
   std::lock_guard<std::mutex> lock(agg_mu_);
   UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeBatches, 1);
   UJOIN_OBS_HIST(&serve_metrics_, obs::Hist::kServeBatchSize, batch_queries);
@@ -295,6 +379,8 @@ void SearchServer::PushSnapshotLocked() {
   obs::Recorder merged = query_metrics_;
   merged.Merge(serve_metrics_);
   scrape_.UpdateMetrics(obs::RenderPrometheusText(merged));
+  scrape_.UpdateDebugPage(
+      obs::RenderSlowQueriesPage(slow_by_worlds_, slow_by_latency_));
 }
 
 }  // namespace serve

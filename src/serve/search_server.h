@@ -12,11 +12,18 @@
 #include "join/join_stats.h"
 #include "join/search.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/scrape_server.h"
 #include "serve/workspace_pool.h"
 #include "util/status.h"
 
 namespace ujoin {
+
+namespace obs {
+class SpanCollector;
+class TraceRecorder;
+}  // namespace obs
+
 namespace serve {
 
 /// \brief Configuration of one SearchServer instance.
@@ -35,9 +42,23 @@ struct ServeOptions {
   /// answered with an error; a longer partial line closes the connection
   /// (the frame boundary is lost).
   size_t max_request_bytes = size_t{1} << 16;
-  /// Port of the embedded Prometheus scrape endpoint (/metrics + /healthz):
-  /// 0 picks an ephemeral port, -1 disables the endpoint.
+  /// Port of the embedded Prometheus scrape endpoint (/metrics + /healthz +
+  /// /debug/slow): 0 picks an ephemeral port, -1 disables the endpoint.
   int metrics_port = -1;
+  /// Per-batch caps (serve hardening; see protocol.h BatchGuard).  A batch
+  /// that exceeds either cap is answered with a structured error and the
+  /// connection is closed.  <= 0 disables the respective cap.
+  int64_t max_batch_requests = 1024;
+  int64_t max_batch_bytes = int64_t{1} << 20;
+  /// Structured query log (borrowed, must outlive the server; null = off).
+  /// One JSONL record per answered request, buffered per connection and
+  /// flushed at batch boundaries so the probe path stays allocation-free.
+  obs::QueryLog* query_log = nullptr;
+  /// Trace sink for per-query spans (borrowed; null = off).  The sink's
+  /// probe sampler and slow-keep threshold decide which queries' spans are
+  /// kept; probe indexes are assigned in fold order.  Span collection
+  /// allocates — it is a debugging mode, same caveat as JoinOptions::trace.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// \brief Resident similarity-search service: a frozen SimilaritySearcher
@@ -92,16 +113,37 @@ class SearchServer {
   /// Snapshot of the folded per-query JoinStats.
   JoinStats Stats() const;
 
+  /// Snapshots of the slow-query rings (worst first).  The verify-worlds
+  /// ring's deterministic fields are client-count invariant (a pure top-N
+  /// by (verify cost, content)); the latency ring is wall-clock ordered and
+  /// makes no such promise.
+  std::vector<obs::QueryLogRecord> SlowQueriesByVerifyWorlds() const;
+  std::vector<obs::QueryLogRecord> SlowQueriesByLatency() const;
+  /// The current /debug/slow page body (also served by the scrape
+  /// endpoint when one is running).
+  std::string SlowQueriesJson() const;
+
  private:
+  /// A connection handed to a worker: the socket plus the connection
+  /// ordinal (accept order, from 1) that attributes its query-log records.
+  struct Mail {
+    int fd = -1;
+    int64_t conn = 0;
+  };
+
   void AcceptLoop();
   void ConnectionWorker(int slot);
-  void HandleConnection(int fd, int slot);
-  /// Folds one answered query into the run-level aggregates.
+  void HandleConnection(int fd, int slot, int64_t conn);
+  /// Folds one answered query into the run-level aggregates: stats and
+  /// metrics merge, the record (when given) is offered to both slow-query
+  /// rings, and the query's spans (when given) pass the trace keep gate.
   void FoldQuery(const JoinStats& query_stats, const obs::Recorder& query_rec,
-                 bool error);
-  /// Closes a batch of `batch_queries` requests: serve-layer accounting
-  /// plus a fresh /metrics snapshot.
-  void FinishBatch(int64_t batch_queries);
+                 bool error, const obs::QueryLogRecord* record,
+                 const obs::SpanCollector* spans);
+  /// Closes a batch of `batch_queries` requests: flushes the connection's
+  /// query-log buffer, then serve-layer accounting plus a fresh /metrics
+  /// snapshot.
+  void FinishBatch(int64_t batch_queries, obs::QueryLogBuffer* log_buffer);
   void PushSnapshotLocked();
 
   const SimilaritySearcher* searcher_;
@@ -113,18 +155,22 @@ class SearchServer {
   std::thread accept_thread_;
 
   WorkspacePool pool_;
-  // Connection-thread mailboxes: mailbox_[slot] holds the fd handed to
-  // worker `slot`, or -1 when the worker is idle.  Guarded by mailbox_mu_.
+  // Connection-thread mailboxes: mailbox_[slot] holds the connection handed
+  // to worker `slot` (fd < 0 = idle).  Guarded by mailbox_mu_.
   std::mutex mailbox_mu_;
   std::condition_variable mailbox_cv_;
-  std::vector<int> mailbox_;
+  std::vector<Mail> mailbox_;
   std::vector<std::thread> workers_;
+  int64_t connections_accepted_ = 0;  // accept thread only
 
   // Run-level aggregates, folded query by query.  Guarded by agg_mu_.
   mutable std::mutex agg_mu_;
   JoinStats stats_;
   obs::Recorder query_metrics_;
   obs::Recorder serve_metrics_;
+  obs::SlowQueryRing slow_by_worlds_{obs::SlowQueryRing::Key::kVerifyWorlds};
+  obs::SlowQueryRing slow_by_latency_{obs::SlowQueryRing::Key::kLatencyNs};
+  int64_t trace_probe_index_ = 0;  // guarded by agg_mu_
 
   obs::ScrapeServer scrape_;
   bool scrape_running_ = false;

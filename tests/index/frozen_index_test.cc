@@ -11,6 +11,7 @@
 
 #include "index/segment_index.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "testing/test_util.h"
 #include "text/alphabet.h"
 #include "util/rng.h"
@@ -274,6 +275,22 @@ TEST(FrozenIndexTest, SteadyStateQueryDoesNotAllocate) {
 #ifndef UJOIN_OBS_DISABLED
   EXPECT_GT(recorder.hist(obs::Hist::kMergedListLength).count(), 0);
 #endif
+
+  // Same property for the query-log path the serve layer runs per request:
+  // building a record from the recorder and buffering it are flat copies
+  // into pre-reserved storage.
+  obs::QueryLogBuffer log_buffer;
+  {
+    CountAllocations counter;
+    obs::QueryLogRecord record = obs::MakeQueryLogRecord(
+        recorder, /*connection=*/1, /*seq=*/2, length, /*hits=*/3,
+        /*error=*/false);
+    log_buffer.Add(record);
+    allocations = counter.count();
+  }
+  EXPECT_EQ(allocations, 0u)
+      << "building and buffering a query-log record must not allocate";
+  EXPECT_EQ(log_buffer.size(), 1u);
 }
 
 }  // namespace

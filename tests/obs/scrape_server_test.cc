@@ -127,6 +127,67 @@ TEST(ScrapeServerTest, ConcurrentScrapesAndUpdatesSeeWholePages) {
   server.Stop();
 }
 
+TEST(ScrapeServerTest, DebugSlowPageServedAfterFirstPush) {
+  ScrapeServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  // Until the serve layer pushes a page there is nothing to show: 404, so
+  // a scraper can tell "no slow-query tracking here" from "empty rings".
+  EXPECT_NE(HttpGet(server.port(), "/debug/slow").find("HTTP/1.0 404"),
+            std::string::npos);
+
+  server.UpdateDebugPage("{\"schema\":\"ujoin.slow_queries\"}\n");
+  const std::string slow = HttpGet(server.port(), "/debug/slow");
+  EXPECT_NE(slow.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(slow.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_EQ(BodyOf(slow), "{\"schema\":\"ujoin.slow_queries\"}\n");
+  server.Stop();
+}
+
+TEST(ScrapeServerTest, HealthBodyIsReplaceable) {
+  ScrapeServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  // Default stays the bare liveness probe (live_smoke.sh depends on it).
+  const std::string plain = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(plain.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_EQ(BodyOf(plain), "ok\n");
+
+  // The serve layer swaps in its build-info block; a JSON body switches
+  // the content type.
+  server.SetHealthBody("{\"status\":\"ok\",\"obs\":true}\n");
+  const std::string json = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(json.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(json.find("Content-Type: application/json"), std::string::npos);
+  EXPECT_EQ(BodyOf(json), "{\"status\":\"ok\",\"obs\":true}\n");
+  server.Stop();
+}
+
+// The /debug/slow page has the same whole-page snapshot contract as
+// /metrics: concurrent pushes never produce a torn response.
+TEST(ScrapeServerTest, ConcurrentDebugPageUpdatesSeeWholePages) {
+  ScrapeServer server;
+  server.UpdateDebugPage(std::string(512, 'a') + "\n");
+  ASSERT_TRUE(server.Start(0).ok());
+  const int port = server.port();
+
+  std::atomic<bool> done{false};
+  std::thread updater([&server, &done] {
+    for (char c = 'b'; c <= 'z'; ++c) {
+      server.UpdateDebugPage(std::string(512, c) + "\n");
+    }
+    done.store(true);
+  });
+
+  int scrapes = 0;
+  while (scrapes < 20 || !done.load()) {
+    const std::string body = BodyOf(HttpGet(port, "/debug/slow"));
+    ASSERT_EQ(body.size(), 513u);
+    EXPECT_EQ(body.find_first_not_of(body[0]), body.size() - 1) << body[0];
+    ++scrapes;
+  }
+  updater.join();
+  server.Stop();
+}
+
 TEST(ScrapeServerTest, StopIsIdempotentAndRefusesRequestsAfter) {
   ScrapeServer server;
   ASSERT_TRUE(server.Start(0).ok());

@@ -79,6 +79,45 @@ TEST(LineFramerTest, LongLivedStreamStaysBounded) {
   }
 }
 
+// --- BatchGuard ------------------------------------------------------------
+
+TEST(BatchGuardTest, CountsRequestsAgainstTheCap) {
+  BatchGuard guard(/*max_requests=*/2, /*max_bytes=*/0);
+  EXPECT_TRUE(guard.AddRequest(10));
+  EXPECT_TRUE(guard.AddRequest(10));
+  // The violating line is still counted, so the message can describe it.
+  EXPECT_FALSE(guard.AddRequest(10));
+  EXPECT_EQ(guard.requests(), 3);
+  EXPECT_TRUE(guard.OverLimit());
+  EXPECT_NE(guard.ViolationMessage().find("batch exceeds request cap of 2"),
+            std::string::npos)
+      << guard.ViolationMessage();
+
+  // The separator starts a fresh batch.
+  guard.Reset();
+  EXPECT_FALSE(guard.OverLimit());
+  EXPECT_TRUE(guard.AddRequest(10));
+}
+
+TEST(BatchGuardTest, CountsBytesAgainstTheCap) {
+  BatchGuard guard(/*max_requests=*/0, /*max_bytes=*/100);
+  EXPECT_TRUE(guard.AddRequest(60));
+  EXPECT_FALSE(guard.AddRequest(60));
+  EXPECT_EQ(guard.bytes(), 120);
+  EXPECT_NE(guard.ViolationMessage().find("byte"), std::string::npos)
+      << guard.ViolationMessage();
+  guard.Reset();
+  EXPECT_TRUE(guard.AddRequest(60));
+}
+
+TEST(BatchGuardTest, NonPositiveCapsAreUnlimited) {
+  BatchGuard guard(/*max_requests=*/0, /*max_bytes=*/-1);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(guard.AddRequest(1 << 20));
+  }
+  EXPECT_FALSE(guard.OverLimit());
+}
+
 // --- Response rendering ----------------------------------------------------
 
 TEST(ProtocolRenderTest, HitsResponseBytes) {
@@ -97,6 +136,39 @@ TEST(ProtocolRenderTest, ErrorAndBusyResponseBytes) {
   EXPECT_EQ(RenderBusyResponse(),
             "{\"seq\":0,\"status\":\"busy\",\"error\":"
             "\"server at connection capacity\"}\n");
+}
+
+TEST(ProtocolRenderTest, ServeHealthDescribesTheBuildAndTheIndex) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = 30;
+  opt.theta = 0.25;
+  opt.seed = 9;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.max_uncertain_positions = 4;
+  const std::vector<UncertainString> collection = GenerateDataset(opt).strings;
+  Result<SimilaritySearcher> searcher = SimilaritySearcher::Create(
+      collection, Alphabet::Names(), JoinOptions::Qfct(2, 0.1));
+  ASSERT_TRUE(searcher.ok());
+
+  const std::string health = RenderServeHealth(*searcher);
+  EXPECT_EQ(health.rfind("{\"status\":\"ok\",\"searcher_format_version\":", 0),
+            0u)
+      << health;
+  EXPECT_NE(health.find("\"simd_isa\":\""), std::string::npos);
+  EXPECT_NE(health.find("\"metrics_schema_version\":"), std::string::npos);
+  EXPECT_NE(health.find("\"collection_size\":30"), std::string::npos);
+  EXPECT_NE(health.find("\"index_length_buckets\":"), std::string::npos);
+  EXPECT_NE(health.find("\"index_segments\":"), std::string::npos);
+#ifdef UJOIN_OBS_DISABLED
+  EXPECT_NE(health.find("\"obs\":false"), std::string::npos);
+#else
+  EXPECT_NE(health.find("\"obs\":true"), std::string::npos);
+#endif
+  EXPECT_EQ(health.back(), '\n');
+  // Byte-deterministic for a fixed build and searcher.
+  EXPECT_EQ(RenderServeHealth(*searcher), health);
 }
 
 // --- Server robustness (raw-socket fixtures) -------------------------------

@@ -1,0 +1,365 @@
+// Serve-layer per-query diagnostics: the slow-query rings' client-count
+// invariance, the /debug/slow page's whole-page snapshot contract under
+// live load, the slow-trace force-keep gate, the structured query log's
+// attribution, and the per-batch request cap.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "join/search.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
+#include "serve/search_server.h"
+#include "serve_test_util.h"
+
+namespace ujoin {
+namespace serve {
+namespace {
+
+using serve::testing::LineClient;
+
+std::vector<UncertainString> SeededStrings(int size, uint64_t seed) {
+  DatasetOptions opt;
+  opt.kind = DatasetOptions::Kind::kNames;
+  opt.size = size;
+  opt.theta = 0.25;
+  opt.seed = seed;
+  opt.min_length = 4;
+  opt.max_length = 10;
+  opt.max_uncertain_positions = 4;
+  return GenerateDataset(opt).strings;
+}
+
+// Minimal blocking HTTP/1.0 client for the scrape endpoint (same shape as
+// the one in tests/obs/scrape_server_test.cc).
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+class SlowQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    collection_ = SeededStrings(80, 21);
+    queries_ = SeededStrings(40, 22);
+    JoinOptions options = JoinOptions::Qfct(2, 0.1);
+    options.always_verify = true;
+    Result<SimilaritySearcher> searcher =
+        SimilaritySearcher::Create(collection_, Alphabet::Names(), options);
+    ASSERT_TRUE(searcher.ok());
+    searcher_ = std::make_unique<SimilaritySearcher>(
+        std::move(searcher).value());
+  }
+
+  /// Replays queries_ against a fresh server with `clients` concurrent
+  /// connections (strided assignment, one batch per client).  Returns false
+  /// on any client-side failure.
+  bool Replay(SearchServer* server, int clients) {
+    std::atomic<bool> ok{true};
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c]() {
+        LineClient client(server->port());
+        if (!client.connected()) {
+          ok.store(false);
+          return;
+        }
+        for (size_t i = static_cast<size_t>(c); i < queries_.size();
+             i += static_cast<size_t>(clients)) {
+          if (!client.SendLine(queries_[i].ToString()) ||
+              client.ReadLine().empty()) {
+            ok.store(false);
+            return;
+          }
+        }
+        client.SendLine("");  // close the batch so buffered records flush
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    return ok.load();
+  }
+
+  std::vector<UncertainString> collection_;
+  std::vector<UncertainString> queries_;
+  std::unique_ptr<SimilaritySearcher> searcher_;
+};
+
+std::vector<std::string> ContentsOf(
+    const std::vector<obs::QueryLogRecord>& records) {
+  std::vector<std::string> contents;
+  for (const obs::QueryLogRecord& rec : records) {
+    contents.push_back(obs::DeterministicContentJson(rec));
+  }
+  return contents;
+}
+
+/// The query-content span of one JSONL line: everything from
+/// "query_length" up to the timing object — attribution (request id,
+/// connection, seq) before it and wall clock after it are the fields that
+/// legitimately vary with client topology.
+std::string ContentSpanOf(const std::string& line) {
+  const size_t begin = line.find("\"query_length\"");
+  const size_t end = line.find(",\"timing\"");
+  if (begin == std::string::npos || end == std::string::npos || end < begin) {
+    return "<malformed: " + line + ">";
+  }
+  return line.substr(begin, end - begin);
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// The verify-worlds ring is a pure top-N by (verify cost, content): the
+// same workload spread over 1, 2, or 4 connections keeps exactly the same
+// records (deterministic fields).  The query log's content fields are the
+// same multiset too — only attribution and timing may differ.
+TEST_F(SlowQueryTest, VerifyWorldsRingAndLogContentAreClientCountInvariant) {
+  std::vector<std::string> baseline_ring;
+  std::vector<std::string> baseline_content;
+  for (const int clients : {1, 2, 4}) {
+    const std::string log_path = ::testing::TempDir() + "slow_query_log_" +
+                                 std::to_string(clients) + ".jsonl";
+    obs::QueryLog log;
+    ASSERT_TRUE(log.Open(log_path).ok());
+    ServeOptions options;
+    options.max_connections = clients;
+    options.query_log = &log;
+    SearchServer server(searcher_.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(Replay(&server, clients));
+    server.Stop();
+    ASSERT_TRUE(log.Close().ok());
+
+    // Ring snapshot: worst-first sequence of deterministic content.
+    const std::vector<std::string> ring =
+        ContentsOf(server.SlowQueriesByVerifyWorlds());
+    EXPECT_EQ(ring.size(),
+              std::min<size_t>(queries_.size(),
+                               obs::SlowQueryRing::kDefaultCapacity));
+
+    // Log contents: one record per query, same content multiset.
+    std::vector<std::string> content;
+    for (const std::string& line : ReadLines(log_path)) {
+      content.push_back(ContentSpanOf(line));
+    }
+    EXPECT_EQ(content.size(), queries_.size());
+    std::sort(content.begin(), content.end());
+
+    if (clients == 1) {
+      baseline_ring = ring;
+      baseline_content = content;
+    } else {
+      EXPECT_EQ(ring, baseline_ring) << "with " << clients << " clients";
+      EXPECT_EQ(content, baseline_content)
+          << "with " << clients << " clients";
+    }
+    std::remove(log_path.c_str());
+  }
+}
+
+TEST_F(SlowQueryTest, QueryLogAttributesConnectionAndSeq) {
+  const std::string log_path =
+      ::testing::TempDir() + "slow_query_log_attr.jsonl";
+  obs::QueryLog log;
+  ASSERT_TRUE(log.Open(log_path).ok());
+  ServeOptions options;
+  options.query_log = &log;
+  SearchServer server(searcher_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    LineClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(client.SendLine(queries_[static_cast<size_t>(i)]
+                                      .ToString()));
+      ASSERT_NE(client.ReadLine(), "");
+    }
+    client.SendLine("");
+  }
+  server.Stop();
+  ASSERT_TRUE(log.Close().ok());
+
+  const std::vector<std::string> lines = ReadLines(log_path);
+  ASSERT_EQ(lines.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    const std::string& line = lines[static_cast<size_t>(i)];
+    EXPECT_NE(line.find("\"connection\":1,\"seq\":" + std::to_string(i + 1)),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+  }
+  std::remove(log_path.c_str());
+}
+
+// /debug/slow under live traffic: every response is a whole page of the
+// current schema (or a 404 before the first push), never a torn mix —
+// and the page the ring snapshot renders matches SlowQueriesJson.
+TEST_F(SlowQueryTest, DebugSlowPageIsWholeUnderLiveLoad) {
+  ServeOptions options;
+  options.metrics_port = 0;
+  SearchServer server(searcher_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.metrics_port(), 0);
+
+  std::atomic<bool> done{false};
+  std::thread driver([&]() {
+    EXPECT_TRUE(Replay(&server, 2));
+    done.store(true);
+  });
+  int pages = 0;
+  while (!done.load() || pages < 5) {
+    const std::string response =
+        HttpGet(server.metrics_port(), "/debug/slow");
+    if (response.find("HTTP/1.0 404") != std::string::npos) continue;
+    const std::string body = BodyOf(response);
+    ASSERT_EQ(body.rfind("{\"schema\":\"ujoin.slow_queries\"", 0), 0u)
+        << body.substr(0, 80);
+    ASSERT_EQ(body.substr(body.size() - 2), "}\n");
+    ++pages;
+  }
+  driver.join();
+
+  // The blank separator is fire-and-forget on the client side, so the last
+  // FinishBatch (which publishes the page) can trail the join: poll until
+  // the served page catches up with the ring snapshot.
+  std::string final_page;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    final_page = BodyOf(HttpGet(server.metrics_port(), "/debug/slow"));
+    if (final_page == server.SlowQueriesJson()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(final_page, server.SlowQueriesJson());
+  server.Stop();
+}
+
+// The slow-keep threshold force-keeps spans the sampler would drop: with
+// sampling off entirely, a 1 ns threshold keeps everything and a disabled
+// threshold keeps nothing.
+TEST_F(SlowQueryTest, SlowTraceThresholdForceKeepsSpans) {
+  {
+    obs::TraceRecorder tracer;
+    tracer.SetProbeSampling(0, /*seed=*/42);  // sampler keeps none
+    tracer.SetSlowKeepNs(1);                  // every query is >= 1 ns
+    ServeOptions options;
+    options.trace = &tracer;
+    SearchServer server(searcher_.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(Replay(&server, 1));
+    server.Stop();
+    EXPECT_GT(tracer.num_events(), 0u);
+  }
+  {
+    obs::TraceRecorder tracer;
+    tracer.SetProbeSampling(0, /*seed=*/42);
+    ServeOptions options;
+    options.trace = &tracer;
+    SearchServer server(searcher_.get(), options);
+    ASSERT_TRUE(server.Start().ok());
+    ASSERT_TRUE(Replay(&server, 1));
+    server.Stop();
+    EXPECT_EQ(tracer.num_events(), 0u);
+  }
+}
+
+// The per-batch request cap: queries beyond the cap get a structured error
+// and the connection closes; the blank separator resets the count.
+TEST_F(SlowQueryTest, BatchRequestCapRejectsOverlongBatches) {
+  ServeOptions options;
+  options.max_batch_requests = 2;
+  SearchServer server(searcher_.get(), options);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    // Separator-respecting client: two batches of two, all answered.
+    LineClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (int batch = 0; batch < 2; ++batch) {
+      for (int i = 0; i < 2; ++i) {
+        ASSERT_TRUE(client.SendLine(
+            queries_[static_cast<size_t>(2 * batch + i)].ToString()));
+        const std::string response = client.ReadLine();
+        EXPECT_EQ(response.find("\"error\""), std::string::npos) << response;
+      }
+      ASSERT_TRUE(client.SendLine(""));
+    }
+  }
+  {
+    // Cap violator: the third request of one batch draws the structured
+    // error and the connection is closed.
+    LineClient client(server.port());
+    ASSERT_TRUE(client.connected());
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(client.SendLine(queries_[static_cast<size_t>(i)]
+                                      .ToString()));
+      ASSERT_NE(client.ReadLine(), "");
+    }
+    ASSERT_TRUE(client.SendLine(queries_[2].ToString()));
+    const std::string error = client.ReadLine();
+    EXPECT_NE(error.find("batch exceeds request cap"), std::string::npos)
+        << error;
+    EXPECT_TRUE(client.AtEof());
+  }
+  server.Stop();
+
+#ifndef UJOIN_OBS_DISABLED
+  EXPECT_EQ(server.ServeMetrics().counter(obs::Counter::kServeRequestErrors),
+            1);
+#endif
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace ujoin

@@ -35,6 +35,7 @@ export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TS
 echo "==> [1/14] invariant lint (self-test + repo scan)"
 python3 tools/ujoin_lint.py --self-test
 python3 tools/ujoin_lint.py
+python3 tools/validate_query_log.py --self-test
 
 echo "==> [2/14] configure + build (Release, warnings as errors)"
 cmake -B build -S . -DUJOIN_WERROR=ON >/dev/null
@@ -59,7 +60,7 @@ cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
 TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
   join_stats_test self_join_test cross_join_test join_obs_test \
   scrape_server_test serve_protocol_test serve_differential_test \
-  verify_budget_test simd_kernel_test)
+  slow_query_test verify_budget_test simd_kernel_test)
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
 echo "==> [6/14] parallel join tests under TSan"

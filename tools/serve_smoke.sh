@@ -7,10 +7,12 @@
 #      well-formed queries (checking id-sorted hits, per-connection seq, and
 #      the inexact flag), one malformed line (error without losing the
 #      connection), and a blank batch separator;
-#   3. scrapes /metrics and /healthz and checks the serve-layer series
+#   3. scrapes /metrics, /healthz (the build-info JSON block), and
+#      /debug/slow (the slow-query rings) and checks the serve-layer series
 #      reflect the batch just sent;
 #   4. shuts the server down with SIGINT and checks a clean exit plus the
-#      shutdown summary on stderr.
+#      shutdown summary on stderr, then validates the structured query log
+#      the run wrote with tools/validate_query_log.py.
 #
 # Usage: tools/serve_smoke.sh [build_dir]
 #   build_dir defaults to "build"; artefacts go to <build_dir>/serve-smoke.
@@ -33,8 +35,10 @@ mkdir -p "$DIR"
 
 echo "--- resident search service"
 rm -f "$DIR/serve.err"
+rm -f "$DIR/query_log.jsonl"
 "$CLI" serve --input="$DIR/data.txt" --kind=names --k=2 --tau=0.1 \
   --port=0 --metrics-port=0 --max-verify-worlds=1000000 \
+  --query-log="$DIR/query_log.jsonl" \
   2>"$DIR/serve.err" &
 SERVE_PID=$!
 trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
@@ -100,8 +104,17 @@ def fetch(path):
     with urllib.request.urlopen(url, timeout=5) as resp:
         return resp.status, resp.read()
 
+# /healthz under serve is the build-info JSON block (the bare scrape
+# endpoint's "ok\n" liveness body is covered by tools/live_smoke.sh).
 status, body = fetch("/healthz")
-assert status == 200 and body == b"ok\n", (status, body)
+assert status == 200, (status, body)
+health = json.loads(body)
+assert health["status"] == "ok", health
+for key in ("searcher_format_version", "simd_isa", "obs",
+            "metrics_schema_version", "collection_size",
+            "index_length_buckets", "index_segments"):
+    assert key in health, f"healthz missing '{key}': {health}"
+assert health["collection_size"] == 100, health
 
 # The batch-boundary snapshot is pushed by the worker that saw the blank
 # line; poll briefly until it lands.
@@ -121,6 +134,19 @@ assert f"ujoin_queries_total {len(queries) + 1}\n".encode() in body
 with open(sys.argv[4], "wb") as out:
     out.write(body)
 
+# /debug/slow serves the slow-query rings once the batch snapshot landed.
+status, body = fetch("/debug/slow")
+assert status == 200, status
+slow = json.loads(body)
+assert slow["schema"] == "ujoin.slow_queries", slow
+assert slow["schema_version"] == 1, slow
+assert slow["by_verify_worlds"], "verify-worlds ring is empty after a batch"
+assert slow["by_latency_ns"], "latency ring is empty after a batch"
+worst = slow["by_verify_worlds"][0]
+assert worst["schema"] == "ujoin.query_log", worst
+keys = [r["verify_worlds"] for r in slow["by_verify_worlds"]]
+assert keys == sorted(keys, reverse=True), keys
+
 sock.close()
 print(f"answered {len(queries) + 2} requests, scraped /metrics "
       f"({len(body)} bytes)")
@@ -135,5 +161,14 @@ grep -q "^serve: shutting down$" "$DIR/serve.err"
 grep -q "^serve: 1 connections (0 rejected), 12 requests (1 errors)" \
   "$DIR/serve.err"
 echo "server exited cleanly on SIGINT with shutdown summary"
+
+# The structured query log: one schema-valid record per answered request
+# (10 good + 1 error + 1 retry), flushed at the batch boundary and closed
+# on shutdown.
+grep -q "^query-log: wrote 12 records to " "$DIR/serve.err"
+python3 tools/validate_query_log.py "$DIR/query_log.jsonl"
+[[ "$(wc -l < "$DIR/query_log.jsonl")" == "12" ]]
+grep -q '"status":"error"' "$DIR/query_log.jsonl"
+echo "query log is schema-valid (12 records, error record included)"
 
 echo "serve smoke passed"

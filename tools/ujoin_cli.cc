@@ -16,28 +16,49 @@
 //              [--q=3] --out=FILE.idx
 //   ujoin_cli search (--input=FILE | --index=FILE.idx) --kind=names|protein
 //              (--query=STRING | --queries=FILE) [--k=2] [--tau=0.1] [--q=3]
-//              [--topk=N] [--threads=1]
+//              [--topk=N] [--threads=1] [--query-log=FILE]
 //              [--metrics-out=FILE] [--trace-out=FILE] [--trace-sample=N]
+//              [--slow-trace-ms=N]
 //              [--prom-out=FILE] [--listen=PORT] [--listen-hold]
 //              (--queries runs the whole file through SearchMany and prints
 //               aggregated filter/verification statistics; the stats are
-//               identical for every --threads value)
+//               identical for every --threads value.  --query-log writes one
+//               ujoin.query_log JSONL record per query; see DESIGN.md
+//               "Per-query diagnostics".)
+//   ujoin_cli explain (--input=FILE | --index=FILE.idx) --kind=names|protein
+//              --query=STRING [--k=2] [--tau=0.1] [--q=3]
+//              [--max-verify-worlds=0] [--deadline-ms=0] [--out=FILE]
+//              [--no-timing]
+//              (replays one query and prints the full funnel narrative: a
+//               versioned ujoin.explain JSON envelope on stdout (or --out)
+//               plus a human-readable account on stderr.  With --no-timing
+//               the envelope is byte-identical across runs for the same
+//               index, query, and limits.)
 //   ujoin_cli stats --input=FILE --kind=names|protein
 //   ujoin_cli simd-info   (prints the dispatched SIMD instruction set)
 //   ujoin_cli serve (--input=FILE | --index=FILE.idx) --kind=names|protein
 //              [--k=2] [--tau=0.1] [--q=3] [--port=0] [--metrics-port=-1]
 //              [--max-connections=4] [--max-verify-worlds=0]
 //              [--deadline-ms=0] [--max-request-bytes=65536]
+//              [--max-batch-requests=1024] [--max-batch-bytes=1048576]
+//              [--query-log=FILE] [--trace-out=FILE] [--trace-sample=N]
+//              [--slow-trace-ms=N]
 //              (loads the collection once and answers newline-delimited
 //               query batches over TCP until SIGINT/SIGTERM; see
 //               DESIGN.md "Resident search service".  --port=0 picks a free
 //               port, announced on stderr.  --metrics-port enables the
-//               /metrics + /healthz endpoint, refreshed at batch
-//               boundaries.  --max-verify-worlds caps the possible-world
-//               product a single exact verification may cost; over-budget
-//               candidates fall back to their CDF bounds and the response
-//               is marked "inexact".  --deadline-ms is the per-query
-//               wall-clock deadline with the same fallback.)
+//               /metrics + /healthz + /debug/slow endpoint, refreshed at
+//               batch boundaries.  --max-verify-worlds caps the
+//               possible-world product a single exact verification may
+//               cost; over-budget candidates fall back to their CDF bounds
+//               and the response is marked "inexact".  --deadline-ms is the
+//               per-query wall-clock deadline with the same fallback.
+//               --max-batch-requests/--max-batch-bytes cap one batch; a
+//               client that exceeds either gets a structured error and is
+//               disconnected.  --query-log writes one JSONL record per
+//               answered request.  --slow-trace-ms force-keeps the spans of
+//               any query at or over the threshold regardless of
+//               --trace-sample; alone it keeps only such slow queries.)
 //
 // Observability (DESIGN.md "Observability" and "Live monitoring"):
 //   --metrics-out=FILE  writes a ujoin.run_report JSON document with the
@@ -75,10 +96,12 @@
 #include <vector>
 
 #include "datagen/datagen.h"
+#include "join/explain.h"
 #include "join/ujoin.h"
 #include "obs/exposition.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/report.h"
 #include "obs/scrape_server.h"
 #include "obs/trace.h"
@@ -148,7 +171,8 @@ class Flags {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: ujoin_cli <generate|join|index|search|serve|stats|simd-info>"
+      "usage: ujoin_cli "
+      "<generate|join|index|search|explain|serve|stats|simd-info>"
       " [flags]\n"
       "see the header of tools/ujoin_cli.cc for flag reference\n");
   return 2;
@@ -193,6 +217,48 @@ void ReadObsFlags(Flags& flags, bool with_progress, ObsOutputs* out) {
   const int sample = flags.GetInt("trace-sample", 1);
   if (sample > 1) out->tracer.SetProbeSampling(sample, kTraceSampleSeed);
   if (with_progress) out->progress = flags.GetBool("progress");
+}
+
+// Reads --slow-trace-ms into `tracer`: spans of a query at or over the
+// threshold are force-kept regardless of the probe sampler.  Without an
+// explicit --trace-sample the sampler is set to keep nothing, so the trace
+// contains exactly the slow queries.
+void ReadSlowTraceFlag(Flags& flags, obs::TraceRecorder* tracer) {
+  const int slow_trace_ms = flags.GetInt("slow-trace-ms", 0);
+  if (slow_trace_ms <= 0) return;
+  tracer->SetSlowKeepNs(int64_t{slow_trace_ms} * 1000000);
+  if (flags.GetString("trace-sample").empty()) {
+    tracer->SetProbeSampling(0, kTraceSampleSeed);
+  }
+}
+
+// Opens the --query-log sink when the flag was given; 0 on success.  On
+// success `*out` points at `log` (or stays null when the flag is absent).
+int OpenQueryLog(const std::string& path, obs::QueryLog* log,
+                 obs::QueryLog** out) {
+  *out = nullptr;
+  if (path.empty()) return 0;
+  const Status status = log->Open(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  *out = log;
+  return 0;
+}
+
+// Closes the --query-log sink and reports the record count; 0 on success.
+int FinishQueryLog(const std::string& path, obs::QueryLog* log) {
+  if (!log->is_open()) return 0;
+  const int64_t written = log->records_written();
+  const Status status = log->Close();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "query-log: wrote %lld records to %s\n",
+               static_cast<long long>(written), path.c_str());
+  return 0;
 }
 
 // Starts the scrape endpoint when --listen was given; 0 on success.  The
@@ -523,6 +589,8 @@ int RunSearch(Flags& flags) {
   const int threads = flags.GetInt("threads", 1);
   ObsOutputs obs_out;
   ReadObsFlags(flags, /*with_progress=*/false, &obs_out);
+  ReadSlowTraceFlag(flags, &obs_out.tracer);
+  const std::string query_log_path = flags.GetString("query-log");
   obs::Recorder* const metrics =
       obs_out.WantsRecorder() ? &obs_out.recorder : nullptr;
   obs::TraceRecorder* const trace =
@@ -542,6 +610,9 @@ int RunSearch(Flags& flags) {
     std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
     return 1;
   }
+  obs::QueryLog query_log;
+  obs::QueryLog* query_log_ptr = nullptr;
+  if (OpenQueryLog(query_log_path, &query_log, &query_log_ptr) != 0) return 1;
   if (StartObsServer(obs_out) != 0) return 1;
   if (!queries_path.empty()) {
     // Batch mode: run the whole query file through SearchMany and report
@@ -556,7 +627,8 @@ int RunSearch(Flags& flags) {
     }
     JoinStats stats;
     Result<std::vector<std::vector<SearchHit>>> hits =
-        searcher->SearchMany(*queries, threads, &stats, metrics, trace);
+        searcher->SearchMany(*queries, threads, &stats, metrics, trace,
+                             /*limits=*/nullptr, query_log_ptr);
     if (!hits.ok()) {
       std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
       return 1;
@@ -570,7 +642,8 @@ int RunSearch(Flags& flags) {
     }
     std::fprintf(stderr, "%zu queries, %zu hits\n%s\n", queries->size(),
                  total_hits, stats.ToString().c_str());
-    const int rc = WriteObsOutputs(obs_out, "search", options, stats);
+    int rc = WriteObsOutputs(obs_out, "search", options, stats);
+    if (FinishQueryLog(query_log_path, &query_log) != 0) rc = 1;
     FinishObsServer(obs_out);
     return rc;
   }
@@ -587,34 +660,124 @@ int RunSearch(Flags& flags) {
   }
   JoinStats stats;
   // Per-query span buffer, appended to the tracer after the call (the
-  // same collect-then-fold pattern the batch drivers use).
+  // same collect-then-fold pattern the batch drivers use).  With a
+  // slow-keep threshold the spans must be collected speculatively: the
+  // keep decision needs the query's wall time.
   obs::SpanCollector spans;
   obs::SpanCollector* span_sink = nullptr;
-  if (trace != nullptr && trace->SampleProbe(0)) {
+  if (trace != nullptr &&
+      (trace->SampleProbe(0) || trace->slow_keep_ns() > 0)) {
     spans = obs::SpanCollector(trace, /*tid=*/1);
     span_sink = &spans;
   }
+  // A --query-log record needs a per-query recorder even when no other obs
+  // flag attached one.
+  obs::Recorder query_rec;
+  obs::Recorder* rec_ptr = metrics;
+  if (rec_ptr == nullptr && query_log_ptr != nullptr) rec_ptr = &query_rec;
   // SearchTopK has no metric hooks: a --topk report carries stats only.
   Result<std::vector<SearchHit>> hits =
       topk > 0 ? searcher->SearchTopK(*query, topk, &stats)
                : searcher->Search(*query, &stats, /*workspace=*/nullptr,
-                                  metrics, span_sink);
+                                  rec_ptr, span_sink);
   if (!hits.ok()) {
     std::fprintf(stderr, "error: %s\n", hits.status().ToString().c_str());
     return 1;
   }
+  const int64_t query_ns = static_cast<int64_t>(stats.total_time * 1e9);
   if (trace != nullptr) {
-    trace->NoteProbe(spans.enabled());
-    trace->Append(spans.events());
+    const bool keep =
+        spans.enabled() && trace->KeepProbe(trace->SampleProbe(0), query_ns);
+    trace->NoteProbe(keep);
+    if (keep) trace->Append(spans.events());
+  }
+  if (query_log_ptr != nullptr) {
+    obs::QueryLogRecord record = obs::MakeQueryLogRecord(
+        *rec_ptr, /*connection=*/0, /*seq=*/1, query->length(),
+        static_cast<int64_t>(hits->size()), /*error=*/false);
+    record.budget_fallbacks = stats.budget_fallbacks;
+    record.deadline_fallbacks = stats.deadline_fallbacks;
+    record.inexact = stats.Inexact();
+    record.total_ns = query_ns;
+    record.verify_ns = static_cast<int64_t>(stats.verify_time * 1e9);
+    query_log_ptr->Write(record);
   }
   for (const SearchHit& hit : *hits) {
     std::printf("%u\t%.6f\t%s\n", hit.id, hit.probability,
                 searcher->collection()[hit.id].ToString().c_str());
   }
   std::fprintf(stderr, "%zu hits\n", hits->size());
-  const int rc = WriteObsOutputs(obs_out, "search", options, stats);
+  int rc = WriteObsOutputs(obs_out, "search", options, stats);
+  if (FinishQueryLog(query_log_path, &query_log) != 0) rc = 1;
   FinishObsServer(obs_out);
   return rc;
+}
+
+int RunExplain(Flags& flags) {
+  Result<Alphabet> alphabet =
+      AlphabetFromKind(flags.GetString("kind", "names"));
+  if (!alphabet.ok()) {
+    std::fprintf(stderr, "error: %s\n", alphabet.status().ToString().c_str());
+    return 2;
+  }
+  JoinOptions options = JoinOptions::Qfct(flags.GetInt("k", 2),
+                                          flags.GetDouble("tau", 0.1),
+                                          flags.GetInt("q", 3));
+  options.always_verify = true;
+  const std::string query_text = flags.GetString("query");
+  const std::string index_path = flags.GetString("index");
+  const std::string out_path = flags.GetString("out");
+  const bool no_timing = flags.GetBool("no-timing");
+  SearchLimits limits;
+  limits.max_verify_worlds = flags.GetInt("max-verify-worlds", 0);
+  limits.deadline_ns = int64_t{flags.GetInt("deadline-ms", 0)} * 1000000;
+
+  Result<SimilaritySearcher> searcher = [&]() -> Result<SimilaritySearcher> {
+    if (!index_path.empty()) {
+      flags.GetString("input");  // accepted but ignored with --index
+      return SimilaritySearcher::Load(index_path, *alphabet);
+    }
+    Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
+    if (!input.ok()) return input.status();
+    return SimilaritySearcher::Create(std::move(*input), *alphabet, options);
+  }();
+  if (!flags.Validate()) return 2;
+  if (!searcher.ok()) {
+    std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
+    return 1;
+  }
+  if (query_text.empty()) {
+    std::fprintf(stderr, "error: --query is required\n");
+    return 2;
+  }
+  Result<UncertainString> query =
+      UncertainString::Parse(query_text, searcher->alphabet());
+  if (!query.ok()) {
+    std::fprintf(stderr, "error: bad query: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  Result<ExplainResult> result = searcher->Explain(*query, &limits);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const std::string json = RenderExplainJson(*searcher, *query, *result,
+                                             limits, !no_timing);
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << json;
+    if (!out.good()) {
+      std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "explain: wrote %s\n", out_path.c_str());
+  }
+  std::fputs(RenderExplainNarrative(*searcher, *query, *result).c_str(),
+             stderr);
+  return 0;
 }
 
 int RunServe(Flags& flags) {
@@ -639,6 +802,18 @@ int RunServe(Flags& flags) {
       int64_t{flags.GetInt("deadline-ms", 0)} * 1000000;
   serve_options.max_request_bytes = static_cast<size_t>(
       flags.GetInt("max-request-bytes", 1 << 16));
+  serve_options.max_batch_requests =
+      int64_t{flags.GetInt("max-batch-requests", 1024)};
+  serve_options.max_batch_bytes =
+      int64_t{flags.GetInt("max-batch-bytes", 1 << 20)};
+  const std::string query_log_path = flags.GetString("query-log");
+  const std::string trace_path = flags.GetString("trace-out");
+  obs::QueryLog query_log;
+  obs::TraceRecorder tracer;
+  const int trace_sample = flags.GetInt("trace-sample", 1);
+  if (trace_sample > 1) tracer.SetProbeSampling(trace_sample, kTraceSampleSeed);
+  ReadSlowTraceFlag(flags, &tracer);
+  if (!trace_path.empty()) serve_options.trace = &tracer;
 
   Result<SimilaritySearcher> searcher = [&]() -> Result<SimilaritySearcher> {
     if (!index_path.empty()) {
@@ -656,6 +831,10 @@ int RunServe(Flags& flags) {
   }
   if (!searcher.ok()) {
     std::fprintf(stderr, "error: %s\n", searcher.status().ToString().c_str());
+    return 1;
+  }
+  if (OpenQueryLog(query_log_path, &query_log, &serve_options.query_log) !=
+      0) {
     return 1;
   }
 
@@ -684,7 +863,7 @@ int RunServe(Flags& flags) {
   std::fprintf(
       stderr,
       "serve: %lld connections (%lld rejected), %lld requests "
-      "(%lld errors), %lld batches\n%s",
+      "(%lld errors), %lld batches\n%s\n",
       static_cast<long long>(
           serve_metrics.counter(obs::Counter::kServeConnections)),
       static_cast<long long>(
@@ -696,7 +875,20 @@ int RunServe(Flags& flags) {
       static_cast<long long>(
           serve_metrics.counter(obs::Counter::kServeBatches)),
       stats.ToString().c_str());
-  return 0;
+  int rc = 0;
+  if (FinishQueryLog(query_log_path, &query_log) != 0) rc = 1;
+  if (!trace_path.empty()) {
+    const Status trace_status = tracer.WriteFile(trace_path);
+    if (!trace_status.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   trace_status.ToString().c_str());
+      rc = 1;
+    } else {
+      std::fprintf(stderr, "trace: wrote %zu spans to %s\n",
+                   tracer.num_events(), trace_path.c_str());
+    }
+  }
+  return rc;
 }
 
 int RunStats(Flags& flags) {
@@ -761,6 +953,7 @@ int main(int argc, char** argv) {
   if (command == "join") return RunJoin(flags);
   if (command == "index") return RunIndex(flags);
   if (command == "search") return RunSearch(flags);
+  if (command == "explain") return RunExplain(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "stats") return RunStats(flags);
   if (command == "simd-info") return RunSimdInfo();

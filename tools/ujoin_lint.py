@@ -54,6 +54,15 @@ Rules (see DESIGN.md "Static analysis and CI gates"):
       -DUJOIN_SIMD=off implementation and the bit-identity oracle the
       differential test compares against.
 
+  query-log-api
+      JsonWriter use in src/serve/ outside protocol.cc.  Serve-layer JSON
+      (responses, /healthz, query-log records, the /debug/slow page) must
+      be rendered through the shared renderers — protocol.cc for the wire
+      protocol, the obs::QueryLog/RenderSlowQueriesPage API for records —
+      so tools/validate_query_log.py and the byte-golden tests pin every
+      byte that leaves the server.  Ad-hoc JsonWriter use in the server
+      would create a second, unvalidated serialization path.
+
 Suppression: append `// ujoin-lint: allow(<rule>)` on the offending line
 (or the line above) with a reason.  Suppressions are deliberate, reviewed
 escapes — e.g. the legacy allocating Query overloads kept for API
@@ -145,7 +154,14 @@ RULE_NAMES = (
     "obs-macro-only",
     "simd-intrinsics",
     "simd-dispatch-fallback",
+    "query-log-api",
 )
+
+# Serve-layer JSON rendering is confined to the shared renderers: every
+# byte the server emits is covered by the byte-golden protocol tests and
+# tools/validate_query_log.py.
+QUERY_LOG_API_SCOPE_GLOBS = ["src/serve/*"]
+QUERY_LOG_API_ALLOW = {"src/serve/protocol.cc"}
 
 SUPPRESS_RE = re.compile(r"ujoin-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 
@@ -569,6 +585,28 @@ def check_simd_dispatch_fallback(path: str, stripped_lines: list[str],
     return out
 
 
+_JSON_WRITER_RE = re.compile(r"\bJsonWriter\b")
+
+
+def check_query_log_api(path: str, stripped_lines: list[str],
+                        **_) -> list[Violation]:
+    if not _matches(path, QUERY_LOG_API_SCOPE_GLOBS):
+        return []
+    if path in QUERY_LOG_API_ALLOW:
+        return []
+    out = []
+    for i, line in enumerate(stripped_lines, 1):
+        if _JSON_WRITER_RE.search(line):
+            out.append(Violation(
+                path, i, "query-log-api",
+                "JsonWriter use in the serve layer outside protocol.cc; "
+                "render wire responses via serve/protocol.cc and query-log "
+                "records via the obs::QueryLog API so every emitted byte "
+                "stays covered by the byte-golden tests and "
+                "tools/validate_query_log.py"))
+    return out
+
+
 CHECKS = [
     check_rng_source,
     check_unordered_iteration,
@@ -576,6 +614,7 @@ CHECKS = [
     check_obs_macro_only,
     check_simd_intrinsics,
     check_simd_dispatch_fallback,
+    check_query_log_api,
 ]
 
 

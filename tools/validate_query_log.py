@@ -1,0 +1,337 @@
+#!/usr/bin/env python3
+"""validate_query_log: schema validator for ujoin.query_log JSONL files.
+
+`ujoin_cli search --query-log=FILE` and `ujoin_cli serve --query-log=FILE`
+write one JSON line per answered query (src/obs/query_log.h).  This tool
+re-validates those files from the outside, with no ujoin code involved:
+key order, types, the deterministic request id, and the internal
+consistency of the filter-funnel fields.  CI runs it against a log the
+test suite produces, so a silent schema drift in the C++ renderer fails
+the gate even if every C++ test still passes.
+
+Checks, per line:
+
+  * the line is a single JSON object with the exact top-level key order
+    (key order is part of the schema: records are byte-comparable);
+  * schema == "ujoin.query_log" and schema_version == 1;
+  * request_id equals splitmix64((connection << 32) ^ seq) — recomputed
+    here with explicit 64-bit masking, so the mixing constants in
+    src/obs/query_log.h are pinned by an independent implementation;
+  * length_band is the bit width of query_length (Histogram::BucketIndex);
+  * funnel stages appear in cascade order with survived <= entered, the
+    stages chain (freq_distance enters what qgram survived, cdf_bound
+    enters what freq_distance survived, verify enters at most what
+    cdf_bound survived), and candidates == qgram survivors;
+  * counts are non-negative integers, status is "ok" or "error", error
+    records report zero hits, and timing fields are non-negative.
+
+Wall-clock fields are checked for type and sign only, never for value:
+they are determinism tier 1 (see the query_log.h header comment).
+
+Usage:
+  tools/validate_query_log.py FILE     validate a JSONL file ('-' = stdin)
+  tools/validate_query_log.py --self-test
+
+Exit status: 0 valid, 1 invalid (or self-test failure), 2 usage.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+MASK64 = (1 << 64) - 1
+
+TOP_LEVEL_KEYS = [
+    "schema", "schema_version", "request_id", "connection", "seq",
+    "query_length", "length_band", "funnel", "candidates", "verify_worlds",
+    "budget_fallbacks", "deadline_fallbacks", "hits", "status", "inexact",
+    "timing",
+]
+FUNNEL_STAGES = ["qgram", "freq_distance", "cdf_bound", "verify"]
+STAGE_KEYS = ["entered", "survived"]
+TIMING_KEYS = ["total_ns", "verify_ns"]
+
+
+def request_id(connection: int, seq: int) -> int:
+    """splitmix64 over (connection << 32) ^ seq, as in src/obs/query_log.h."""
+    x = ((connection << 32) ^ seq) & MASK64
+    x = (x + 0x9E3779B97F4A7C15) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (x ^ (x >> 31)) & MASK64
+
+
+def _int_field(obj: dict, key: str, errors: list[str],
+               where: str = "") -> int:
+    value = obj.get(key)
+    # bool is an int subclass in Python; reject it explicitly.
+    if not isinstance(value, int) or isinstance(value, bool):
+        errors.append(f"{where}{key}: expected integer, got {value!r}")
+        return 0
+    return value
+
+
+def validate_record(line: str) -> list[str]:
+    """Validates one JSONL line; returns a list of error strings."""
+    errors: list[str] = []
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as e:
+        return [f"not valid JSON: {e}"]
+    if not isinstance(rec, dict):
+        return ["line is not a JSON object"]
+    if list(rec.keys()) != TOP_LEVEL_KEYS:
+        return [f"top-level key order mismatch: got {list(rec.keys())}"]
+
+    if rec["schema"] != "ujoin.query_log":
+        errors.append(f"schema: expected 'ujoin.query_log', "
+                      f"got {rec['schema']!r}")
+    if rec["schema_version"] != 1:
+        errors.append(f"schema_version: expected 1, "
+                      f"got {rec['schema_version']!r}")
+
+    connection = _int_field(rec, "connection", errors)
+    seq = _int_field(rec, "seq", errors)
+    rid = _int_field(rec, "request_id", errors)
+    if connection < 0 or seq < 1:
+        errors.append(f"attribution out of range: connection={connection} "
+                      f"(>= 0), seq={seq} (>= 1)")
+    expected_rid = request_id(connection, seq)
+    if rid != expected_rid:
+        errors.append(f"request_id mismatch: got {rid}, expected "
+                      f"{expected_rid} for (connection={connection}, "
+                      f"seq={seq})")
+
+    query_length = _int_field(rec, "query_length", errors)
+    length_band = _int_field(rec, "length_band", errors)
+    if query_length < 0:
+        errors.append(f"query_length is negative: {query_length}")
+    elif length_band != query_length.bit_length():
+        errors.append(f"length_band mismatch: got {length_band}, expected "
+                      f"{query_length.bit_length()} for query_length "
+                      f"{query_length}")
+
+    funnel = rec["funnel"]
+    stages: dict[str, tuple[int, int]] = {}
+    if not isinstance(funnel, dict) or list(funnel.keys()) != FUNNEL_STAGES:
+        errors.append(f"funnel stage order mismatch: got "
+                      f"{list(funnel.keys()) if isinstance(funnel, dict) else funnel!r}")
+    else:
+        for stage, counts in funnel.items():
+            if not isinstance(counts, dict) or \
+                    list(counts.keys()) != STAGE_KEYS:
+                errors.append(f"funnel.{stage}: expected keys {STAGE_KEYS}")
+                continue
+            entered = _int_field(counts, "entered", errors,
+                                 where=f"funnel.{stage}.")
+            survived = _int_field(counts, "survived", errors,
+                                  where=f"funnel.{stage}.")
+            if entered < 0 or survived < 0 or survived > entered:
+                errors.append(f"funnel.{stage}: need 0 <= survived <= "
+                              f"entered, got entered={entered} "
+                              f"survived={survived}")
+            stages[stage] = (entered, survived)
+    if len(stages) == len(FUNNEL_STAGES):
+        # The cascade chains: each filter enters what the previous one
+        # passed (a disabled filter is recorded as a pass-through).
+        # Verification may enter fewer — CDF-accepted candidates and
+        # budget/deadline fallbacks are decided without verifying.
+        if stages["freq_distance"][0] != stages["qgram"][1]:
+            errors.append(f"funnel chain broken: freq_distance.entered "
+                          f"{stages['freq_distance'][0]} != qgram.survived "
+                          f"{stages['qgram'][1]}")
+        if stages["cdf_bound"][0] != stages["freq_distance"][1]:
+            errors.append(f"funnel chain broken: cdf_bound.entered "
+                          f"{stages['cdf_bound'][0]} != "
+                          f"freq_distance.survived "
+                          f"{stages['freq_distance'][1]}")
+        if stages["verify"][0] > stages["cdf_bound"][1]:
+            errors.append(f"funnel chain broken: verify.entered "
+                          f"{stages['verify'][0]} > cdf_bound.survived "
+                          f"{stages['cdf_bound'][1]}")
+        candidates = _int_field(rec, "candidates", errors)
+        if candidates != stages["qgram"][1]:
+            errors.append(f"candidates {candidates} != qgram survivors "
+                          f"{stages['qgram'][1]}")
+
+    for key in ("verify_worlds", "budget_fallbacks", "deadline_fallbacks",
+                "hits"):
+        if _int_field(rec, key, errors) < 0:
+            errors.append(f"{key} is negative: {rec[key]}")
+
+    status = rec["status"]
+    if status not in ("ok", "error"):
+        errors.append(f"status: expected 'ok' or 'error', got {status!r}")
+    elif status == "error" and rec["hits"] != 0:
+        errors.append(f"error record reports {rec['hits']} hits")
+    if not isinstance(rec["inexact"], bool):
+        errors.append(f"inexact: expected bool, got {rec['inexact']!r}")
+
+    timing = rec["timing"]
+    if not isinstance(timing, dict) or list(timing.keys()) != TIMING_KEYS:
+        errors.append(f"timing: expected keys {TIMING_KEYS}")
+    else:
+        for key in TIMING_KEYS:
+            if _int_field(timing, key, errors, where="timing.") < 0:
+                errors.append(f"timing.{key} is negative: {timing[key]}")
+    return errors
+
+
+def validate_stream(lines, label: str) -> int:
+    """Validates every line; prints errors; returns a process exit status."""
+    records = 0
+    bad = 0
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        records += 1
+        for err in validate_record(line):
+            print(f"{label}:{lineno}: {err}")
+            bad += 1
+    if records == 0:
+        print(f"{label}: no records")
+        return 1
+    if bad:
+        print(f"{label}: {records} record(s), {bad} error(s)")
+        return 1
+    print(f"{label}: {records} record(s) valid")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+def _good_record() -> dict:
+    rec = {
+        "schema": "ujoin.query_log",
+        "schema_version": 1,
+        "request_id": request_id(3, 7),
+        "connection": 3,
+        "seq": 7,
+        "query_length": 22,
+        "length_band": 5,
+        "funnel": {
+            "qgram": {"entered": 49, "survived": 4},
+            "freq_distance": {"entered": 4, "survived": 4},
+            "cdf_bound": {"entered": 4, "survived": 3},
+            "verify": {"entered": 2, "survived": 2},
+        },
+        "candidates": 4,
+        "verify_worlds": 77250,
+        "budget_fallbacks": 0,
+        "deadline_fallbacks": 0,
+        "hits": 3,
+        "status": "ok",
+        "inexact": False,
+        "timing": {"total_ns": 160389952, "verify_ns": 157542480},
+    }
+    return rec
+
+
+def run_self_test() -> int:
+    failures = 0
+
+    def expect(name: str, line: str, should_pass: bool):
+        nonlocal failures
+        errors = validate_record(line)
+        ok = (not errors) == should_pass
+        if ok:
+            print(f"ok   {name}")
+        else:
+            failures += 1
+            verdict = "valid" if not errors else f"invalid ({errors[0]})"
+            print(f"FAIL {name}: expected "
+                  f"{'valid' if should_pass else 'invalid'}, got {verdict}")
+
+    expect("good record", json.dumps(_good_record(), separators=(",", ":")),
+           True)
+
+    rec = _good_record()
+    rec["request_id"] = (rec["request_id"] + 1) & MASK64
+    expect("bad request id", json.dumps(rec, separators=(",", ":")), False)
+
+    rec = _good_record()
+    rec["length_band"] = 9
+    expect("bad length band", json.dumps(rec, separators=(",", ":")), False)
+
+    rec = _good_record()
+    rec["funnel"]["freq_distance"]["entered"] = 5  # != qgram.survived
+    expect("broken funnel chain", json.dumps(rec, separators=(",", ":")),
+           False)
+
+    rec = _good_record()
+    rec["funnel"]["qgram"]["survived"] = 50  # > entered
+    expect("survivors exceed entered", json.dumps(rec, separators=(",", ":")),
+           False)
+
+    rec = _good_record()
+    rec["candidates"] = 5
+    expect("candidates mismatch", json.dumps(rec, separators=(",", ":")),
+           False)
+
+    rec = _good_record()
+    rec["status"] = "slow"
+    expect("unknown status", json.dumps(rec, separators=(",", ":")), False)
+
+    # Key order is part of the schema: same content, swapped keys.
+    rec = _good_record()
+    items = list(rec.items())
+    items[3], items[4] = items[4], items[3]
+    expect("top-level key order", json.dumps(dict(items),
+                                             separators=(",", ":")), False)
+
+    rec = _good_record()
+    rec["timing"]["total_ns"] = -1
+    expect("negative timing", json.dumps(rec, separators=(",", ":")), False)
+
+    rec = _good_record()
+    rec["hits"] = True  # bool is not an acceptable integer
+    expect("bool-typed count", json.dumps(rec, separators=(",", ":")), False)
+
+    expect("not json", "{nope", False)
+
+    # An error record: funnel zeroed, no hits.
+    rec = _good_record()
+    rec["request_id"] = request_id(1, 2)
+    rec["connection"], rec["seq"] = 1, 2
+    rec["query_length"], rec["length_band"] = 0, 0
+    for stage in FUNNEL_STAGES:
+        rec["funnel"][stage] = {"entered": 0, "survived": 0}
+    rec["candidates"] = rec["verify_worlds"] = rec["hits"] = 0
+    rec["status"] = "error"
+    rec["timing"] = {"total_ns": 0, "verify_ns": 0}
+    expect("error record", json.dumps(rec, separators=(",", ":")), True)
+
+    rec["hits"] = 2
+    expect("error record with hits", json.dumps(rec, separators=(",", ":")),
+           False)
+
+    print(f"self-test: {failures} failure(s)")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    args = sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print("usage: validate_query_log.py FILE|-|--self-test",
+              file=sys.stderr)
+        return 2
+    if args[0] == "--self-test":
+        return run_self_test()
+    if args[0] == "-":
+        return validate_stream(sys.stdin, "<stdin>")
+    try:
+        with open(args[0], encoding="utf-8") as f:
+            return validate_stream(f, args[0])
+    except OSError as e:
+        print(f"validate_query_log: cannot read {args[0]}: {e}",
+              file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
