@@ -61,6 +61,9 @@ class BandRow {
 
 CdfBounds ComputeCdfBounds(const UncertainString& r, const UncertainString& s,
                            int k) {
+  // ujoin-effect: assumes(alloc) -- the per-pair CDF verify stage allocates
+  // its banded DP rows by design (see DESIGN.md: verification stages are
+  // outside the allocation-free candidate-generation invariant).
   UJOIN_CHECK(k >= 0);
   CdfBounds out;
   out.lower.assign(static_cast<size_t>(k) + 1, 0.0);

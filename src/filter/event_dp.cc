@@ -34,6 +34,8 @@ double TailSum(const std::vector<double>& dist, int min_count) {
 }  // namespace
 
 std::vector<double> EventCountDistribution(std::span<const double> alphas) {
+  // ujoin-effect: declares(alloc) -- convenience overload returns a fresh
+  // distribution; steady-state callers use EventCountDistributionInto.
   std::vector<double> dist(alphas.size() + 1, 0.0);
   dist[0] = 1.0;
   RunEventDp(alphas, &dist);
@@ -48,6 +50,9 @@ void EventCountDistributionInto(std::span<const double> alphas,
 }
 
 double ProbAtLeastEvents(std::span<const double> alphas, int min_count) {
+  // ujoin-effect: declares(alloc) -- the analyzer merges both overloads
+  // into one node; only this convenience form allocates (the probe path in
+  // segment_index.cc calls the scratch form below).
   if (min_count <= 0) return 1.0;
   if (min_count > static_cast<int>(alphas.size())) return 0.0;
   const std::vector<double> dist = EventCountDistribution(alphas);

@@ -26,6 +26,8 @@ double CharFrequencySummary::ExpectedDeficitBelow(int a) const {
 
 FrequencySummary FrequencySummary::Build(const UncertainString& s,
                                          const Alphabet& alphabet) {
+  // ujoin-effect: declares(alloc) -- summaries are built once per query (and
+  // once per string at index build), not per candidate pair.
   FrequencySummary out;
   out.length_ = s.length();
   out.chars_.resize(static_cast<size_t>(alphabet.size()));

@@ -116,6 +116,9 @@ Result<double> ExactOccurrenceProbability(const UncertainString& r,
                                           std::string_view w,
                                           std::span<const int> starts,
                                           int64_t max_worlds) {
+  // ujoin-effect: assumes(alloc) -- exact-union fallback materializes the
+  // covering region and its worlds; bounded by max_worlds, taken only when
+  // the grouped estimate is unusable.
   if (starts.empty()) return 0.0;
   const int q = static_cast<int>(w.size());
   const int region_lo = starts.front();
@@ -143,6 +146,9 @@ Status BuildProbeSetInto(const UncertainString& r, int s_len,
                          const Segment& seg, int k,
                          const ProbeSetOptions& options,
                          ProbeSetScratch* scratch, FlatProbeSets* out) {
+  // ujoin-effect: declares(alloc) -- the ResourceExhausted message below
+  // concatenates std::to_string; that path rolls the segment back and is
+  // never the steady state.
   const size_t entries_mark = out->num_entries();
   const size_t pool_mark = out->pool_size();
   const SelectionWindow window =

@@ -25,6 +25,8 @@ namespace {
 
 Status ValidateCollection(const std::vector<UncertainString>& collection,
                           const Alphabet& alphabet) {
+  // ujoin-effect: declares(alloc) -- error messages concatenate
+  // std::to_string; validation runs once per join, before the waves.
   for (size_t i = 0; i < collection.size(); ++i) {
     const UncertainString& s = collection[i];
     if (s.empty()) {
@@ -49,6 +51,8 @@ Status ValidateCollection(const std::vector<UncertainString>& collection,
 // pair is examined exactly once.
 std::vector<uint32_t> LengthSortedOrder(
     const std::vector<UncertainString>& collection) {
+  // ujoin-effect: declares(alloc) -- the visiting order is materialized once
+  // per join run, before the steady-state wave loop.
   std::vector<uint32_t> order(collection.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {

@@ -8,6 +8,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <system_error>
 
 namespace ujoin {
 namespace obs {
@@ -57,8 +58,10 @@ Status ScrapeServer::Start(int port) {
            sizeof(addr)) != 0) {
     close(listen_fd_);
     listen_fd_ = -1;
+    // std::strerror may return a static buffer; workers share this process.
     return Status::IoError("bind(127.0.0.1:" + std::to_string(port) +
-                           ") failed: " + std::strerror(errno));
+                           ") failed: " +
+                           std::system_category().message(errno));
   }
   if (listen(listen_fd_, 8) != 0) {
     close(listen_fd_);

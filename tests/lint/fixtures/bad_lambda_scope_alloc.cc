@@ -1,0 +1,28 @@
+// ujoin-lint-fixture: as=src/filter/probe_set.cc rule=probe-path-alloc expect=2
+//
+// Tracker regression (PR 9): lambda bodies get their own frames.  A
+// lambda defined at namespace scope in a probe-path file is function
+// scope — its local allocations are violations — and a lambda inside a
+// non-whitelisted function does not hide its enclosing function's name.
+// The PR 4 tracker attributed the first to "file scope" (local-container
+// rule skipped) and both allocations went unreported.
+#include <string>
+#include <vector>
+
+namespace ujoin {
+
+// File-scope lambda: runs per probe, so its locals are steady-state.
+const auto kNormalizeKey = [](const std::string& key) {
+  std::string lowered = key;  // local std::string inside the lambda body
+  return lowered;
+};
+
+int ProbeWidth(const std::vector<int>& widths) {
+  const auto pick = [&](int index) {
+    std::vector<int> staged(widths);  // local container inside the lambda
+    return staged[static_cast<size_t>(index)];
+  };
+  return pick(0);
+}
+
+}  // namespace ujoin

@@ -1,0 +1,35 @@
+// ujoin-lint-fixture: as=src/index/segment_index.cc rule=probe-path-alloc expect=2
+//
+// Tracker regression (PR 9): operator definitions get frames.  The PR 4
+// tracker returned no enclosing function for `operator==` and for
+// out-of-line template members whose bodies follow a constructor-style
+// init list, so local allocations inside them were attributed to file
+// scope and the local-container rule skipped them.
+#include <string>
+#include <vector>
+
+namespace ujoin {
+
+struct SegmentKey {
+  int length;
+  int ordinal;
+};
+
+bool operator==(const SegmentKey& a, const SegmentKey& b) {
+  std::vector<int> parts{a.length, a.ordinal};  // local container
+  return parts[0] == b.length && parts[1] == b.ordinal;
+}
+
+template <typename P>
+class PostingCursor {
+ public:
+  const P& operator[](size_t i) const {
+    std::string tag(i, 'x');  // local std::string inside operator[]
+    return postings_[tag.size()];
+  }
+
+ private:
+  std::vector<P> postings_;
+};
+
+}  // namespace ujoin

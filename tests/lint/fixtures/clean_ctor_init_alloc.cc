@@ -1,0 +1,40 @@
+// ujoin-lint-fixture: as=src/index/flat_postings.cc rule=probe-path-alloc expect=0
+//
+// Tracker regression (PR 9): constructor init lists.  The PR 4 tracker
+// attributed a constructor body following `: a_(x), b_(y)` to the last
+// initializer name (`slots_` here), so the whitelisted FlatPostings
+// constructor was flagged for its build-time allocations.  The fixed
+// tracker attributes the body to the constructor itself.  Lambdas defined
+// inside a whitelisted build function inherit its whitelist membership
+// (named_base), so the comparator below is clean too.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ujoin {
+
+class FlatPostings {
+ public:
+  FlatPostings(size_t keys, size_t stride)
+      : stride_(stride),
+        slots_(keys * 2) {
+    std::vector<char> arena(keys * stride);  // build-time: whitelisted
+    arena_ = arena;
+  }
+
+  void Freeze() {
+    std::vector<int> order(slots_);  // build-time: whitelisted
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      std::string ka(1, arena_[static_cast<size_t>(a)]);  // in Freeze's lambda
+      std::string kb(1, arena_[static_cast<size_t>(b)]);
+      return ka < kb;
+    });
+  }
+
+ private:
+  size_t stride_;
+  size_t slots_;
+  std::vector<char> arena_;
+};
+
+}  // namespace ujoin

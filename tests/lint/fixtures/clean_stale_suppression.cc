@@ -1,0 +1,23 @@
+// ujoin-lint-fixture: as=src/index/flat_postings.cc rule=stale-suppression expect=0
+//
+// Clean counterpart of bad_stale_suppression.cc: every suppression below
+// absorbs a real violation on its own or the following line, so none is
+// stale.
+#include <string>
+#include <vector>
+
+namespace ujoin {
+
+class FlatPostings {
+ public:
+  std::vector<int> IdsFor(const std::string& key) const {
+    // Legacy allocating overload kept for tests: both escapes are used.
+    // ujoin-lint: allow(probe-path-alloc) -- allocating API kept for tests
+    std::vector<int> out;
+    std::string copy = key;  // ujoin-lint: allow(probe-path-alloc)
+    out.push_back(static_cast<int>(copy.size()));
+    return out;
+  }
+};
+
+}  // namespace ujoin

@@ -1,0 +1,22 @@
+// ujoin-effects-fixture: as=src/filter/mini_probe.cc
+//
+// Annotation round trip, violating half: byte-identical to the
+// `annot_roundtrip_clean` twin except the declares(alloc) line is gone,
+// so ReserveLane's allocation reaches the probe root unblessed.
+#include <vector>
+
+namespace ujoin {
+
+class InvertedSegmentIndex {
+ public:
+  int Query(int id) const;
+};
+
+int ReserveLane(int n) {
+  std::vector<int> lane(static_cast<size_t>(n));
+  return static_cast<int>(lane.size());
+}
+
+int InvertedSegmentIndex::Query(int id) const { return ReserveLane(id); }
+
+}  // namespace ujoin

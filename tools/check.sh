@@ -32,9 +32,11 @@ export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1${ASAN_OPTIONS:+:$ASAN_OPTION
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1${UBSAN_OPTIONS:+:$UBSAN_OPTIONS}"
 export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
 
-echo "==> [1/14] invariant lint (self-test + repo scan)"
+echo "==> [1/14] invariant lint + effect analysis (self-tests + repo scans)"
 python3 tools/ujoin_lint.py --self-test
 python3 tools/ujoin_lint.py
+python3 tools/ujoin_effects.py --self-test
+python3 tools/ujoin_effects.py --require-roots
 python3 tools/validate_query_log.py --self-test
 
 echo "==> [2/14] configure + build (Release, warnings as errors)"

@@ -63,10 +63,19 @@ Rules (see DESIGN.md "Static analysis and CI gates"):
       byte that leaves the server.  Ad-hoc JsonWriter use in the server
       would create a second, unvalidated serialization path.
 
+  stale-suppression
+      An `ujoin-lint: allow(<rule>)` comment that suppresses nothing: the
+      code it excused was refactored away, or the rule name is a typo and
+      it never worked.  Either way it is a silent escape hatch held open
+      for the next edit.  Stale suppressions are not themselves
+      suppressible — delete the comment.  (tools/ujoin_effects.py runs
+      the same check over unused `ujoin-effect: assumes(...)`.)
+
 Suppression: append `// ujoin-lint: allow(<rule>)` on the offending line
 (or the line above) with a reason.  Suppressions are deliberate, reviewed
 escapes — e.g. the legacy allocating Query overloads kept for API
-compatibility.
+compatibility — and must stay load-bearing: an allow() that no longer
+suppresses anything is reported by the stale-suppression rule.
 
 Usage:
   tools/ujoin_lint.py [--root DIR] [paths...]   lint the repo (or paths)
@@ -155,6 +164,7 @@ RULE_NAMES = (
     "simd-intrinsics",
     "simd-dispatch-fallback",
     "query-log-api",
+    "stale-suppression",
 )
 
 # Serve-layer JSON rendering is confined to the shared renderers: every
@@ -226,6 +236,20 @@ def strip_comments_and_literals(text: str) -> str:
 
 # ---------------------------------------------------------------------------
 # Function tracker: map each line to the name of the enclosing function
+#
+# The tracker walks the stripped source once, classifying every `{` as a
+# namespace, class, enum, function, lambda, or plain block, and records a
+# FunctionSpan for each function-like body.  It understands the constructs
+# the original PR 4 tracker mis-attributed:
+#   * lambdas get their own frame (named `(lambda@LINE)`, qualified by the
+#     enclosing function) instead of silently inheriting the enclosing
+#     named function — or no frame at all at class/file scope;
+#   * constructor init lists (`Foo::Foo() : a_(x), b_(y) {`) attribute the
+#     body to the constructor, not to the last initializer (`b_`);
+#   * operator definitions (`operator==`, `operator[]`, `operator()`, …)
+#     and out-of-line template members get proper frames instead of None.
+# The spans carry namespace/class-qualified names, which the whole-repo
+# effect analyzer (tools/ujoin_effects.py) builds its call graph from.
 # ---------------------------------------------------------------------------
 
 _CONTROL_KEYWORDS = {
@@ -236,28 +260,128 @@ _NON_FUNCTION_HEADS = re.compile(
     r"(?:^|[;{}])\s*(?:typedef\b|using\b|namespace\b|enum\b"
     r"|struct\s+\w+\s*$|class\s+\w+\s*$)")
 
+_NAMESPACE_RE = re.compile(
+    r"(?:^|[^\w])(?:inline\s+)?namespace(?:\s+([\w:]+))?\s*$")
+_CLASS_RE = re.compile(
+    r"(?:^|[^\w])(?:class|struct|union)\s+(?:\w+\s+)*?"
+    r"(\w+)(?:<[^;{}]*>)?\s*(?:final\s*)?(?::[^:{][^{]*)?$")
+_ENUM_RE = re.compile(
+    r"(?:^|[^\w])enum(?:\s+(?:class|struct))?(?:\s+\w+)?\s*(?::[^{]*)?$")
+_LEADING_TEMPLATE_RE = re.compile(r"^\s*template\s*<")
+_TRAILING_QUAL_RE = re.compile(
+    r"\s*(?:const|noexcept(?:\([^()]*\))?|override|final|mutable|constexpr"
+    r"|&&|&|throw\s*\([^()]*\))$")
+_OPERATOR_TAIL_RE = re.compile(
+    r"operator\s*(?:\(\s*\)|\[\s*\]|\"\"\s*_?\w+|[^\s\w]{1,3}"
+    r"|\s+[\w:]+(?:\s*[&*])*)$")
+_NAME_TAIL_RE = re.compile(r"((?:\w+\s*::\s*)*)(~?\w+)\s*$")
+
+
+def _strip_angle_groups(text: str) -> str:
+    """Removes balanced `<...>` groups (template argument lists) so
+    `Foo<T>::Bar` names as `Foo::Bar`.  Unbalanced `<` (comparisons) leave
+    the text unchanged."""
+    out = []
+    depth = 0
+    for ch in text:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            if depth > 0:
+                depth -= 1
+                continue
+        if depth == 0:
+            out.append(ch)
+    return "".join(out) if depth == 0 else text
+
+
+def _strip_leading_templates(chunk: str) -> str:
+    """Removes leading `template <...>` headers (possibly several)."""
+    while _LEADING_TEMPLATE_RE.match(chunk):
+        depth = 0
+        cut = None
+        for idx, ch in enumerate(chunk):
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+                if depth == 0:
+                    cut = idx + 1
+                    break
+        if cut is None:
+            break
+        chunk = chunk[cut:].lstrip()
+    return chunk
+
+
+def _cut_ctor_init_list(sig: str) -> str:
+    """Truncates a constructor init list: `Foo(int x) : a_(x), b_(y)` ->
+    `Foo(int x)`.  The init-list `:` is the first depth-0 `:` (not `::`)
+    that follows a `)` and precedes an initializer (`ident(` / `ident{`)."""
+    depth = 0
+    for idx, ch in enumerate(sig):
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == ":" and depth == 0:
+            if idx + 1 < len(sig) and sig[idx + 1] == ":":
+                continue
+            if idx > 0 and sig[idx - 1] == ":":
+                continue
+            before = sig[:idx].rstrip()
+            after = sig[idx + 1:].lstrip()
+            if before.endswith(")") and re.match(r"\w+\s*[({]", after):
+                return before
+    return sig
+
+
+def _cut_trailing_return(sig: str) -> str:
+    """Truncates a depth-0 trailing return type: `auto F(int) -> T` ->
+    `auto F(int)` (only when what precedes `->` ends with `)`)."""
+    depth = 0
+    for idx in range(len(sig) - 1):
+        ch = sig[idx]
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        elif ch == "-" and sig[idx + 1] == ">" and depth == 0:
+            before = sig[:idx].rstrip()
+            if before.endswith(")"):
+                return before
+    return sig
+
 
 def _signature_name(chunk: str) -> str | None:
     """Heuristic: extract the function name from the text between the
-    previous top-level delimiter and an opening `{`, or None if the chunk
-    does not look like a function definition."""
-    chunk = chunk.strip()
-    if not chunk or chunk.endswith("="):
+    previous top-level delimiter and an opening `{`.  Returns the (possibly
+    `::`-qualified) name, `"(lambda)"` for a lambda introducer, or None if
+    the chunk does not look like a function definition."""
+    chunk = _strip_leading_templates(chunk.strip())
+    if not chunk or chunk.endswith("=") or chunk.endswith("("):
         return None
     if _NON_FUNCTION_HEADS.search(" " + chunk):
         return None
-    # Strip trailing qualifiers after the parameter list.
-    chunk = re.sub(
-        r"(\))(?:\s*(?:const|noexcept|override|final|mutable|&&?"
-        r"|->\s*[\w:<>,&*\s]+))*\s*$",
-        r"\1", chunk).rstrip()
-    if not chunk.endswith(")"):
+    sig = _cut_trailing_return(_cut_ctor_init_list(chunk))
+    while True:
+        cut = _TRAILING_QUAL_RE.sub("", sig)
+        if cut == sig:
+            break
+        sig = cut
+    sig = _cut_trailing_return(sig).rstrip()
+    if sig.endswith("]"):
+        # `[&] {` — capture-only lambda, unless it is an operator[] def.
+        if re.search(r"operator\s*\[\s*\]$", sig):
+            return "operator[]"
+        return "(lambda)"
+    if not sig.endswith(")"):
         return None
-    # Lambdas belong to their enclosing function.
+    # Find the parameter list's opening paren.
     depth = 0
     open_idx = -1
-    for idx in range(len(chunk) - 1, -1, -1):
-        ch = chunk[idx]
+    for idx in range(len(sig) - 1, -1, -1):
+        ch = sig[idx]
         if ch == ")":
             depth += 1
         elif ch == "(":
@@ -267,55 +391,166 @@ def _signature_name(chunk: str) -> str | None:
                 break
     if open_idx <= 0:
         return None
-    head = chunk[:open_idx].rstrip()
-    if head.endswith("]"):  # lambda introducer
-        return None
-    m = re.search(r"(~?\w+)\s*$", head)
+    head = sig[:open_idx].rstrip()
+    if head.endswith("]"):
+        if re.search(r"operator\s*\[\s*\]$", head):
+            return "operator[]"
+        return "(lambda)"  # `[...](args) {`
+    m = _OPERATOR_TAIL_RE.search(head)
+    if m:
+        return re.sub(r"\s+", "_", m.group(0).strip())
+    head = _strip_angle_groups(head)
+    m = _NAME_TAIL_RE.search(head)
     if not m:
         return None
-    name = m.group(1)
+    name = m.group(2)
     if name in _CONTROL_KEYWORDS:
         return None
+    qual = re.sub(r"\s", "", m.group(1))
     # `Type var(args);` style initialization is indistinguishable in general;
     # requiring the next token to be `{` (checked by the caller) rules out
     # the `;` forms, and control keywords the rest.
-    return name
+    return qual + name if qual else name
+
+
+@dataclass
+class FunctionSpan:
+    """One function-like body: a named function, method, operator, or
+    lambda.  `qual` is the `::`-qualified name including namespace and
+    class scope (lambdas: `<enclosing-qual>::(lambda@LINE)`); `name` is the
+    unqualified last component.  Lines are 1-based; `start_line` is the
+    line of the opening brace, `end_line` the line of the closing brace."""
+    qual: str
+    name: str
+    start_line: int
+    end_line: int
+    parent: int | None  # index of the enclosing function/lambda span
+    is_lambda: bool
 
 
 @dataclass
 class _Frame:
+    kind: str  # "namespace" | "class" | "function" | "block"
     name: str
     depth: int
+    span: int | None = None  # FunctionSpan index for function frames
 
 
-def enclosing_functions(stripped: str) -> list[str | None]:
-    """For each line (0-based) of the stripped source, the innermost
-    function name enclosing that line, or None at namespace/class scope."""
+def function_spans(stripped: str) -> list[FunctionSpan]:
+    """Parses the stripped source into function-body spans with qualified
+    names.  This is the structural backbone shared by the per-file lint
+    rules (via enclosing_functions) and the whole-repo call-graph extractor
+    in tools/ujoin_effects.py."""
     lines = stripped.split("\n")
-    result: list[str | None] = []
+    spans: list[FunctionSpan] = []
     stack: list[_Frame] = []
     depth = 0
     pending = ""  # text since the last top-level delimiter
-    for line in lines:
-        result.append(stack[-1].name if stack else None)
+
+    def scope_prefix() -> str:
+        parts = [f.name for f in stack if f.kind in ("namespace", "class")
+                 and f.name and f.name != "(anon)"]
+        return "::".join(parts)
+
+    def enclosing_span() -> int | None:
+        for frame in reversed(stack):
+            if frame.kind == "function":
+                return frame.span
+        return None
+
+    for line_no, line in enumerate(lines, 1):
         for ch in line:
             if ch == "{":
-                name = _signature_name(pending)
-                if name is not None:
-                    stack.append(_Frame(name, depth))
-                    if not result[-1]:
-                        result[-1] = name
+                chunk = _strip_leading_templates(pending.strip())
+                frame = _Frame("block", "", depth)
+                m = _NAMESPACE_RE.search(chunk) if chunk else None
+                if chunk and m:
+                    frame = _Frame("namespace", m.group(1) or "(anon)", depth)
+                elif chunk and _ENUM_RE.search(chunk):
+                    frame = _Frame("block", "", depth)
+                elif chunk and not chunk.endswith(")") \
+                        and _CLASS_RE.search(chunk):
+                    frame = _Frame("class", _CLASS_RE.search(chunk).group(1),
+                                   depth)
+                else:
+                    name = _signature_name(pending)
+                    if name is not None:
+                        parent = enclosing_span()
+                        if name == "(lambda)":
+                            short = f"(lambda@{line_no})"
+                            if parent is not None:
+                                qual = f"{spans[parent].qual}::{short}"
+                            else:
+                                prefix = scope_prefix()
+                                qual = (f"{prefix}::{short}" if prefix
+                                        else short)
+                            spans.append(FunctionSpan(
+                                qual, short, line_no, line_no, parent, True))
+                        else:
+                            prefix = scope_prefix()
+                            qual = f"{prefix}::{name}" if prefix else name
+                            spans.append(FunctionSpan(
+                                qual, name.split("::")[-1], line_no, line_no,
+                                parent, False))
+                        frame = _Frame("function", name, depth,
+                                       span=len(spans) - 1)
+                stack.append(frame)
                 depth += 1
                 pending = ""
             elif ch == "}":
                 depth -= 1
                 while stack and depth <= stack[-1].depth:
-                    stack.pop()
+                    popped = stack.pop()
+                    if popped.kind == "function" and popped.span is not None:
+                        spans[popped.span].end_line = line_no
                 pending = ""
             elif ch == ";":
                 pending = ""
             else:
                 pending += ch
+        pending += " "  # line break separates tokens
+    while stack:  # unterminated bodies extend to EOF
+        popped = stack.pop()
+        if popped.kind == "function" and popped.span is not None:
+            spans[popped.span].end_line = len(lines)
+    return spans
+
+
+def _display_name(spans: list[FunctionSpan], idx: int) -> str:
+    """Lint-facing name of a span: the unqualified name, with lambda
+    frames shown as `<named-ancestor>::(lambda@LINE)` chains."""
+    span = spans[idx]
+    if not span.is_lambda:
+        return span.name
+    if span.parent is not None:
+        return f"{_display_name(spans, span.parent)}::{span.name}"
+    return span.name
+
+
+def named_base(func: str) -> str:
+    """The named function a (possibly lambda-nested) lint frame belongs
+    to: `Freeze::(lambda@12)` -> `Freeze`.  Lambdas inherit their defining
+    function's whitelist membership — the effect analyzer
+    (tools/ujoin_effects.py) is the layer that tracks where a lambda is
+    actually *invoked*."""
+    return func.split("::(lambda", 1)[0]
+
+
+def enclosing_functions(stripped: str) -> list[str | None]:
+    """For each line (0-based) of the stripped source, the innermost
+    function name enclosing that line, or None at namespace/class scope.
+    Lambda bodies report `<function>::(lambda@LINE)` (nested lambdas
+    chain); rules that whitelist by function name compare named_base()."""
+    spans = function_spans(stripped)
+    n_lines = stripped.count("\n") + 1
+    result: list[str | None] = [None] * n_lines
+    # Spans are listed in opening order, so inner (later) spans overwrite
+    # their enclosing span's lines; the brace line attributes to the
+    # opening function, matching the PR 4 tracker.
+    for idx, span in enumerate(spans):
+        name = _display_name(spans, idx)
+        for line in range(span.start_line, min(span.end_line, n_lines) + 1):
+            result[line - 1] = name
     return result
 
 
@@ -335,15 +570,64 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def _suppressed(raw_lines: list[str], line: int, rule: str) -> bool:
-    """True when line `line` (1-based) or the line above carries an
-    `ujoin-lint: allow(rule)` comment."""
+def _suppression_at(raw_lines: list[str], line: int, rule: str) -> int | None:
+    """When line `line` (1-based) or the line above carries an
+    `ujoin-lint: allow(rule)` comment, returns that comment's 1-based line
+    number; None otherwise."""
     for idx in (line - 1, line - 2):
         if 0 <= idx < len(raw_lines):
             m = SUPPRESS_RE.search(raw_lines[idx])
             if m and rule in [r.strip() for r in m.group(1).split(",")]:
-                return True
-    return False
+                return idx + 1
+    return None
+
+
+def suppression_comments(raw_lines: list[str],
+                         pattern: re.Pattern = SUPPRESS_RE,
+                         ) -> list[tuple[int, str]]:
+    """Every (1-based line, rule-name) pair declared by a suppression
+    comment matching `pattern` (group 1 = comma-separated rule list).
+    Shared with tools/ujoin_effects.py, which runs the same staleness
+    check over its `ujoin-effect: assumes(...)` annotations."""
+    out: list[tuple[int, str]] = []
+    for idx, raw in enumerate(raw_lines, 1):
+        m = pattern.search(raw)
+        if m:
+            for rule in m.group(1).split(","):
+                out.append((idx, rule.strip()))
+    return out
+
+
+def stale_suppression_violations(
+        path: str, raw_lines: list[str], used: set[tuple[int, str]],
+        known_rules: tuple[str, ...] = RULE_NAMES,
+        pattern: re.Pattern = SUPPRESS_RE,
+        rule_name: str = "stale-suppression",
+        what: str = "ujoin-lint: allow") -> list[Violation]:
+    """A suppression that suppresses nothing is itself a violation: it
+    either outlived the code it excused (delete it) or names the wrong
+    rule (it never worked).  `used` holds (comment line, rule) pairs that
+    actually absorbed a violation.  Stale-suppression findings are not
+    themselves suppressible — fix them by deleting the comment."""
+    out = []
+    for line, rule in suppression_comments(raw_lines, pattern):
+        if rule == rule_name:
+            out.append(Violation(
+                path, line, rule_name,
+                f"`{what}({rule})` is not suppressible; delete stale "
+                f"suppressions instead of allowing them"))
+        elif rule not in known_rules:
+            out.append(Violation(
+                path, line, rule_name,
+                f"`{what}({rule})` names an unknown rule (known: "
+                f"{', '.join(known_rules)}); it can never suppress "
+                f"anything"))
+        elif (line, rule) not in used:
+            out.append(Violation(
+                path, line, rule_name,
+                f"`{what}({rule})` suppresses nothing on the next line; "
+                f"the code it excused is gone — delete the comment"))
+    return out
 
 
 def _matches(path: str, globs: list[str]) -> bool:
@@ -466,7 +750,7 @@ def check_probe_path_alloc(path: str, stripped_lines: list[str],
     out = []
     for i, line in enumerate(stripped_lines, 1):
         func = functions[i - 1]
-        if func is not None and func in whitelist:
+        if func is not None and named_base(func) in whitelist:
             continue
         for pat, what, flag_at_file_scope in _ALLOC_PATTERNS:
             if func is None and not flag_at_file_scope:
@@ -476,7 +760,7 @@ def check_probe_path_alloc(path: str, stripped_lines: list[str],
                 continue
             # A container type followed by the enclosing function's own name
             # is that function's signature (return type), not a local.
-            if m.groups() and m.group(1) == func:
+            if m.groups() and func is not None and m.group(1) == named_base(func):
                 continue
             where = f"in '{func}'" if func else "at file scope"
             out.append(Violation(
@@ -633,11 +917,17 @@ def lint_text(path: str, text: str,
     stripped_lines = stripped.split("\n")
     functions = enclosing_functions(stripped)
     violations: list[Violation] = []
+    used: set[tuple[int, str]] = set()  # (comment line, rule) consumed
     for check in CHECKS:
         for v in check(path, stripped_lines, functions=functions,
                        simd_group=simd_group):
-            if not _suppressed(raw_lines, v.line, v.rule):
+            comment_line = _suppression_at(raw_lines, v.line, v.rule)
+            if comment_line is None:
                 violations.append(v)
+            else:
+                used.add((comment_line, v.rule))
+    violations.extend(
+        stale_suppression_violations(path, raw_lines, used))
     violations.sort(key=lambda v: (v.line, v.rule))
     return violations
 
