@@ -1,13 +1,17 @@
 // Overhead gate for the observability subsystem (src/obs/): the same
-// self-join is run with metrics recording off and on, interleaved
-// best-of-N, and the bench fails if recording costs more than the budget
-// (2% by default; override with UJOIN_OBS_OVERHEAD_GATE, a fraction;
+// self-join is run with recording off and on, interleaved best-of-N, and
+// the bench fails if recording costs more than the budget (2% by default;
+// override with UJOIN_OBS_OVERHEAD_GATE, a fraction;
 // UJOIN_OBS_OVERHEAD_REPS overrides the repetition count).
 //
 // Recording on means a Recorder attached via JoinOptions::metrics — the
-// histogram/counter path that is wired into every probe.  Trace spans are
-// excluded: span collection allocates by design and is a debugging mode
-// outside the steady-state budget (DESIGN.md "Observability").
+// histogram/counter path that is wired into every probe — plus the global
+// flight recorder live (its always-on default), so the gate covers the
+// black-box lifecycle events too; the off leg flips the flight recorder's
+// kill switch, reducing every flight macro to one relaxed load.  Trace
+// spans are excluded: span collection allocates by design and is a
+// debugging mode outside the steady-state budget (DESIGN.md
+// "Observability").
 //
 // The bench also proves recording is inert: pairs and merged counters of
 // the instrumented run must equal the uninstrumented run exactly.
@@ -25,6 +29,7 @@
 #include "bench_util.h"
 #include "datagen/datagen.h"
 #include "join/self_join.h"
+#include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -83,12 +88,15 @@ int main(int argc, char** argv) {
   ujoin::obs::Recorder recorder;
   std::vector<ujoin::JoinPair> instrumented_pairs;
   ujoin::JoinStats instrumented_stats;
+  ujoin::obs::FlightRecorder* flight = ujoin::obs::GlobalFlightRecorder();
   for (int rep = 0; rep < reps; ++rep) {
     {
+      flight->set_enabled(false);
       Timer timer;
       Result<SelfJoinResult> off =
           SimilaritySelfJoin(dataset.strings, dataset.alphabet, options);
       off_seconds = std::min(off_seconds, timer.ElapsedSeconds());
+      flight->set_enabled(true);
       if (!off.ok()) return 1;
     }
     {
@@ -139,6 +147,9 @@ int main(int argc, char** argv) {
                   recorder.counter(ujoin::obs::Counter::kProbes)),
               static_cast<long long>(
                   recorder.hist(ujoin::obs::Hist::kVerifyLatencyNs).count()));
+  std::printf("  flight: %d thread slots, %lld dropped\n",
+              flight->slots_used(),
+              static_cast<long long>(flight->dropped_events()));
 
   ujoin::obs::JsonWriter results;
   results.BeginObject();

@@ -129,6 +129,19 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   const int64_t base_verified = stats->verified_pairs;
   int64_t verify_emitted = 0;
 
+  UJOIN_OBS_FLIGHT_EVENT(
+      obs::FlightEvent::kQueryBegin, limits.deadline_ns,
+      obs::Histogram::BucketIndex(static_cast<int64_t>(query.length())));
+  // Close the in-flight epoch on every exit (the error returns included):
+  // an unmatched begin would leave this thread permanently "in flight" for
+  // the watchdog.
+  struct FlightQueryEnd {
+    bool ok = false;
+    int64_t hits = 0;
+    ~FlightQueryEnd() {
+      UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kQueryEnd, hits, ok ? 0 : 1);
+    }
+  } flight_query_end;
   Timer total_timer;
   const int64_t query_span_start = spans->NowNs();
   // Sub-millisecond per-pair stages accumulate integer nanoseconds and fold
@@ -155,10 +168,9 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
   // every position).
   const bool budget_active = limits.max_verify_worlds > 0;
   const bool limit_active = budget_active || limits.deadline_ns > 0;
-  const int64_t q_worlds =
-      (UJOIN_OBS_ENABLED(metrics) || budget_active || explain != nullptr)
-          ? query.WorldCount()
-          : 0;
+  const bool want_worlds = UJOIN_OBS_ENABLED(metrics) || budget_active ||
+                           explain != nullptr || UJOIN_OBS_FLIGHT_ENABLED();
+  const int64_t q_worlds = want_worlds ? query.WorldCount() : 0;
 
   const double qgram_tau =
       options_.qgram_probabilistic_pruning ? options_.tau : 0.0;
@@ -239,6 +251,9 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
                 spans->NowNs() - qgram_span_start);
   }
   stats->qgram_candidates += static_cast<int64_t>(candidates.size());
+  UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kFunnelStage,
+                         static_cast<int64_t>(obs::FunnelStage::kQgram),
+                         static_cast<int64_t>(candidates.size()));
 
   const int64_t cascade_start = spans->NowNs();
   size_t explain_ci = 0;
@@ -355,6 +370,9 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
       }
     }
 
+    const int64_t pair_worlds =
+        want_worlds ? SaturatingMul(q_worlds, s.WorldCount()) : 0;
+    UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kVerifyBegin, pair_worlds, 0);
     Timer verify_timer;
     ++stats->verified_pairs;
     const int64_t nodes_before = stats->verify_stats.explored_s_nodes;
@@ -365,12 +383,11 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
     UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyLatencyNs, pair_verify_ns);
     UJOIN_OBS_HIST(metrics, obs::Hist::kExploredTrieNodes,
                    stats->verify_stats.explored_s_nodes - nodes_before);
-    UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyWorldCount,
-                   SaturatingMul(q_worlds, s.WorldCount()));
+    UJOIN_OBS_HIST(metrics, obs::Hist::kVerifyWorldCount, pair_worlds);
     if (!verdict.ok()) return verdict.status();
     if (ec != nullptr) {
       ec->stage = ExplainStage::kVerified;
-      ec->verify_worlds = SaturatingMul(q_worlds, s.WorldCount());
+      ec->verify_worlds = pair_worlds;
     }
     if (verdict->similar) {
       ++stats->result_pairs;
@@ -430,6 +447,8 @@ Result<std::vector<SearchHit>> SimilaritySearcher::SearchImpl(
 
   std::sort(hits.begin(), hits.end());
   stats->total_time = total_timer.ElapsedSeconds();
+  flight_query_end.ok = true;
+  flight_query_end.hits = static_cast<int64_t>(hits.size());
   return hits;
 }
 

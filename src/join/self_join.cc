@@ -175,6 +175,10 @@ Result<SelfJoinResult> SimilaritySelfJoin(
     const uint32_t wave_end = static_cast<uint32_t>(
         std::min<uint64_t>(n, static_cast<uint64_t>(wave_start) + wave_size));
     const uint32_t wave_count = wave_end - wave_start;
+    const int64_t wave_index =
+        static_cast<int64_t>(wave_start / std::max<uint32_t>(wave_size, 1));
+    UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kWaveStart, wave_index,
+                           wave_count);
 
     // ---- phase 1 (sequential): make the wave visible to its own probes ---
     // After this the index is frozen until the next wave: the concurrent
@@ -221,6 +225,7 @@ Result<SelfJoinResult> SimilaritySelfJoin(
     RunWaveTasks(threads, wave_count, [&](int worker, uint32_t rank) {
       QueryWorkspace& workspace = workspaces[static_cast<size_t>(worker)];
       const uint32_t i = wave_start + rank;
+      UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kProbeBegin, worker, i);
       const UncertainString& r = collection[order[i]];
       const int len = lengths[i];
       ProbeOutcome& outcome = outcomes[rank];
@@ -282,8 +287,12 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       // ---- per-candidate filter cascade ---------------------------------
       internal::PairVerifier verifier(r, options);
       // World-count factor of the probing string, computed once per rank and
-      // only while recording (WorldCount walks every position).
-      const int64_t r_worlds = UJOIN_OBS_ENABLED(rec) ? r.WorldCount() : 0;
+      // only while recording (WorldCount walks every position).  The flight
+      // recorder wants it too: its verify-begin events carry the world
+      // estimate the watchdog reports for stalled verifications.
+      const bool want_worlds =
+          UJOIN_OBS_ENABLED(rec) || UJOIN_OBS_FLIGHT_ENABLED();
+      const int64_t r_worlds = want_worlds ? r.WorldCount() : 0;
       int64_t verify_emitted = 0;
       const int64_t cascade_start = spans.NowNs();
       for (uint32_t j : candidates) {
@@ -333,6 +342,9 @@ Result<SelfJoinResult> SimilaritySelfJoin(
           continue;
         }
 
+        const int64_t pair_worlds =
+            want_worlds ? SaturatingMul(r_worlds, s.WorldCount()) : 0;
+        UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kVerifyBegin, pair_worlds, 0);
         Timer verify_timer;
         ++pstats.verified_pairs;
         const int64_t nodes_before = pstats.verify_stats.explored_s_nodes;
@@ -343,8 +355,7 @@ Result<SelfJoinResult> SimilaritySelfJoin(
         UJOIN_OBS_HIST(rec, obs::Hist::kVerifyLatencyNs, pair_verify_ns);
         UJOIN_OBS_HIST(rec, obs::Hist::kExploredTrieNodes,
                        pstats.verify_stats.explored_s_nodes - nodes_before);
-        UJOIN_OBS_HIST(rec, obs::Hist::kVerifyWorldCount,
-                       SaturatingMul(r_worlds, s.WorldCount()));
+        UJOIN_OBS_HIST(rec, obs::Hist::kVerifyWorldCount, pair_worlds);
         if (!verdict.ok()) {
           outcome.status = verdict.status();
           return;
@@ -450,6 +461,7 @@ Result<SelfJoinResult> SimilaritySelfJoin(
       }
     }
 
+    UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kWaveEnd, wave_index, 0);
     if (options.progress_fn != nullptr) {
       options.progress_fn(
           JoinProgress{wave_end, n, result.pairs.size(),

@@ -52,6 +52,10 @@ constexpr MetricInfo kCounterInfo[kNumCounters] = {
      "wall time batch-fingerprinting probe keys"},
     {"kernel_merge_ns", "ns",
      "wall time in the stage-1 posting-list merge (prefetched scan)"},
+    {"serve_idle_closed_connections", "count",
+     "connections closed by the idle keep-alive timeout"},
+    {"watchdog_stalls_captured", "count",
+     "stall reports captured by the watchdog"},
 };
 
 constexpr MetricInfo kGaugeInfo[kNumGauges] = {

@@ -94,8 +94,13 @@ enum class Counter : int {
   kKernelFingerprintNs,
   /// Stage-1 posting-list merge (prefetched linear/heap scan).
   kKernelMergeNs,
+  /// Connections closed by the serve-layer idle keep-alive timeout
+  /// (--idle-timeout-ms).
+  kServeIdleClosedConnections,
+  /// Stall reports captured by the watchdog (src/obs/watchdog.h).
+  kWatchdogStallsCaptured,
 };
-inline constexpr int kNumCounters = 15;
+inline constexpr int kNumCounters = 17;
 
 /// Gauges: point-in-time values; Merge keeps the maximum so folds are
 /// order-independent.

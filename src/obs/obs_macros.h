@@ -1,6 +1,7 @@
 #ifndef UJOIN_OBS_OBS_MACROS_H_
 #define UJOIN_OBS_OBS_MACROS_H_
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 // UJOIN_OBS macro layer.
@@ -44,6 +45,11 @@
     (void)sizeof(recorder), (void)sizeof(stage),                       \
         (void)sizeof((entered)), (void)sizeof((survived));             \
   } while (0)
+#define UJOIN_OBS_FLIGHT_ENABLED() (false)
+#define UJOIN_OBS_FLIGHT_EVENT(kind, a, b)                             \
+  do {                                                                 \
+    (void)sizeof(kind), (void)sizeof((a)), (void)sizeof((b));          \
+  } while (0)
 
 #else  // !defined(UJOIN_OBS_DISABLED)
 
@@ -76,6 +82,23 @@
     if ((recorder) != nullptr) {                             \
       (recorder)->AddFunnel((stage), (entered), (survived)); \
     }                                                        \
+  } while (0)
+
+/// True when the flight recorder is live; use to guard work done only to
+/// feed a flight event's payload.
+#define UJOIN_OBS_FLIGHT_ENABLED() \
+  (::ujoin::obs::GlobalFlightRecorder()->enabled())
+
+/// Records one lifecycle event (obs::FlightEvent `kind`, two int64 payload
+/// words) on the calling thread's flight-recorder ring.  Always-on
+/// black-box recording: unlike the metric macros there is no per-call-site
+/// recorder pointer — the global ring is the point — so the only runtime
+/// cost with recording disabled is one relaxed load.  Recording is
+/// allocation-, lock- and syscall-free (see flight_recorder.h), so this is
+/// safe on the steady-state probe path.
+#define UJOIN_OBS_FLIGHT_EVENT(kind, a, b)                            \
+  do {                                                                \
+    ::ujoin::obs::GlobalFlightRecorder()->RecordEvent((kind), (a), (b)); \
   } while (0)
 
 #endif  // defined(UJOIN_OBS_DISABLED)

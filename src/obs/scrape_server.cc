@@ -102,6 +102,12 @@ void ScrapeServer::UpdateDebugPage(std::string json) {
   debug_set_ = true;
 }
 
+void ScrapeServer::UpdateStallsPage(std::string json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stalls_text_ = std::move(json);
+  stalls_set_ = true;
+}
+
 void ScrapeServer::SetHealthBody(std::string body) {
   std::lock_guard<std::mutex> lock(mu_);
   health_body_ = std::move(body);
@@ -180,6 +186,19 @@ void ScrapeServer::HandleConnection(int fd) {
       std::lock_guard<std::mutex> lock(mu_);
       body = debug_text_;
       have = debug_set_;
+    }
+    if (have) {
+      response = HttpResponse("200 OK", "application/json", body);
+    } else {
+      response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+    }
+  } else if (path == "/debug/stalls") {
+    std::string body;
+    bool have = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body = stalls_text_;
+      have = stalls_set_;
     }
     if (have) {
       response = HttpResponse("200 OK", "application/json", body);

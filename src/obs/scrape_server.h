@@ -18,11 +18,15 @@ namespace obs {
 // listening socket on 127.0.0.1, one accept thread, one connection handled
 // at a time.  It serves exactly three paths —
 //
-//   GET /metrics     -> the most recent snapshot pushed via UpdateMetrics
-//   GET /healthz     -> "ok" (or the body set via SetHealthBody; the serve
-//                       layer installs a JSON build-info block here)
-//   GET /debug/slow  -> the most recent page pushed via UpdateDebugPage
-//                       (404 until a page has been pushed)
+//   GET /metrics       -> the most recent snapshot pushed via UpdateMetrics
+//   GET /healthz       -> "ok" (or the body set via SetHealthBody; the serve
+//                         layer installs a JSON build-info block here)
+//   GET /debug/slow    -> the most recent page pushed via UpdateDebugPage
+//                         (404 until a page has been pushed)
+//   GET /debug/stalls  -> the most recent page pushed via UpdateStallsPage
+//                         (404 until a page has been pushed; the watchdog
+//                         pushes after every capture, so the page is live
+//                         even while the stalled query is still running)
 //
 // and 404s everything else.  The join/search pipeline never blocks on a
 // scrape: workers do not know the server exists.  The driver renders a
@@ -60,6 +64,10 @@ class ScrapeServer {
   /// as UpdateMetrics; the path 404s until the first push.
   void UpdateDebugPage(std::string json);
 
+  /// Replaces the /debug/stalls snapshot (application/json).  Same contract
+  /// as UpdateDebugPage; pushed by the watchdog after each capture.
+  void UpdateStallsPage(std::string json);
+
   /// Replaces the /healthz body.  The default body "ok\n" is preserved when
   /// this is never called, so bare scrape endpoints (`ujoin_cli join
   /// --listen`) keep their historical health page.
@@ -83,6 +91,8 @@ class ScrapeServer {
   std::string metrics_text_;        // guarded by mu_
   std::string debug_text_;          // guarded by mu_; empty = 404
   bool debug_set_ = false;          // guarded by mu_
+  std::string stalls_text_;         // guarded by mu_; empty = 404
+  bool stalls_set_ = false;         // guarded by mu_
   std::string health_body_ = "ok\n";  // guarded by mu_
 };
 

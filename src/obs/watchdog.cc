@@ -1,0 +1,164 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace ujoin {
+namespace obs {
+
+namespace {
+
+/// Content order: every tier-2/3 field, never capture time.  Ring
+/// membership and page order are a pure function of what stalled, so the
+/// page compares equal across runs and client counts once the timing tier
+/// is stripped.
+std::tuple<int64_t, int64_t, int64_t, int64_t, int64_t, int64_t> ContentKey(
+    const StallReport& r) {
+  return {r.band, r.funnel_stage, r.verify_worlds, r.deadline_ns,
+          r.connection, r.seq};
+}
+
+const char* StageName(int64_t stage) {
+  if (stage < 0 || stage >= kNumFunnelStages) return "none";
+  return FunnelStageInfo(static_cast<FunnelStage>(stage)).name;
+}
+
+}  // namespace
+
+std::string RenderStallsPage(const std::vector<StallReport>& reports,
+                             int64_t captures) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("ujoin.stalls");
+  w.Key("schema_version");
+  w.Int(kStallsSchemaVersion);
+  w.Key("captures");
+  w.Int(captures);
+  w.Key("stalls");
+  w.BeginArray();
+  for (const StallReport& r : reports) {
+    w.BeginObject();
+    w.Key("band");
+    w.Int(r.band);
+    w.Key("funnel_stage");
+    w.String(StageName(r.funnel_stage));
+    w.Key("verify_worlds");
+    w.Int(r.verify_worlds);
+    w.Key("deadline_ns");
+    w.Int(r.deadline_ns);
+    w.Key("threshold_ns");
+    w.Int(r.threshold_ns);
+    w.Key("connection");
+    w.Int(r.connection);
+    w.Key("seq");
+    w.Int(r.seq);
+    w.Key("elapsed_ns");
+    w.Int(r.elapsed_ns);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+void Watchdog::Start(const WatchdogOptions& options) {
+  if (thread_.joinable()) return;
+  Configure(options);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread(&Watchdog::Loop, this);
+}
+
+void Watchdog::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_ms),
+                        [this] { return stop_; });
+      if (stop_) return;
+    }
+    ScanOnce(FlightRecorder::NowNs());
+  }
+}
+
+void Watchdog::ScanOnce(int64_t now_ns) {
+  const int used = recorder_->slots_used();
+  bool captured = false;
+  for (int slot = 0; slot < used; ++slot) {
+    const InFlightSnapshot snap = recorder_->ReadInFlight(slot);
+    if (!snap.in_flight) continue;
+    const int64_t threshold =
+        snap.deadline_ns > 0
+            ? static_cast<int64_t>(static_cast<double>(snap.deadline_ns) *
+                                   options_.deadline_multiple)
+            : options_.stall_ns;
+    if (threshold <= 0) continue;
+    if (now_ns - snap.begin_ns <= threshold) continue;
+    if (last_epoch_[slot] == snap.epoch) continue;  // already captured
+    last_epoch_[slot] = snap.epoch;
+
+    StallReport report;
+    report.band = snap.band;
+    report.funnel_stage = snap.funnel_stage;
+    report.verify_worlds = snap.verify_worlds;
+    report.deadline_ns = snap.deadline_ns;
+    report.threshold_ns = threshold;
+    report.connection = snap.connection;
+    report.seq = snap.seq;
+    report.elapsed_ns = now_ns - snap.begin_ns;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reports_.push_back(report);
+      std::sort(reports_.begin(), reports_.end(),
+                [](const StallReport& a, const StallReport& b) {
+                  return ContentKey(a) < ContentKey(b);
+                });
+      // Bounded ring: keep the kMaxReports smallest content keys, so the
+      // retained set is arrival-order-invariant.
+      if (reports_.size() > static_cast<size_t>(kMaxReports)) {
+        reports_.resize(static_cast<size_t>(kMaxReports));
+      }
+    }
+    captures_.fetch_add(1, std::memory_order_relaxed);
+    recorder_->RecordEvent(FlightEvent::kStallCaptured, slot,
+                           now_ns - snap.begin_ns);
+    captured = true;
+  }
+  if (!captured) return;
+  if (!options_.dump_path.empty()) {
+    FlightDumpOptions dump;
+    dump.reason = "watchdog";
+    DumpFlightRecord(options_.dump_path.c_str(), dump);
+  }
+  if (push_fn_) push_fn_(StallsJson());
+}
+
+std::vector<StallReport> Watchdog::Reports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reports_;
+}
+
+std::string Watchdog::StallsJson() const {
+  return RenderStallsPage(Reports(),
+                          captures_.load(std::memory_order_relaxed));
+}
+
+}  // namespace obs
+}  // namespace ujoin

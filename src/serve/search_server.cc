@@ -90,6 +90,22 @@ Status SearchServer::Start() {
     scrape_.SetHealthBody(RenderServeHealth(*searcher_));
   }
 
+  if (options_.watchdog_ms > 0) {
+    watchdog_ = std::make_unique<obs::Watchdog>(obs::GlobalFlightRecorder());
+    if (scrape_running_) {
+      // The watchdog thread pushes a fresh stalls page after every capture;
+      // publish the empty page now so /debug/stalls is live (zero stalls)
+      // from the first scrape rather than 404 until the first capture.
+      watchdog_->set_push_fn(
+          [this](const std::string& json) { scrape_.UpdateStallsPage(json); });
+      scrape_.UpdateStallsPage(watchdog_->StallsJson());
+    }
+    obs::WatchdogOptions wd;
+    wd.stall_ns = options_.watchdog_ms * 1'000'000;
+    wd.dump_path = options_.watchdog_dump_path;
+    watchdog_->Start(wd);
+  }
+
   stop_.store(false, std::memory_order_relaxed);
   {
     // Publish the empty snapshot so a scrape before the first batch sees a
@@ -116,6 +132,7 @@ void SearchServer::Stop() {
     close(listen_fd_);
     listen_fd_ = -1;
   }
+  if (watchdog_ != nullptr) watchdog_->Stop();
   {
     std::lock_guard<std::mutex> lock(agg_mu_);
     PushSnapshotLocked();
@@ -159,6 +176,16 @@ std::vector<obs::QueryLogRecord> SearchServer::SlowQueriesByLatency() const {
 std::string SearchServer::SlowQueriesJson() const {
   std::lock_guard<std::mutex> lock(agg_mu_);
   return obs::RenderSlowQueriesPage(slow_by_worlds_, slow_by_latency_);
+}
+
+int64_t SearchServer::WatchdogCaptures() const {
+  return watchdog_ != nullptr ? watchdog_->captures() : 0;
+}
+
+std::string SearchServer::StallsJson() const {
+  return watchdog_ != nullptr
+             ? watchdog_->StallsJson()
+             : obs::RenderStallsPage({}, /*captures=*/0);
 }
 
 void SearchServer::AcceptLoop() {
@@ -224,6 +251,7 @@ void SearchServer::ConnectionWorker(int slot) {
 }
 
 void SearchServer::HandleConnection(int fd, int slot, int64_t conn) {
+  UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kConnOpen, conn, 0);
   QueryWorkspace* const workspace = pool_.workspace(slot);
   LineFramer framer(options_.max_request_bytes);
   BatchGuard guard(options_.max_batch_requests, options_.max_batch_bytes);
@@ -249,15 +277,34 @@ void SearchServer::HandleConnection(int fd, int slot, int64_t conn) {
     FoldQuery(JoinStats{}, obs::Recorder{}, /*error=*/true, &record,
               /*spans=*/nullptr);
   };
+  // Idle keep-alive accounting rides the existing 100 ms poll tick: a tick
+  // with no readable bytes adds to the idle run, any received byte resets
+  // it.  Granularity is therefore one tick, which is all a keep-alive
+  // timeout needs.
+  int64_t idle_ms = 0;
   while (open && !stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{};
     pfd.fd = fd;
     pfd.events = POLLIN;
     const int ready = poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready < 0) break;
-    if (ready == 0) continue;
+    if (ready == 0) {
+      if (options_.idle_timeout_ms > 0) {
+        idle_ms += 100;
+        if (idle_ms >= options_.idle_timeout_ms) {
+          UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kConnIdleClose, conn,
+                                 idle_ms);
+          std::lock_guard<std::mutex> lock(agg_mu_);
+          UJOIN_OBS_COUNTER(&serve_metrics_,
+                            obs::Counter::kServeIdleClosedConnections, 1);
+          break;  // final batch flushes below, like a peer hang-up
+        }
+      }
+      continue;
+    }
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;  // EOF or error: final batch flushes below
+    idle_ms = 0;
     framer.Append(buf, static_cast<size_t>(n));
     while (open && framer.NextLine(&line)) {
       if (line.empty()) {
@@ -300,6 +347,9 @@ void SearchServer::HandleConnection(int fd, int slot, int64_t conn) {
                                    static_cast<uint32_t>(slot) + 1);
         span_sink = &spans;
       }
+      // Stamp serve attribution on this thread's in-flight block before the
+      // query opens its epoch, so a watchdog capture can name (conn, seq).
+      UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kServeQuery, conn, seq);
       Result<std::vector<SearchHit>> hits =
           searcher_->Search(*query, &query_stats, workspace, &query_rec,
                             span_sink, &options_.limits);
@@ -337,6 +387,7 @@ void SearchServer::HandleConnection(int fd, int slot, int64_t conn) {
     }
   }
   if (batch_queries > 0) FinishBatch(batch_queries, &log_buffer);
+  UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kConnClose, conn, seq);
 }
 
 void SearchServer::FoldQuery(const JoinStats& query_stats,
@@ -371,6 +422,7 @@ void SearchServer::FinishBatch(int64_t batch_queries,
   // Flush outside the aggregate lock: rendering + file IO must not block
   // other connections' folds.
   if (log_buffer != nullptr) log_buffer->FlushTo(options_.query_log);
+  UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kBatchBoundary, batch_queries, 0);
   std::lock_guard<std::mutex> lock(agg_mu_);
   UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kServeBatches, 1);
   UJOIN_OBS_HIST(&serve_metrics_, obs::Hist::kServeBatchSize, batch_queries);
@@ -378,6 +430,14 @@ void SearchServer::FinishBatch(int64_t batch_queries,
 }
 
 void SearchServer::PushSnapshotLocked() {
+  if (watchdog_ != nullptr) {
+    // Fold the watchdog's lifetime capture count into the serve recorder as
+    // a delta, so the counter is monotone no matter how often we snapshot.
+    const int64_t captures = watchdog_->captures();
+    UJOIN_OBS_COUNTER(&serve_metrics_, obs::Counter::kWatchdogStallsCaptured,
+                      captures - watchdog_captures_folded_);
+    watchdog_captures_folded_ = captures;
+  }
   if (!scrape_running_) return;
   obs::Recorder merged = query_metrics_;
   merged.Merge(serve_metrics_);

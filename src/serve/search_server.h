@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/scrape_server.h"
+#include "obs/watchdog.h"
 #include "serve/workspace_pool.h"
 #include "util/status.h"
 
@@ -59,6 +61,20 @@ struct ServeOptions {
   /// kept; probe indexes are assigned in fold order.  Span collection
   /// allocates — it is a debugging mode, same caveat as JoinOptions::trace.
   obs::TraceRecorder* trace = nullptr;
+  /// Idle keep-alive timeout, milliseconds.  A connection that sends no
+  /// bytes for this long is closed (after its final batch flush) and
+  /// counted under serve_idle_closed_connections.  <= 0 keeps connections
+  /// open until the peer hangs up (the historical behavior).
+  int64_t idle_timeout_ms = 0;
+  /// Stall watchdog (see obs/watchdog.h).  > 0 starts a watchdog thread
+  /// over the global flight recorder: a query stalls when it runs past
+  /// 4x its own deadline, or past this flat threshold when it has none.
+  /// Captured stalls are served at /debug/stalls on the scrape endpoint.
+  /// <= 0 disables the watchdog.
+  int64_t watchdog_ms = 0;
+  /// When non-empty, every watchdog capture also dumps the full flight
+  /// record here (reason "watchdog").
+  std::string watchdog_dump_path;
 };
 
 /// \brief Resident similarity-search service: a frozen SimilaritySearcher
@@ -123,6 +139,12 @@ class SearchServer {
   /// endpoint when one is running).
   std::string SlowQueriesJson() const;
 
+  /// Lifetime watchdog captures (0 when the watchdog is disabled).
+  int64_t WatchdogCaptures() const;
+  /// The current /debug/stalls page body (the "ujoin.stalls" JSON; empty
+  /// ring renders as zero stalls).  Valid only while the watchdog runs.
+  std::string StallsJson() const;
+
  private:
   /// A connection handed to a worker: the socket plus the connection
   /// ordinal (accept order, from 1) that attributes its query-log records.
@@ -174,6 +196,12 @@ class SearchServer {
 
   obs::ScrapeServer scrape_;
   bool scrape_running_ = false;
+
+  // Stall watchdog over the global flight recorder (null = disabled).  Its
+  // lifetime captures fold into the serve recorder as a counter delta at
+  // each snapshot push, so /metrics and ServeMetrics() stay consistent.
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  int64_t watchdog_captures_folded_ = 0;  // guarded by agg_mu_
 };
 
 }  // namespace serve

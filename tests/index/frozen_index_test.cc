@@ -10,7 +10,9 @@
 #include <gtest/gtest.h>
 
 #include "index/segment_index.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/obs_macros.h"
 #include "obs/query_log.h"
 #include "testing/test_util.h"
 #include "text/alphabet.h"
@@ -291,6 +293,29 @@ TEST(FrozenIndexTest, SteadyStateQueryDoesNotAllocate) {
   EXPECT_EQ(allocations, 0u)
       << "building and buffering a query-log record must not allocate";
   EXPECT_EQ(log_buffer.size(), 1u);
+
+  // Same property with the always-on flight recorder live: a query's
+  // lifecycle events are relaxed stores into the recorder's static rings,
+  // so black-box recording rides the steady-state path for free.
+  obs::FlightRecorder* flight = obs::GlobalFlightRecorder();
+  const bool flight_was_enabled = flight->enabled();
+  flight->set_enabled(true);
+  // First event claims this thread's ring slot; keep that outside the
+  // counted window, like the workspace warm-up above.
+  UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kProbeBegin, 0, 0);
+  {
+    CountAllocations counter;
+    UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kQueryBegin, 0, length);
+    counted_size = index.Query(r, length, 0.01, &workspace, &stats).size();
+    UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kVerifyBegin, 64, 0);
+    UJOIN_OBS_FLIGHT_EVENT(obs::FlightEvent::kQueryEnd,
+                           static_cast<int64_t>(counted_size), 0);
+    allocations = counter.count();
+  }
+  flight->set_enabled(flight_was_enabled);
+  EXPECT_EQ(counted_size, warm_size);
+  EXPECT_EQ(allocations, 0u)
+      << "flight-event recording must not allocate on the probe path";
 }
 
 }  // namespace

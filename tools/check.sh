@@ -13,8 +13,10 @@
 # /healthz from a held join, exposition-format validation, and the
 # --trace-sample=N probe-span reduction check, plus a resident-service
 # smoke (tools/serve_smoke.sh): a socket query batch against `ujoin_cli
-# serve`, a /metrics scrape of the serve-layer series, and a clean SIGINT
-# shutdown.
+# serve`, a /metrics scrape of the serve-layer series, a clean SIGINT
+# shutdown, and the watchdog-stall leg (slow query under --watchdog-ms,
+# /debug/stalls content identical across 1/2/4 concurrent clients, flight
+# records validated by tools/validate_flight_record.py).
 #
 # Usage: tools/check.sh [jobs]
 #   jobs defaults to the machine's core count.
@@ -38,6 +40,7 @@ python3 tools/ujoin_lint.py
 python3 tools/ujoin_effects.py --self-test
 python3 tools/ujoin_effects.py --require-roots
 python3 tools/validate_query_log.py --self-test
+python3 tools/validate_flight_record.py --self-test
 
 echo "==> [2/14] configure + build (Release, warnings as errors)"
 cmake -B build -S . -DUJOIN_WERROR=ON >/dev/null
@@ -62,7 +65,8 @@ cmake -B build-tsan -S . -DUJOIN_SANITIZE=thread \
 TSAN_TARGETS=(self_join_parallel_test self_cross_differential_test \
   join_stats_test self_join_test cross_join_test join_obs_test \
   scrape_server_test serve_protocol_test serve_differential_test \
-  slow_query_test verify_budget_test simd_kernel_test)
+  slow_query_test verify_budget_test simd_kernel_test \
+  flight_recorder_test watchdog_test serve_idle_test)
 cmake --build build-tsan -j "$JOBS" --target "${TSAN_TARGETS[@]}"
 
 echo "==> [6/14] parallel join tests under TSan"

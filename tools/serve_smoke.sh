@@ -14,6 +14,14 @@
 #      shutdown summary on stderr, then validates the structured query log
 #      the run wrote with tools/validate_query_log.py.
 #
+#   5. runs the watchdog leg: three fresh serve instances under
+#      --watchdog-ms with 1, 2, and 4 concurrent clients all sending the
+#      same slow (huge world-product) query, asserts /debug/stalls reports
+#      the stall with funnel_stage "verify", validates the flight record
+#      each run dumps on shutdown, and checks the non-timing stall
+#      projection (timing, connection, and seq stripped) is byte-identical
+#      across the three client counts.
+#
 # Usage: tools/serve_smoke.sh [build_dir]
 #   build_dir defaults to "build"; artefacts go to <build_dir>/serve-smoke.
 #
@@ -170,5 +178,118 @@ python3 tools/validate_query_log.py "$DIR/query_log.jsonl"
 [[ "$(wc -l < "$DIR/query_log.jsonl")" == "12" ]]
 grep -q '"status":"error"' "$DIR/query_log.jsonl"
 echo "query log is schema-valid (12 records, error record included)"
+
+echo "--- watchdog stall leg"
+# One string whose self-verification is genuinely slow: five uncertain
+# positions with five alternatives each (3125 worlds, a 9.7M-world pair
+# product) and a skewed distribution so the CDF bounds straddle tau and the
+# funnel cannot decide without exact verification.  The query takes ~1-3 s —
+# far past the 50 ms flat watchdog threshold, finite well under timeouts.
+python3 - > "$DIR/stall_data.txt" <<'PYEOF'
+u = "{" + ",".join(f"({c},{0.6 if c == 'a' else 0.1:g})" for c in "abcde") + "}"
+print("ab" + u * 5 + "xy")
+print("qrstuvwxyz")
+print("mnopqrstuv")
+PYEOF
+STALL_QUERY="$(head -1 "$DIR/stall_data.txt")"
+
+for CLIENTS in 1 2 4; do
+  ERR="$DIR/stall_serve_$CLIENTS.err"
+  rm -f "$ERR" "$DIR/stall_flight_$CLIENTS.json"
+  "$CLI" serve --input="$DIR/stall_data.txt" --kind=names --k=2 --tau=0.1 \
+    --port=0 --metrics-port=0 --watchdog-ms=50 \
+    --flight-record="$DIR/stall_flight_$CLIENTS.json" \
+    2>"$ERR" &
+  SERVE_PID=$!
+  trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+  PORT="" METRICS_PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(sed -n 's/^serve: .* answering on 127\.0\.0\.1:\([0-9]*\) .*$/\1/p' \
+      "$ERR" 2>/dev/null || true)"
+    METRICS_PORT="$(sed -n 's/^serve: \/metrics on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$ERR" 2>/dev/null || true)"
+    [[ -n "$PORT" && -n "$METRICS_PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$PORT" && -n "$METRICS_PORT" ]] || {
+    echo "FAIL: stall serve ($CLIENTS clients) never announced its ports" >&2
+    cat "$ERR" >&2
+    exit 1
+  }
+
+  python3 - "$PORT" "$METRICS_PORT" "$CLIENTS" "$STALL_QUERY" \
+    "$DIR/stalls_proj_$CLIENTS.json" <<'PYEOF'
+import json, socket, sys, threading, urllib.request
+
+port, metrics_port = int(sys.argv[1]), int(sys.argv[2])
+clients, query, out_path = int(sys.argv[3]), sys.argv[4], sys.argv[5]
+
+# All clients send the same slow query concurrently; every one must still
+# get its (exact) answer back — a stall capture observes, never cancels.
+def run_client(results, i):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+    f = sock.makefile("rwb")
+    f.write(query.encode() + b"\n")
+    f.flush()
+    results[i] = json.loads(f.readline().decode())
+    sock.close()
+
+results = [None] * clients
+threads = [threading.Thread(target=run_client, args=(results, i))
+           for i in range(clients)]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+for r in results:
+    assert r is not None and r["status"] == "ok", r
+    assert r["hits"] and r["hits"][0]["id"] == 0, r
+
+# The watchdog saw every in-flight query blow through the 50 ms flat
+# threshold inside exact verification.
+url = f"http://127.0.0.1:{metrics_port}/debug/stalls"
+with urllib.request.urlopen(url, timeout=5) as resp:
+    status, body = resp.status, resp.read()
+assert status == 200, status
+page = json.loads(body)
+assert page["schema"] == "ujoin.stalls", page
+assert page["schema_version"] == 1, page
+assert page["captures"] >= 1, page
+assert page["stalls"], page
+for s in page["stalls"]:
+    assert s["funnel_stage"] == "verify", s
+    assert s["deadline_ns"] == 0, s
+    assert s["threshold_ns"] == 50_000_000, s
+    assert s["elapsed_ns"] > 50_000_000, s
+
+# Non-timing projection: drop elapsed time and connection identity, keep
+# everything content-derived.  Identical queries must leave identical
+# stall content no matter how many clients raced.
+timing = ("elapsed_ns", "connection", "seq")
+proj = sorted(set(
+    json.dumps({k: v for k, v in s.items() if k not in timing},
+               sort_keys=True)
+    for s in page["stalls"]))
+with open(out_path, "w") as out:
+    out.write("\n".join(proj) + "\n")
+print(f"{clients} client(s): {page['captures']} capture(s), "
+      f"{len(proj)} distinct stall signature(s)")
+PYEOF
+
+  kill -INT "$SERVE_PID"
+  wait "$SERVE_PID"
+  trap - EXIT
+  grep -q "^serve: shutting down$" "$ERR"
+  grep -q "^flight-record: wrote " "$ERR"
+  python3 tools/validate_flight_record.py "$DIR/stall_flight_$CLIENTS.json"
+  grep -q '"kind":"stall_captured"' "$DIR/stall_flight_$CLIENTS.json"
+done
+
+# The stripped stall projection is byte-identical across 1, 2, and 4
+# concurrent clients: watchdog content depends on the query, not the race.
+cmp "$DIR/stalls_proj_1.json" "$DIR/stalls_proj_2.json"
+cmp "$DIR/stalls_proj_1.json" "$DIR/stalls_proj_4.json"
+echo "stall projection identical across 1/2/4 clients"
 
 echo "serve smoke passed"

@@ -10,6 +10,7 @@
 //              [--early-stop] [--threads=1] [--wave-size=0] [--out=FILE]
 //              [--metrics-out=FILE] [--trace-out=FILE] [--trace-sample=N]
 //              [--prom-out=FILE] [--listen=PORT] [--listen-hold] [--progress]
+//              [--flight-record[=FILE]] [--watchdog-ms=N]
 //              (--threads=0 uses all cores; results are identical for
 //               every thread count and wave size)
 //   ujoin_cli index --input=FILE --kind=names|protein [--k=2] [--tau=0.1]
@@ -20,6 +21,7 @@
 //              [--metrics-out=FILE] [--trace-out=FILE] [--trace-sample=N]
 //              [--slow-trace-ms=N]
 //              [--prom-out=FILE] [--listen=PORT] [--listen-hold]
+//              [--flight-record[=FILE]] [--watchdog-ms=N]
 //              (--queries runs the whole file through SearchMany and prints
 //               aggregated filter/verification statistics; the stats are
 //               identical for every --threads value.  --query-log writes one
@@ -42,7 +44,8 @@
 //              [--deadline-ms=0] [--max-request-bytes=65536]
 //              [--max-batch-requests=1024] [--max-batch-bytes=1048576]
 //              [--query-log=FILE] [--trace-out=FILE] [--trace-sample=N]
-//              [--slow-trace-ms=N]
+//              [--slow-trace-ms=N] [--idle-timeout-ms=0]
+//              [--flight-record[=FILE]] [--watchdog-ms=N]
 //              (loads the collection once and answers newline-delimited
 //               query batches over TCP until SIGINT/SIGTERM; see
 //               DESIGN.md "Resident search service".  --port=0 picks a free
@@ -58,7 +61,25 @@
 //               disconnected.  --query-log writes one JSONL record per
 //               answered request.  --slow-trace-ms force-keeps the spans of
 //               any query at or over the threshold regardless of
-//               --trace-sample; alone it keeps only such slow queries.)
+//               --trace-sample; alone it keeps only such slow queries.
+//               --idle-timeout-ms closes a connection that sends nothing
+//               for that long.)
+//
+// Flight recorder (DESIGN.md "Flight recorder and watchdog"):
+//   --flight-record[=FILE]  installs a SIGSEGV/SIGABRT/SIGBUS handler that
+//                       dumps the always-on flight recorder (what every
+//                       thread was doing recently) to FILE — default
+//                       ujoin.flight_record — and writes the same dump
+//                       (reason "manual") at orderly exit.  The document is
+//                       versioned ujoin.flight_record JSON; check it with
+//                       tools/validate_flight_record.py.
+//   --watchdog-ms=N     starts a stall watchdog: a query/wave running past
+//                       4x its own deadline (or past N ms when it has no
+//                       deadline) is captured as a stall report — length
+//                       band, funnel position, verify-world estimate,
+//                       elapsed — and, with --flight-record, dumps the full
+//                       flight record.  Under serve the reports are served
+//                       at /debug/stalls on the metrics port.
 //
 // Observability (DESIGN.md "Observability" and "Live monitoring"):
 //   --metrics-out=FILE  writes a ujoin.run_report JSON document with the
@@ -91,6 +112,7 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -99,12 +121,14 @@
 #include "join/explain.h"
 #include "join/ujoin.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/query_log.h"
 #include "obs/report.h"
 #include "obs/scrape_server.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "serve/search_server.h"
 #include "util/simd.h"
 
@@ -230,6 +254,70 @@ void ReadSlowTraceFlag(Flags& flags, obs::TraceRecorder* tracer) {
   if (flags.GetString("trace-sample").empty()) {
     tracer->SetProbeSampling(0, kTraceSampleSeed);
   }
+}
+
+// --- flight recorder / watchdog plumbing (--flight-record / --watchdog-ms,
+// shared by join, search, and serve; DESIGN.md "Flight recorder and
+// watchdog") -----------------------------------------------------------------
+
+// The flags as given: `record_path` is empty when --flight-record is absent,
+// the default file name when given bare, else the explicit file.
+struct FlightFlags {
+  std::string record_path;
+  int64_t watchdog_ms = 0;
+};
+
+void ReadFlightFlags(Flags& flags, FlightFlags* out) {
+  const std::string record = flags.GetString("flight-record");
+  if (!record.empty()) {
+    out->record_path = record == "true" ? "ujoin.flight_record" : record;
+  }
+  out->watchdog_ms = flags.GetInt("watchdog-ms", 0);
+}
+
+// Installs the crash-dump handler and starts an in-process watchdog for the
+// join/search commands (serve runs its own; see ServeOptions::watchdog_ms).
+// 0 on success.
+int StartFlight(const FlightFlags& ff,
+                std::unique_ptr<obs::Watchdog>* watchdog) {
+  if (!ff.record_path.empty() &&
+      !obs::InstallCrashDump(ff.record_path.c_str())) {
+    std::fprintf(stderr, "error: cannot open %s\n", ff.record_path.c_str());
+    return 1;
+  }
+  if (watchdog != nullptr && ff.watchdog_ms > 0) {
+    *watchdog = std::make_unique<obs::Watchdog>(obs::GlobalFlightRecorder());
+    obs::WatchdogOptions wd;
+    wd.stall_ns = ff.watchdog_ms * 1'000'000;
+    wd.dump_path = ff.record_path;
+    (*watchdog)->Start(wd);
+  }
+  return 0;
+}
+
+// Stops the watchdog (reporting captures) and writes the orderly end-of-run
+// flight record; 0 on success.
+int FinishFlight(const FlightFlags& ff,
+                 std::unique_ptr<obs::Watchdog>* watchdog) {
+  int rc = 0;
+  if (watchdog != nullptr && *watchdog != nullptr) {
+    (*watchdog)->Stop();
+    std::fprintf(stderr, "watchdog: %lld stalls captured\n",
+                 static_cast<long long>((*watchdog)->captures()));
+    watchdog->reset();
+  }
+  if (!ff.record_path.empty()) {
+    obs::FlightDumpOptions options;
+    options.reason = "manual";
+    if (obs::DumpFlightRecord(ff.record_path.c_str(), options)) {
+      std::fprintf(stderr, "flight-record: wrote %s\n",
+                   ff.record_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot open %s\n", ff.record_path.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 // Opens the --query-log sink when the flag was given; 0 on success.  On
@@ -488,6 +576,8 @@ int RunJoin(Flags& flags) {
   const std::string out_path = flags.GetString("out");
   ObsOutputs obs_out;
   ReadObsFlags(flags, /*with_progress=*/true, &obs_out);
+  FlightFlags flight;
+  ReadFlightFlags(flags, &flight);
   Result<std::vector<UncertainString>> input = LoadInput(flags, *alphabet);
   if (!flags.Validate()) return 2;
   if (!input.ok()) {
@@ -504,6 +594,8 @@ int RunJoin(Flags& flags) {
     options.progress_user = &progress_state;
   }
   if (StartObsServer(obs_out) != 0) return 1;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (StartFlight(flight, &watchdog) != 0) return 1;
   Result<SelfJoinResult> result =
       SimilaritySelfJoin(*input, *alphabet, options);
   if (!result.ok()) {
@@ -525,7 +617,8 @@ int RunJoin(Flags& flags) {
   if (out != stdout) std::fclose(out);
   std::fprintf(stderr, "%zu pairs\n%s\n", result->pairs.size(),
                result->stats.ToString().c_str());
-  const int rc = WriteObsOutputs(obs_out, "join", options, result->stats);
+  int rc = WriteObsOutputs(obs_out, "join", options, result->stats);
+  if (FinishFlight(flight, &watchdog) != 0) rc = 1;
   FinishObsServer(obs_out);
   return rc;
 }
@@ -590,6 +683,8 @@ int RunSearch(Flags& flags) {
   ObsOutputs obs_out;
   ReadObsFlags(flags, /*with_progress=*/false, &obs_out);
   ReadSlowTraceFlag(flags, &obs_out.tracer);
+  FlightFlags flight;
+  ReadFlightFlags(flags, &flight);
   const std::string query_log_path = flags.GetString("query-log");
   obs::Recorder* const metrics =
       obs_out.WantsRecorder() ? &obs_out.recorder : nullptr;
@@ -614,6 +709,8 @@ int RunSearch(Flags& flags) {
   obs::QueryLog* query_log_ptr = nullptr;
   if (OpenQueryLog(query_log_path, &query_log, &query_log_ptr) != 0) return 1;
   if (StartObsServer(obs_out) != 0) return 1;
+  std::unique_ptr<obs::Watchdog> watchdog;
+  if (StartFlight(flight, &watchdog) != 0) return 1;
   if (!queries_path.empty()) {
     // Batch mode: run the whole query file through SearchMany and report
     // the aggregated statistics (folded in query order, so the numbers are
@@ -644,6 +741,7 @@ int RunSearch(Flags& flags) {
                  total_hits, stats.ToString().c_str());
     int rc = WriteObsOutputs(obs_out, "search", options, stats);
     if (FinishQueryLog(query_log_path, &query_log) != 0) rc = 1;
+    if (FinishFlight(flight, &watchdog) != 0) rc = 1;
     FinishObsServer(obs_out);
     return rc;
   }
@@ -709,6 +807,7 @@ int RunSearch(Flags& flags) {
   std::fprintf(stderr, "%zu hits\n", hits->size());
   int rc = WriteObsOutputs(obs_out, "search", options, stats);
   if (FinishQueryLog(query_log_path, &query_log) != 0) rc = 1;
+  if (FinishFlight(flight, &watchdog) != 0) rc = 1;
   FinishObsServer(obs_out);
   return rc;
 }
@@ -806,6 +905,11 @@ int RunServe(Flags& flags) {
       int64_t{flags.GetInt("max-batch-requests", 1024)};
   serve_options.max_batch_bytes =
       int64_t{flags.GetInt("max-batch-bytes", 1 << 20)};
+  serve_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 0);
+  FlightFlags flight;
+  ReadFlightFlags(flags, &flight);
+  serve_options.watchdog_ms = flight.watchdog_ms;
+  serve_options.watchdog_dump_path = flight.record_path;
   const std::string query_log_path = flags.GetString("query-log");
   const std::string trace_path = flags.GetString("trace-out");
   obs::QueryLog query_log;
@@ -837,6 +941,9 @@ int RunServe(Flags& flags) {
       0) {
     return 1;
   }
+  // Serve runs its own watchdog (inside SearchServer, so captures reach
+  // /debug/stalls and the serve recorder); here only the crash handler.
+  if (StartFlight(flight, /*watchdog=*/nullptr) != 0) return 1;
 
   serve::SearchServer server(&*searcher, serve_options);
   const Status status = server.Start();
@@ -853,11 +960,19 @@ int RunServe(Flags& flags) {
     std::fprintf(stderr, "serve: /metrics on 127.0.0.1:%d\n",
                  server.metrics_port());
   }
+  if (serve_options.watchdog_ms > 0) {
+    std::fprintf(stderr, "serve: watchdog at %lld ms (/debug/stalls)\n",
+                 static_cast<long long>(serve_options.watchdog_ms));
+  }
   std::signal(SIGINT, &HoldSignalHandler);
   std::signal(SIGTERM, &HoldSignalHandler);
   while (g_hold_interrupted == 0) pause();
   std::fprintf(stderr, "serve: shutting down\n");
   server.Stop();
+  if (serve_options.watchdog_ms > 0) {
+    std::fprintf(stderr, "watchdog: %lld stalls captured\n",
+                 static_cast<long long>(server.WatchdogCaptures()));
+  }
   const JoinStats stats = server.Stats();
   const obs::Recorder serve_metrics = server.ServeMetrics();
   std::fprintf(
@@ -876,6 +991,7 @@ int RunServe(Flags& flags) {
           serve_metrics.counter(obs::Counter::kServeBatches)),
       stats.ToString().c_str());
   int rc = 0;
+  if (FinishFlight(flight, /*watchdog=*/nullptr) != 0) rc = 1;
   if (FinishQueryLog(query_log_path, &query_log) != 0) rc = 1;
   if (!trace_path.empty()) {
     const Status trace_status = tracer.WriteFile(trace_path);

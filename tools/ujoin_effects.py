@@ -62,6 +62,11 @@ Contracts (frozen in CONTRACTS below; see DESIGN.md "Effect analysis"):
                     Serialization and deterministic-JSON roots reach no
                     unordered_iter, wall_clock, or unseeded rng: emitted
                     bytes stay a pure function of content.
+  flight-path       The flight recorder's record path (RecordEvent, run
+                    inside the zero-allocation probe path) and dump path
+                    (DumpToFd, run inside a SIGSEGV handler) reach no
+                    alloc, lock, or io; the async-signal-safe raw-write
+                    sink is blessed by its declares(io) annotation.
   serve-steady      Serve request handlers and the aggregate fold/snapshot
                     path reach no unbounded blocking call: a slow scrape
                     or a stuck peer must not stall query folds.
@@ -647,6 +652,19 @@ CONTRACTS = [
             "serve::RenderErrorResponse",
         ],
         "forbid": ["unordered_iter", "wall_clock", "rng"],
+        "allow_nodes": [],
+        "allow_subtrees": [],
+    },
+    {
+        "name": "flight-path",
+        "doc": "flight-event record and dump paths reach no alloc/lock/io "
+               "(crash-safe: the only I/O is the blessed pre-opened-fd "
+               "sink write)",
+        "roots": [
+            "FlightRecorder::RecordEvent",
+            "FlightRecorder::DumpToFd",
+        ],
+        "forbid": ["alloc", "lock", "io"],
         "allow_nodes": [],
         "allow_subtrees": [],
     },

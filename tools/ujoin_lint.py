@@ -63,6 +63,13 @@ Rules (see DESIGN.md "Static analysis and CI gates"):
       byte that leaves the server.  Ad-hoc JsonWriter use in the server
       would create a second, unvalidated serialization path.
 
+  flight-macro-only
+      Direct FlightRecorder::RecordEvent calls outside src/obs/.  Flight
+      events must be recorded through UJOIN_OBS_FLIGHT_EVENT so
+      -DUJOIN_OBS=OFF compiles them out and every site stays on the
+      alloc/lock/io-free record path the flight-path effects contract
+      proves (tools/ujoin_effects.py).
+
   stale-suppression
       An `ujoin-lint: allow(<rule>)` comment that suppresses nothing: the
       code it excused was refactored away, or the rule name is a typo and
@@ -164,6 +171,7 @@ RULE_NAMES = (
     "simd-intrinsics",
     "simd-dispatch-fallback",
     "query-log-api",
+    "flight-macro-only",
     "stale-suppression",
 )
 
@@ -891,6 +899,32 @@ def check_query_log_api(path: str, stripped_lines: list[str],
     return out
 
 
+# A direct flight-event record call.  The watchdog (src/obs/) records its
+# own capture events and tests exercise the recorder directly; everything
+# else goes through UJOIN_OBS_FLIGHT_EVENT.  Taking the recorder pointer
+# (GlobalFlightRecorder()) for lifecycle wiring — watchdog construction,
+# the bench kill switch — is fine; only recording is confined.
+_FLIGHT_DIRECT_RE = re.compile(r"(?:\.|->)\s*RecordEvent\s*\(")
+
+
+def check_flight_macro_only(path: str, stripped_lines: list[str],
+                            **_) -> list[Violation]:
+    if not _matches(path, OBS_MACRO_SCOPE_GLOBS):
+        return []
+    if _matches(path, OBS_MACRO_ALLOW_GLOBS):
+        return []
+    out = []
+    for i, line in enumerate(stripped_lines, 1):
+        if _FLIGHT_DIRECT_RE.search(line):
+            out.append(Violation(
+                path, i, "flight-macro-only",
+                "direct FlightRecorder::RecordEvent call; record through "
+                "UJOIN_OBS_FLIGHT_EVENT(...) so -DUJOIN_OBS=OFF compiles "
+                "it out and the site stays on the flight-path contract's "
+                "alloc/lock/io-free record path"))
+    return out
+
+
 CHECKS = [
     check_rng_source,
     check_unordered_iteration,
@@ -899,6 +933,7 @@ CHECKS = [
     check_simd_intrinsics,
     check_simd_dispatch_fallback,
     check_query_log_api,
+    check_flight_macro_only,
 ]
 
 
